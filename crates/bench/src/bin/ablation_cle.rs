@@ -1,0 +1,4 @@
+//! Extension: Q-CLE architecture class with one replicated checkpoint.
+fn main() {
+    println!("{}", pi_bench::experiments::ablation_cle().render());
+}

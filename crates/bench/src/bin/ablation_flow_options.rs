@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation flow options experiment. Run with --release.
+fn main() {
+    println!("{}", pi_bench::experiments::ablation_flow_options().render());
+}

@@ -1,0 +1,4 @@
+//! Generalization experiment: AlexNet-style network through both flows.
+fn main() {
+    println!("{}", pi_bench::experiments::ext_alexnet().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig1 motivation experiment. Run with --release.
+fn main() {
+    println!("{}", pi_bench::experiments::fig1_motivation().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 vgg experiment. Run with --release.
+fn main() {
+    let mut ctx = pi_bench::Ctx::new();
+    println!("{}", pi_bench::experiments::fig7_vgg(&mut ctx).render());
+}

@@ -1,0 +1,5 @@
+//! Renders the assembled VGG-16 floorplan (the paper's Fig. 8).
+fn main() {
+    let mut ctx = pi_bench::Ctx::new();
+    println!("{}", pi_bench::experiments::fig8_floorplan(&mut ctx).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 networks experiment. Run with --release.
+fn main() {
+    println!("{}", pi_bench::experiments::table1_networks().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 lenet experiment. Run with --release.
+fn main() {
+    let mut ctx = pi_bench::Ctx::new();
+    println!("{}", pi_bench::experiments::table3_lenet(&mut ctx).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 sota experiment. Run with --release.
+fn main() {
+    let mut ctx = pi_bench::Ctx::new();
+    println!("{}", pi_bench::experiments::table4_sota(&mut ctx).render());
+}

@@ -1,0 +1,191 @@
+//! Experiment harness: everything needed to regenerate the paper's tables
+//! and figures.
+//!
+//! Each experiment lives in [`experiments`] as a function returning a
+//! rendered markdown [`Section`]; the `fig*`/`table*`/`ablation*` binaries
+//! print one section each, and `all_experiments` runs the full set and
+//! writes `EXPERIMENTS.md`. Heavyweight intermediate results (component
+//! databases, flow runs) are cached in a [`Ctx`] so the combined run does
+//! not repeat work.
+
+pub mod experiments;
+pub mod paper;
+
+use pi_cnn::graph::Granularity;
+use pi_cnn::Network;
+use pi_fabric::Device;
+use pi_flow::{
+    build_component_db, run_baseline_flow, run_pre_implemented_flow, ArchOptOptions,
+    BaselineOptions, BaselineReport, ComponentBuildReport, FunctionOptOptions, PreImplReport,
+};
+use pi_netlist::Design;
+use pi_stitch::ComponentDb;
+use pi_synth::SynthOptions;
+
+/// One rendered experiment.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Paper artifact id, e.g. "Fig. 6".
+    pub id: String,
+    pub title: String,
+    /// Markdown body (tables + commentary).
+    pub body: String,
+}
+
+impl Section {
+    pub fn render(&self) -> String {
+        format!("## {} — {}\n\n{}\n", self.id, self.title, self.body)
+    }
+}
+
+/// A network's full set of flow artifacts.
+pub struct NetworkRun {
+    pub network: Network,
+    pub granularity: Granularity,
+    pub db: ComponentDb,
+    pub component_reports: Vec<ComponentBuildReport>,
+    pub db_build_time: std::time::Duration,
+    pub preimpl_design: Design,
+    pub preimpl: PreImplReport,
+    pub baseline_design: Design,
+    pub baseline: BaselineReport,
+}
+
+/// Shared, lazily-built experiment context. Everything is seeded and
+/// deterministic, so all binaries agree with `all_experiments`.
+#[derive(Default)]
+pub struct Ctx {
+    lenet: Option<NetworkRun>,
+    vgg: Option<NetworkRun>,
+}
+
+/// Standard evaluation device (see DESIGN.md for the calibration notes).
+pub fn device() -> Device {
+    Device::xcku5p_like()
+}
+
+fn run_network(
+    network: Network,
+    granularity: Granularity,
+    synth: SynthOptions,
+) -> NetworkRun {
+    let device = device();
+    let fopts = FunctionOptOptions {
+        synth,
+        granularity,
+        seeds: vec![1, 2, 3],
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let (db, component_reports) =
+        build_component_db(&network, &device, &fopts).expect("component DB builds");
+    let db_build_time = t0.elapsed();
+
+    let aopts = ArchOptOptions {
+        granularity,
+        ..Default::default()
+    };
+    let (preimpl_design, preimpl) =
+        run_pre_implemented_flow(&network, &db, &device, &aopts).expect("pre-implemented flow");
+
+    let bopts = BaselineOptions {
+        synth: synth.monolithic(),
+        granularity,
+        ..Default::default()
+    };
+    let (baseline_design, baseline) =
+        run_baseline_flow(&network, &device, &bopts).expect("baseline flow");
+
+    NetworkRun {
+        network,
+        granularity,
+        db,
+        component_reports,
+        db_build_time,
+        preimpl_design,
+        preimpl,
+        baseline_design,
+        baseline,
+    }
+}
+
+impl Ctx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// LeNet-5 runs (layer granularity, weights in ROM — the paper's
+    /// configuration).
+    pub fn lenet(&mut self) -> &NetworkRun {
+        if self.lenet.is_none() {
+            eprintln!("[ctx] building LeNet-5 runs (both flows)...");
+            self.lenet = Some(run_network(
+                pi_cnn::models::lenet5(),
+                Granularity::Layer,
+                SynthOptions::lenet_like(),
+            ));
+        }
+        self.lenet.as_ref().expect("just built")
+    }
+
+    /// VGG-16 runs (block granularity, streamed weights — the paper's
+    /// configuration). The baseline implementation takes ~30 s in release.
+    pub fn vgg(&mut self) -> &NetworkRun {
+        if self.vgg.is_none() {
+            eprintln!("[ctx] building VGG-16 runs (both flows; ~1 min)...");
+            self.vgg = Some(run_network(
+                pi_cnn::models::vgg16(),
+                Granularity::Block,
+                SynthOptions::vgg_like(),
+            ));
+        }
+        self.vgg.as_ref().expect("just built")
+    }
+}
+
+/// Render a markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Seconds with sensible precision.
+pub fn fmt_s(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.1 {
+        format!("{:.1} ms", s * 1000.0)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_renders() {
+        let t = md_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_s(std::time::Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(fmt_s(std::time::Duration::from_secs(2)), "2.00 s");
+    }
+}

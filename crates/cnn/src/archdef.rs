@@ -1,0 +1,211 @@
+//! The "CNN architecture definition" format (paper §IV-B1): the user-facing
+//! text file the architecture-optimization stage parses into a DFG.
+//!
+//! Grammar (one directive per line, `#` comments):
+//!
+//! ```text
+//! network lenet5
+//! input 1x32x32
+//! conv conv1 kernel=5 stride=1 pad=0 out=6
+//! pool pool1 window=2 stride=2
+//! relu relu1
+//! fc   fc1   out=120
+//! ```
+//!
+//! Layers chain in file order, matching the layer-by-layer execution
+//! schedule of the streaming architectures the paper targets.
+
+use crate::graph::Network;
+use crate::layer::{ConvParams, FcParams, Layer, PoolParams, Shape};
+use crate::CnnError;
+use std::collections::HashMap;
+
+/// Parse an architecture definition into a [`Network`].
+pub fn parse_archdef(text: &str) -> Result<Network, CnnError> {
+    let mut network: Option<Network> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line has a word");
+        let err = |msg: &str| CnnError::Parse {
+            line: lineno + 1,
+            msg: msg.to_string(),
+        };
+        match directive {
+            "network" => {
+                let name = words.next().ok_or_else(|| err("missing network name"))?;
+                if network.is_some() {
+                    return Err(err("duplicate network directive"));
+                }
+                network = Some(Network::new(name));
+            }
+            "input" => {
+                let net = network.as_mut().ok_or_else(|| err("input before network"))?;
+                let shape = words.next().ok_or_else(|| err("missing input shape"))?;
+                let dims: Vec<u32> = shape
+                    .split('x')
+                    .map(|d| d.parse().map_err(|_| err("bad input dimension")))
+                    .collect::<Result<_, _>>()?;
+                if dims.len() != 3 {
+                    return Err(err("input shape must be CxHxW"));
+                }
+                net.push_layer("input", Layer::Input(Shape::new(dims[0], dims[1], dims[2])));
+            }
+            "conv" | "pool" | "relu" | "fc" => {
+                let net = network.as_mut().ok_or_else(|| err("layer before network"))?;
+                let name = words.next().ok_or_else(|| err("missing layer name"))?;
+                let kv = parse_kv(words, lineno + 1)?;
+                let get = |key: &str| -> Result<u32, CnnError> {
+                    kv.get(key)
+                        .copied()
+                        .ok_or_else(|| err(&format!("missing {key}=")))
+                };
+                let layer = match directive {
+                    "conv" => Layer::Conv(ConvParams {
+                        kernel: get("kernel")?,
+                        stride: kv.get("stride").copied().unwrap_or(1),
+                        padding: kv.get("pad").copied().unwrap_or(0),
+                        out_channels: get("out")?,
+                    }),
+                    "pool" => Layer::Pool(PoolParams {
+                        window: get("window")?,
+                        stride: kv.get("stride").copied().unwrap_or_else(|| kv["window"]),
+                    }),
+                    "relu" => Layer::Relu,
+                    "fc" => Layer::Fc(FcParams {
+                        out_features: get("out")?,
+                    }),
+                    _ => unreachable!(),
+                };
+                net.push_layer(name, layer);
+            }
+            other => {
+                return Err(err(&format!("unknown directive '{other}'")));
+            }
+        }
+    }
+    let net = network.ok_or(CnnError::Parse {
+        line: 0,
+        msg: "no network directive".to_string(),
+    })?;
+    net.validate()?;
+    // Shape propagation catches geometric inconsistencies eagerly so the
+    // user gets a parse-time error, not a synthesis-time one.
+    net.input_shapes()?;
+    Ok(net)
+}
+
+/// Render a network back to the archdef format (round-trip support).
+pub fn to_archdef(network: &Network) -> String {
+    let mut out = format!("network {}\n", network.name);
+    for node in network.nodes() {
+        match node.layer {
+            Layer::Input(s) => {
+                out.push_str(&format!("input {}x{}x{}\n", s.channels, s.height, s.width))
+            }
+            Layer::Conv(p) => out.push_str(&format!(
+                "conv {} kernel={} stride={} pad={} out={}\n",
+                node.name, p.kernel, p.stride, p.padding, p.out_channels
+            )),
+            Layer::Pool(p) => out.push_str(&format!(
+                "pool {} window={} stride={}\n",
+                node.name, p.window, p.stride
+            )),
+            Layer::Relu => out.push_str(&format!("relu {}\n", node.name)),
+            Layer::Fc(p) => out.push_str(&format!("fc {} out={}\n", node.name, p.out_features)),
+        }
+    }
+    out
+}
+
+fn parse_kv<'a>(
+    words: impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<HashMap<&'a str, u32>, CnnError> {
+    let mut kv = HashMap::new();
+    for w in words {
+        let (k, v) = w.split_once('=').ok_or(CnnError::Parse {
+            line,
+            msg: format!("expected key=value, got '{w}'"),
+        })?;
+        let v: u32 = v.parse().map_err(|_| CnnError::Parse {
+            line,
+            msg: format!("bad value in '{w}'"),
+        })?;
+        kv.insert(k, v);
+    }
+    Ok(kv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    const LENET: &str = r#"
+# LeNet-5 architecture definition
+network lenet5
+input 1x32x32
+conv conv1 kernel=5 stride=1 pad=0 out=6
+pool pool1 window=2 stride=2
+relu relu1
+conv conv2 kernel=5 stride=1 pad=0 out=16
+pool pool2 window=2 stride=2
+relu relu2
+fc fc1 out=120
+fc fc2 out=10
+"#;
+
+    #[test]
+    fn parses_lenet() {
+        let net = parse_archdef(LENET).unwrap();
+        assert_eq!(net.name, "lenet5");
+        assert_eq!(net.nodes().len(), 9);
+        let reference = models::lenet5();
+        assert_eq!(net.stats().unwrap(), reference.stats().unwrap());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let net = models::lenet5();
+        let text = to_archdef(&net);
+        let back = parse_archdef(&text).unwrap();
+        assert_eq!(back.nodes().len(), net.nodes().len());
+        assert_eq!(back.stats().unwrap(), net.stats().unwrap());
+    }
+
+    #[test]
+    fn defaults_for_stride_and_padding() {
+        let net = parse_archdef(
+            "network n\ninput 1x8x8\nconv c kernel=3 out=2\npool p window=2\n",
+        )
+        .unwrap();
+        let shapes = net.input_shapes().unwrap();
+        assert_eq!(shapes[2].height, 6); // stride defaulted to 1, pad to 0
+        assert_eq!(net.output_shape().unwrap().height, 3); // pool stride = window
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_archdef("network n\ninput 1x8x8\nconv c kernel=oops out=2\n")
+            .unwrap_err();
+        match err {
+            CnnError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_structural_mistakes() {
+        assert!(parse_archdef("input 1x8x8\n").is_err()); // before network
+        assert!(parse_archdef("network a\nnetwork b\n").is_err());
+        assert!(parse_archdef("network a\nwhatever x\n").is_err());
+        assert!(parse_archdef("network a\ninput 1x8\n").is_err());
+        assert!(parse_archdef("").is_err());
+        // Geometrically impossible network is caught at parse time.
+        assert!(parse_archdef("network a\ninput 1x4x4\nconv c kernel=9 out=1\n").is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! Network data-flow graphs, fusion into components, and workload statistics.
+
+use crate::layer::{Layer, Shape};
+use crate::CnnError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Index of a node in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the network DFG.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub name: String,
+    pub layer: Layer,
+}
+
+/// A CNN expressed as a data-flow graph. The paper's networks are chains,
+/// but edges are explicit so branching topologies parse and traverse the
+/// same way.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    pub name: String,
+    nodes: Vec<Node>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Network {
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, name: impl Into<String>, layer: Layer) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.into(),
+            layer,
+        });
+        id
+    }
+
+    /// Add a producer→consumer edge.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        self.edges.push((from, to));
+    }
+
+    /// Chain-building helper: add a node wired after the last added node.
+    pub fn push_layer(&mut self, name: impl Into<String>, layer: Layer) -> NodeId {
+        let id = self.add_node(name, layer);
+        if id.0 > 0 {
+            self.add_edge(NodeId(id.0 - 1), id);
+        }
+        id
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(f, _)| *f == id)
+            .map(|(_, t)| *t)
+    }
+
+    /// Predecessors of a node.
+    pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(_, t)| *t == id)
+            .map(|(f, _)| *f)
+    }
+
+    /// The unique input node.
+    pub fn input(&self) -> Result<NodeId, CnnError> {
+        let mut inputs = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.layer, Layer::Input(_)))
+            .map(|(i, _)| NodeId(i as u32));
+        let first = inputs
+            .next()
+            .ok_or_else(|| CnnError::BadGraph("no input layer".to_string()))?;
+        if inputs.next().is_some() {
+            return Err(CnnError::BadGraph("multiple input layers".to_string()));
+        }
+        Ok(first)
+    }
+
+    /// Breadth-first traversal order from the input — the traversal the
+    /// paper's Algorithm 1 uses (CNN DFGs are deeper than wide, BFS
+    /// discovers components level by level).
+    pub fn bfs(&self) -> Result<Vec<NodeId>, CnnError> {
+        let root = self.input()?;
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        seen[root.index()] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for w in self.successors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(CnnError::BadGraph(format!(
+                "{} nodes unreachable from input",
+                self.nodes.len() - order.len()
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Input shape of every node, propagated from the network input.
+    /// For multi-predecessor nodes the first predecessor's output is used.
+    pub fn input_shapes(&self) -> Result<Vec<Shape>, CnnError> {
+        let order = self.bfs()?;
+        let mut out_shapes: Vec<Option<Shape>> = vec![None; self.nodes.len()];
+        let mut in_shapes: Vec<Option<Shape>> = vec![None; self.nodes.len()];
+        for id in order {
+            let input = match self.predecessors(id).next() {
+                Some(p) => out_shapes[p.index()].ok_or_else(|| {
+                    CnnError::BadGraph(format!(
+                        "node {} visited before predecessor (cycle?)",
+                        self.node(id).name
+                    ))
+                })?,
+                // The input node feeds itself its declared shape.
+                None => match self.node(id).layer {
+                    Layer::Input(s) => s,
+                    _ => {
+                        return Err(CnnError::BadGraph(format!(
+                            "non-input node {} has no predecessor",
+                            self.node(id).name
+                        )))
+                    }
+                },
+            };
+            in_shapes[id.index()] = Some(input);
+            out_shapes[id.index()] = Some(self.node(id).layer.output_shape(input)?);
+        }
+        Ok(in_shapes.into_iter().map(|s| s.unwrap()).collect())
+    }
+
+    /// Output shape of the final node(s); for a chain, the network output.
+    pub fn output_shape(&self) -> Result<Shape, CnnError> {
+        let shapes = self.input_shapes()?;
+        let last = self
+            .bfs()?
+            .into_iter()
+            .last()
+            .ok_or_else(|| CnnError::BadGraph("empty network".to_string()))?;
+        self.node(last).layer.output_shape(shapes[last.index()])
+    }
+
+    /// Workload statistics (Table I of the paper).
+    pub fn stats(&self) -> Result<NetworkStats, CnnError> {
+        let shapes = self.input_shapes()?;
+        let mut s = NetworkStats::default();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let input = shapes[i];
+            match node.layer {
+                Layer::Conv(_) => {
+                    s.conv_layers += 1;
+                    s.conv_weights += node.layer.weights(input);
+                    s.conv_macs += node.layer.macs(input)?;
+                }
+                Layer::Fc(_) => {
+                    s.fc_layers += 1;
+                    s.fc_weights += node.layer.weights(input);
+                    s.fc_macs += node.layer.macs(input)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(s)
+    }
+
+    /// Partition the network into components per the paper's rule:
+    /// consecutive nodes are pre-implemented as one component when the data
+    /// movement between them requires no memory controller. Element-wise
+    /// layers (ReLU) always fuse into the producing component; with
+    /// [`Granularity::Block`], consecutive convolutions also fuse (the
+    /// granularity the paper uses for VGG's conv blocks).
+    pub fn components(&self, granularity: Granularity) -> Result<Vec<Component>, CnnError> {
+        let order = self.bfs()?;
+        let shapes = self.input_shapes()?;
+        let mut components: Vec<Component> = Vec::new();
+        let mut current: Option<Component> = None;
+
+        for id in order {
+            let node = self.node(id);
+            if matches!(node.layer, Layer::Input(_)) {
+                continue;
+            }
+            let input_shape = shapes[id.index()];
+            let output_shape = node.layer.output_shape(input_shape)?;
+            let fuses = match (&current, &node.layer) {
+                (None, _) => false,
+                // ReLU streams element-wise: never needs a memory controller.
+                (Some(_), Layer::Relu) => true,
+                // Block granularity: conv directly following conv keeps
+                // streaming through the same CLE chain.
+                (Some(c), Layer::Conv(_)) => {
+                    granularity == Granularity::Block && c.kind_tag == "conv"
+                }
+                _ => false,
+            };
+            if fuses {
+                let c = current.as_mut().expect("fuses implies current");
+                c.nodes.push(id);
+                c.output_shape = output_shape;
+                c.name.push('+');
+                c.name.push_str(&node.name);
+            } else {
+                if let Some(c) = current.take() {
+                    components.push(c);
+                }
+                current = Some(Component {
+                    name: node.name.clone(),
+                    kind_tag: node.layer.kind_tag().to_string(),
+                    nodes: vec![id],
+                    input_shape,
+                    output_shape,
+                });
+            }
+        }
+        if let Some(c) = current.take() {
+            components.push(c);
+        }
+        if components.is_empty() {
+            return Err(CnnError::BadGraph("network has no compute layers".to_string()));
+        }
+        Ok(components)
+    }
+
+    /// Basic structural validation.
+    pub fn validate(&self) -> Result<(), CnnError> {
+        for (f, t) in &self.edges {
+            if f.index() >= self.nodes.len() || t.index() >= self.nodes.len() {
+                return Err(CnnError::BadGraph("edge references missing node".to_string()));
+            }
+        }
+        self.bfs().map(|_| ())
+    }
+}
+
+/// Component-extraction granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One component per non-elementwise layer (LeNet in the paper:
+    /// conv1 / pool1+relu1 / conv2 / pool2+relu / fc1 / fc2).
+    Layer,
+    /// Consecutive convolutions additionally fuse (VGG in the paper: each
+    /// conv block is one component → 12 components for VGG-16).
+    Block,
+}
+
+/// A fused group of layers that will be pre-implemented as one module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Component {
+    pub name: String,
+    /// Kind of the leading layer ("conv", "pool", "fc").
+    pub kind_tag: String,
+    pub nodes: Vec<NodeId>,
+    pub input_shape: Shape,
+    pub output_shape: Shape,
+}
+
+impl Component {
+    /// The database-matching signature: layer kinds + parameters + input
+    /// shape, everything that determines the hardware.
+    pub fn signature(&self, network: &Network) -> String {
+        let mut sig = String::new();
+        for (i, id) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                sig.push('+');
+            }
+            match network.node(*id).layer {
+                Layer::Conv(p) => {
+                    sig.push_str(&format!(
+                        "conv_k{}s{}p{}co{}",
+                        p.kernel, p.stride, p.padding, p.out_channels
+                    ));
+                }
+                Layer::Pool(p) => {
+                    sig.push_str(&format!("pool_w{}s{}", p.window, p.stride));
+                }
+                Layer::Relu => sig.push_str("relu"),
+                Layer::Fc(p) => sig.push_str(&format!("fc_o{}", p.out_features)),
+                Layer::Input(_) => sig.push_str("input"),
+            }
+        }
+        format!(
+            "{}__in{}x{}x{}",
+            sig, self.input_shape.channels, self.input_shape.height, self.input_shape.width
+        )
+    }
+}
+
+/// Workload statistics in the shape of the paper's Table I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    pub conv_layers: u32,
+    pub conv_weights: u64,
+    pub conv_macs: u64,
+    pub fc_layers: u32,
+    pub fc_weights: u64,
+    pub fc_macs: u64,
+}
+
+impl NetworkStats {
+    pub fn total_weights(&self) -> u64 {
+        self.conv_weights + self.fc_weights
+    }
+
+    pub fn total_macs(&self) -> u64 {
+        self.conv_macs + self.fc_macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvParams, FcParams, PoolParams};
+
+    fn mini_net() -> Network {
+        let mut n = Network::new("mini");
+        n.push_layer("in", Layer::Input(Shape::new(1, 8, 8)));
+        n.push_layer(
+            "c1",
+            Layer::Conv(ConvParams {
+                kernel: 3,
+                stride: 1,
+                padding: 0,
+                out_channels: 2,
+            }),
+        );
+        n.push_layer(
+            "p1",
+            Layer::Pool(PoolParams {
+                window: 2,
+                stride: 2,
+            }),
+        );
+        n.push_layer("r1", Layer::Relu);
+        n.push_layer("f1", Layer::Fc(FcParams { out_features: 4 }));
+        n
+    }
+
+    #[test]
+    fn bfs_visits_chain_in_order() {
+        let n = mini_net();
+        let order = n.bfs().unwrap();
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], NodeId(0));
+        assert_eq!(order[4], NodeId(4));
+    }
+
+    #[test]
+    fn shapes_propagate() {
+        let n = mini_net();
+        let shapes = n.input_shapes().unwrap();
+        assert_eq!(shapes[1], Shape::new(1, 8, 8));
+        assert_eq!(shapes[2], Shape::new(2, 6, 6));
+        assert_eq!(shapes[3], Shape::new(2, 3, 3));
+        assert_eq!(n.output_shape().unwrap(), Shape::new(4, 1, 1));
+    }
+
+    #[test]
+    fn component_fusion_layer_granularity() {
+        let n = mini_net();
+        let comps = n.components(Granularity::Layer).unwrap();
+        // conv1 / pool+relu / fc
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].name, "c1");
+        assert_eq!(comps[1].name, "p1+r1");
+        assert_eq!(comps[1].nodes.len(), 2);
+        assert_eq!(comps[2].name, "f1");
+        assert_eq!(comps[1].output_shape, Shape::new(2, 3, 3));
+    }
+
+    #[test]
+    fn block_granularity_fuses_conv_runs() {
+        let mut n = Network::new("blocky");
+        n.push_layer("in", Layer::Input(Shape::new(1, 16, 16)));
+        let conv = |o| {
+            Layer::Conv(ConvParams {
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                out_channels: o,
+            })
+        };
+        n.push_layer("c1", conv(4));
+        n.push_layer("r1", Layer::Relu);
+        n.push_layer("c2", conv(4));
+        n.push_layer("r2", Layer::Relu);
+        n.push_layer(
+            "p1",
+            Layer::Pool(PoolParams {
+                window: 2,
+                stride: 2,
+            }),
+        );
+        assert_eq!(n.components(Granularity::Layer).unwrap().len(), 3);
+        let blocks = n.components(Granularity::Block).unwrap();
+        assert_eq!(blocks.len(), 2); // c1+r1+c2+r2 / p1
+        assert_eq!(blocks[0].nodes.len(), 4);
+    }
+
+    #[test]
+    fn signatures_are_parameter_sensitive() {
+        let n = mini_net();
+        let comps = n.components(Granularity::Layer).unwrap();
+        let sig = comps[0].signature(&n);
+        assert!(sig.contains("conv_k3s1p0co2"));
+        assert!(sig.ends_with("in1x8x8"));
+        // Pool+relu fused signature mentions both.
+        let sig1 = comps[1].signature(&n);
+        assert!(sig1.contains("pool_w2s2+relu"));
+    }
+
+    #[test]
+    fn stats_sum_conv_and_fc() {
+        let n = mini_net();
+        let s = n.stats().unwrap();
+        assert_eq!(s.conv_layers, 1);
+        assert_eq!(s.fc_layers, 1);
+        assert_eq!(s.conv_weights, 3 * 3 * 2 + 2);
+        assert_eq!(s.fc_weights, (2 * 3 * 3) * 4 + 4);
+        assert_eq!(s.total_macs(), s.conv_macs + s.fc_macs);
+    }
+
+    #[test]
+    fn disconnected_and_inputless_graphs_are_rejected() {
+        let mut n = Network::new("bad");
+        n.add_node("a", Layer::Relu);
+        assert!(n.bfs().is_err());
+
+        let mut n2 = Network::new("bad2");
+        n2.add_node("in", Layer::Input(Shape::new(1, 4, 4)));
+        n2.add_node("orphan", Layer::Relu);
+        assert!(n2.validate().is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! CNN layer parameterizations and shape arithmetic.
+
+use crate::CnnError;
+use serde::{Deserialize, Serialize};
+
+/// A feature-map shape: channels × height × width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    pub channels: u32,
+    pub height: u32,
+    pub width: u32,
+}
+
+impl Shape {
+    pub const fn new(channels: u32, height: u32, width: u32) -> Self {
+        Shape {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> u64 {
+        u64::from(self.channels) * u64::from(self.height) * u64::from(self.width)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+/// Convolution layer parameters. The paper evaluates valid padding, stride 1
+/// but the model is general.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvParams {
+    pub kernel: u32,
+    pub stride: u32,
+    pub padding: u32,
+    pub out_channels: u32,
+}
+
+impl ConvParams {
+    /// Output shape for a given input, or an error when the geometry does
+    /// not fit.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, CnnError> {
+        let h = conv_dim(input.height, self.kernel, self.stride, self.padding)?;
+        let w = conv_dim(input.width, self.kernel, self.stride, self.padding)?;
+        Ok(Shape::new(self.out_channels, h, w))
+    }
+
+    /// Weight count (including biases), given the input channel count.
+    pub fn weights(&self, in_channels: u32) -> u64 {
+        u64::from(self.kernel) * u64::from(self.kernel) * u64::from(in_channels)
+            * u64::from(self.out_channels)
+            + u64::from(self.out_channels)
+    }
+
+    /// Multiply-accumulate count for one input frame.
+    pub fn macs(&self, input: Shape) -> Result<u64, CnnError> {
+        let out = self.output_shape(input)?;
+        Ok(u64::from(out.height)
+            * u64::from(out.width)
+            * u64::from(self.kernel)
+            * u64::from(self.kernel)
+            * u64::from(input.channels)
+            * u64::from(self.out_channels))
+    }
+}
+
+/// Max-pooling layer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolParams {
+    pub window: u32,
+    pub stride: u32,
+}
+
+impl PoolParams {
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, CnnError> {
+        let h = conv_dim(input.height, self.window, self.stride, 0)?;
+        let w = conv_dim(input.width, self.window, self.stride, 0)?;
+        Ok(Shape::new(input.channels, h, w))
+    }
+}
+
+/// Fully connected layer parameters. The paper implements FC as a
+/// convolution with kernel size equal to the input size; the synthesis
+/// generators follow the same scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FcParams {
+    pub out_features: u32,
+}
+
+impl FcParams {
+    pub fn output_shape(&self, _input: Shape) -> Shape {
+        Shape::new(self.out_features, 1, 1)
+    }
+
+    /// Weight count (including biases), given the flattened input size.
+    pub fn weights(&self, input: Shape) -> u64 {
+        input.elements() * u64::from(self.out_features) + u64::from(self.out_features)
+    }
+
+    /// MAC count for one frame: same as weight count minus biases.
+    pub fn macs(&self, input: Shape) -> u64 {
+        input.elements() * u64::from(self.out_features)
+    }
+}
+
+/// One layer of a CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// The network input (image shape).
+    Input(Shape),
+    Conv(ConvParams),
+    Pool(PoolParams),
+    Relu,
+    Fc(FcParams),
+}
+
+impl Layer {
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, CnnError> {
+        match self {
+            Layer::Input(s) => Ok(*s),
+            Layer::Conv(p) => p.output_shape(input),
+            Layer::Pool(p) => p.output_shape(input),
+            Layer::Relu => Ok(input),
+            Layer::Fc(p) => Ok(p.output_shape(input)),
+        }
+    }
+
+    /// Weight count given the input shape.
+    pub fn weights(&self, input: Shape) -> u64 {
+        match self {
+            Layer::Conv(p) => p.weights(input.channels),
+            Layer::Fc(p) => p.weights(input),
+            _ => 0,
+        }
+    }
+
+    /// MAC count for one frame given the input shape.
+    pub fn macs(&self, input: Shape) -> Result<u64, CnnError> {
+        match self {
+            Layer::Conv(p) => p.macs(input),
+            Layer::Fc(p) => Ok(p.macs(input)),
+            _ => Ok(0),
+        }
+    }
+
+    /// Short kind tag used in signatures and reports.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            Layer::Input(_) => "input",
+            Layer::Conv(_) => "conv",
+            Layer::Pool(_) => "pool",
+            Layer::Relu => "relu",
+            Layer::Fc(_) => "fc",
+        }
+    }
+
+    /// True for layers that compute element-wise on the stream and therefore
+    /// need no memory controller at their input boundary (the paper's fusion
+    /// rule: ReLU can be applied directly to intermediate pooling results).
+    pub fn is_elementwise(&self) -> bool {
+        matches!(self, Layer::Relu)
+    }
+}
+
+fn conv_dim(size: u32, kernel: u32, stride: u32, padding: u32) -> Result<u32, CnnError> {
+    if stride == 0 || kernel == 0 {
+        return Err(CnnError::ShapeMismatch(
+            "kernel and stride must be nonzero".to_string(),
+        ));
+    }
+    let padded = size + 2 * padding;
+    if padded < kernel {
+        return Err(CnnError::ShapeMismatch(format!(
+            "window {kernel} larger than padded input {padded}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes_match_lenet() {
+        // LeNet conv1: 1x32x32, 5x5 valid stride 1 -> 6x28x28.
+        let p = ConvParams {
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+            out_channels: 6,
+        };
+        let out = p.output_shape(Shape::new(1, 32, 32)).unwrap();
+        assert_eq!(out, Shape::new(6, 28, 28));
+        // Paper: conv1 has 156 parameters and 117600 multiplications.
+        assert_eq!(p.weights(1), 156);
+        assert_eq!(p.macs(Shape::new(1, 32, 32)).unwrap(), 117_600);
+    }
+
+    #[test]
+    fn conv2_matches_paper_counts() {
+        // LeNet conv2: 6x14x14, 5x5 -> 16x10x10; paper: 2416 params, 240000 MACs.
+        let p = ConvParams {
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+            out_channels: 16,
+        };
+        assert_eq!(p.weights(6), 2416);
+        assert_eq!(p.macs(Shape::new(6, 14, 14)).unwrap(), 240_000);
+    }
+
+    #[test]
+    fn pool_and_relu_shapes() {
+        let p = PoolParams {
+            window: 2,
+            stride: 2,
+        };
+        let out = p.output_shape(Shape::new(6, 28, 28)).unwrap();
+        assert_eq!(out, Shape::new(6, 14, 14));
+        assert_eq!(
+            Layer::Relu.output_shape(out).unwrap(),
+            Shape::new(6, 14, 14)
+        );
+    }
+
+    #[test]
+    fn fc_counts() {
+        let p = FcParams { out_features: 120 };
+        let input = Shape::new(16, 5, 5);
+        assert_eq!(p.weights(input), 400 * 120 + 120);
+        assert_eq!(p.macs(input), 48_000);
+        assert_eq!(p.output_shape(input), Shape::new(120, 1, 1));
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected() {
+        let p = ConvParams {
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+            out_channels: 1,
+        };
+        assert!(p.output_shape(Shape::new(1, 3, 3)).is_err());
+        let z = ConvParams {
+            kernel: 0,
+            stride: 1,
+            padding: 0,
+            out_channels: 1,
+        };
+        assert!(z.output_shape(Shape::new(1, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn vgg_padding_preserves_size() {
+        let p = ConvParams {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            out_channels: 64,
+        };
+        let out = p.output_shape(Shape::new(3, 224, 224)).unwrap();
+        assert_eq!(out, Shape::new(64, 224, 224));
+    }
+}

@@ -1,0 +1,46 @@
+//! CNN substrate: layer definitions, data-flow graphs, reference models,
+//! the architecture-definition format, fixed-point inference, and the
+//! cycle/latency model of the generated streaming accelerators.
+//!
+//! This crate is tool-agnostic — it knows nothing about FPGAs. The synthesis
+//! generators consume [`Layer`] parameters to build circuits; the flows
+//! consume [`Network`] graphs to drive composition; the experiment harness
+//! uses [`infer`] to validate that a generated accelerator computes the same
+//! function as the reference model and [`cycles`] to convert clock frequency
+//! into end-to-end latency.
+
+pub mod archdef;
+pub mod cycles;
+pub mod graph;
+pub mod infer;
+pub mod layer;
+pub mod models;
+pub mod tensor;
+
+pub use archdef::parse_archdef;
+pub use graph::{Component, Network, NetworkStats, NodeId};
+pub use layer::{ConvParams, FcParams, Layer, PoolParams, Shape};
+pub use tensor::Tensor;
+
+/// Errors from CNN graph construction and the archdef parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CnnError {
+    /// Layer parameters are inconsistent with the incoming shape.
+    ShapeMismatch(String),
+    /// Architecture-definition syntax error.
+    Parse { line: usize, msg: String },
+    /// Graph structure error (e.g. no input layer).
+    BadGraph(String),
+}
+
+impl std::fmt::Display for CnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CnnError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            CnnError::Parse { line, msg } => write!(f, "archdef parse error at line {line}: {msg}"),
+            CnnError::BadGraph(m) => write!(f, "bad network graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CnnError {}

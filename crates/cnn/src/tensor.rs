@@ -1,0 +1,176 @@
+//! Fixed-point tensors. The paper's accelerators use 16-bit fixed point; we
+//! model Q8.8: i16 storage, i32 accumulation, saturating requantization.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fractional bits in the Q8.8 representation.
+pub const FRAC_BITS: u32 = 8;
+/// Fixed-point one.
+pub const ONE: i16 = 1 << FRAC_BITS;
+
+/// Convert a float to Q8.8 with saturation.
+pub fn quantize(x: f32) -> i16 {
+    let v = (x * f32::from(ONE)).round();
+    v.clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16
+}
+
+/// Convert Q8.8 back to float.
+pub fn dequantize(x: i16) -> f32 {
+    f32::from(x) / f32::from(ONE)
+}
+
+/// Requantize an i32 accumulator (Q16.16 after a multiply) to Q8.8 with
+/// saturation — the same operation the accelerator's output stage performs.
+pub fn requantize_acc(acc: i32) -> i16 {
+    (acc >> FRAC_BITS).clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+}
+
+/// A channels × height × width tensor of Q8.8 values, channel-major.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor {
+    pub channels: u32,
+    pub height: u32,
+    pub width: u32,
+    data: Vec<i16>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor.
+    pub fn zeros(channels: u32, height: u32, width: u32) -> Self {
+        Tensor {
+            channels,
+            height,
+            width,
+            data: vec![0; (channels * height * width) as usize],
+        }
+    }
+
+    /// Build from raw Q8.8 data (channel-major). Panics if the length does
+    /// not match the shape.
+    pub fn from_raw(channels: u32, height: u32, width: u32, data: Vec<i16>) -> Self {
+        assert_eq!(data.len(), (channels * height * width) as usize);
+        Tensor {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Build from floats, quantizing each element.
+    pub fn from_f32(channels: u32, height: u32, width: u32, data: &[f32]) -> Self {
+        assert_eq!(data.len(), (channels * height * width) as usize);
+        Tensor {
+            channels,
+            height,
+            width,
+            data: data.iter().copied().map(quantize).collect(),
+        }
+    }
+
+    pub fn shape(&self) -> crate::layer::Shape {
+        crate::layer::Shape::new(self.channels, self.height, self.width)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, c: u32, y: u32, x: u32) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        ((c * self.height + y) * self.width + x) as usize
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, c: u32, y: u32, x: u32) -> i16 {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Element access with zero padding outside bounds (signed coords).
+    #[inline]
+    pub fn get_padded(&self, c: u32, y: i64, x: i64) -> i16 {
+        if y < 0 || x < 0 || y >= i64::from(self.height) || x >= i64::from(self.width) {
+            0
+        } else {
+            self.get(c, y as u32, x as u32)
+        }
+    }
+
+    /// Element write.
+    #[inline]
+    pub fn set(&mut self, c: u32, y: u32, x: u32, v: i16) {
+        let i = self.index(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Raw channel-major data.
+    pub fn raw(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Mutable channel-major slice of one channel plane.
+    pub fn channel_mut(&mut self, c: u32) -> &mut [i16] {
+        let plane = (self.height * self.width) as usize;
+        let start = c as usize * plane;
+        &mut self.data[start..start + plane]
+    }
+
+    /// Index of the maximum element (argmax over the flattened tensor) —
+    /// classification readout.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trip() {
+        for &x in &[0.0f32, 1.0, -1.0, 0.5, -0.25, 3.75] {
+            let q = quantize(x);
+            assert!((dequantize(q) - x).abs() < 1.0 / 256.0);
+        }
+        // Saturation.
+        assert_eq!(quantize(1000.0), i16::MAX);
+        assert_eq!(quantize(-1000.0), i16::MIN);
+    }
+
+    #[test]
+    fn requantization_matches_shift() {
+        // 2.0 * 3.0 in Q8.8: (512 * 768) >> 8 = 1536 = 6.0.
+        let acc = i32::from(quantize(2.0)) * i32::from(quantize(3.0));
+        assert_eq!(requantize_acc(acc), quantize(6.0));
+        assert_eq!(requantize_acc(i32::MAX), i16::MAX);
+        assert_eq!(requantize_acc(i32::MIN), i16::MIN);
+    }
+
+    #[test]
+    fn indexing_and_padding() {
+        let mut t = Tensor::zeros(2, 3, 4);
+        t.set(1, 2, 3, 42);
+        assert_eq!(t.get(1, 2, 3), 42);
+        assert_eq!(t.get_padded(1, 2, 3), 42);
+        assert_eq!(t.get_padded(1, -1, 0), 0);
+        assert_eq!(t.get_padded(1, 0, 99), 0);
+        assert_eq!(t.len(), 24);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let t = Tensor::from_raw(1, 1, 4, vec![3, -9, 17, 5]);
+        assert_eq!(t.argmax(), 2);
+    }
+}

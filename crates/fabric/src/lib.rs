@@ -1,0 +1,57 @@
+//! Columnar FPGA device model.
+//!
+//! This crate models the physical substrate the rest of the toolflow targets:
+//! a rectangular grid of tiles organized in resource *columns* (CLB, DSP,
+//! BRAM, URAM, IO), grouped into clock regions, the way Xilinx
+//! UltraScale/UltraScale+ parts are organized. The model captures exactly the
+//! properties the pre-implemented flow depends on:
+//!
+//! * **Columnar repetition** — a placed-and-routed module can be relocated to
+//!   another chip location iff the column pattern under it is identical
+//!   (see [`Device::columns_compatible`]).
+//! * **Resource accounting** — every tile exposes site capacities so pblocks
+//!   and utilization reports count LUT/FF/BRAM/DSP exactly.
+//! * **Fabric discontinuities** — IO columns interrupt the fabric; nets that
+//!   cross them pay extra delay ([`Device::wire_distance`]), the effect the
+//!   paper blames for VGG's datapath stretching.
+//! * **Clock regions** — used for clock-skew estimation and pblock snapping.
+
+pub mod clock;
+pub mod coords;
+pub mod device;
+pub mod pblock;
+pub mod resources;
+pub mod site;
+pub mod tile;
+
+pub use coords::TileCoord;
+pub use device::{Device, DeviceBuilder};
+pub use pblock::Pblock;
+pub use resources::ResourceCount;
+pub use site::{SiteCapacity, SiteKind};
+pub use tile::{Tile, TileKind};
+
+/// Errors produced by the fabric layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// Coordinate outside the device grid.
+    OutOfBounds { col: u16, row: u16 },
+    /// A pblock rectangle is degenerate or exceeds the grid.
+    BadPblock(String),
+    /// Unknown device name requested from the catalog.
+    UnknownDevice(String),
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::OutOfBounds { col, row } => {
+                write!(f, "tile coordinate ({col}, {row}) outside device grid")
+            }
+            FabricError::BadPblock(msg) => write!(f, "invalid pblock: {msg}"),
+            FabricError::UnknownDevice(name) => write!(f, "unknown device: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}

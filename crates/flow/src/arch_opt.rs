@@ -1,0 +1,227 @@
+//! Architecture optimization: the fully automated half of the flow.
+//!
+//! Takes the user's network (usually parsed from a CNN architecture
+//! definition) plus the pre-built component database, and produces a fully
+//! implemented accelerator: component extraction/matching/placement/
+//! stitching (the RapidWright-analog [`pi_stitch::compose`]) followed by
+//! inter-component routing in the backend. Stitching time and routing time
+//! are reported separately — the paper's Fig. 6 shows stitching is only
+//! 5–9 % of the pre-implemented flow's total.
+
+use crate::report::LatencyReport;
+use crate::FlowError;
+use pi_cnn::graph::{Granularity, Network};
+use pi_fabric::Device;
+use pi_netlist::Design;
+use pi_pnr::{route_assembled, CompileReport, RouteOptions};
+use pi_stitch::{compose, ComponentDb, ComponentPlacerOptions, ComposeOptions, ComposeReport};
+use std::time::{Duration, Instant};
+
+/// Wire length (tiles) each pipeline segment of a long inter-component net
+/// may span. The stitcher inserts a register stage per segment — the
+/// paper's "inserting pipeline elements such as FFs on the critical path
+/// improves the timing performance, while increasing the overall latency".
+pub const WIRE_PIPELINE_SPACING: u32 = 64;
+
+/// Pipeline long inter-component wires: the component flow knows every
+/// boundary is a registered FIFO interface, so it can break long hops into
+/// register-to-register segments — the monolithic flow cannot. Returns the
+/// total pipeline registers inserted (extra latency cycles).
+pub fn pipeline_top_nets(design: &mut Design) -> u64 {
+    let mut extra = 0u64;
+    for ni in 0..design.top_nets().len() {
+        let net = &design.top_nets()[ni];
+        let a = design.top_endpoint_coord(net.source);
+        let b = net.sinks.first().and_then(|&s| design.top_endpoint_coord(s));
+        if let (Some(a), Some(b)) = (a, b) {
+            let stages = (a.manhattan(&b).div_ceil(WIRE_PIPELINE_SPACING)).max(1);
+            design.top_nets_mut()[ni].pipeline_stages = stages;
+            extra += u64::from(stages - 1);
+        }
+    }
+    extra
+}
+
+/// Options for the architecture-optimization phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchOptOptions {
+    pub granularity: Granularity,
+    pub placer: ComponentPlacerOptions,
+    pub route: RouteOptions,
+}
+
+impl Default for ArchOptOptions {
+    fn default() -> Self {
+        ArchOptOptions {
+            granularity: Granularity::Layer,
+            placer: ComponentPlacerOptions::default(),
+            route: RouteOptions::default(),
+        }
+    }
+}
+
+/// Report from the pre-implemented flow.
+#[derive(Debug, Clone)]
+pub struct PreImplReport {
+    /// Composition details (component signatures, placement costs).
+    pub compose: ComposeReport,
+    /// Backend report for the final inter-component routing.
+    pub compile: CompileReport,
+    /// Wall-clock spent stitching with the RapidWright analog.
+    pub stitch_time: Duration,
+    /// Wall-clock spent on inter-component routing + analysis.
+    pub route_time: Duration,
+    /// Latency model outputs for the assembled accelerator.
+    pub latency: LatencyReport,
+}
+
+impl PreImplReport {
+    /// Total generation time (the paper's Fig. 6 bar).
+    pub fn total_time(&self) -> Duration {
+        self.stitch_time + self.route_time
+    }
+
+    /// Fraction of total time spent in stitching (paper: 5 % for LeNet,
+    /// 9 % for VGG).
+    pub fn stitch_share(&self) -> f64 {
+        let total = self.total_time().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.stitch_time.as_secs_f64() / total
+        }
+    }
+}
+
+/// Run the architecture-optimization phase: compose from the database, then
+/// route the inter-component nets.
+pub fn run_pre_implemented_flow(
+    network: &Network,
+    db: &ComponentDb,
+    device: &Device,
+    opts: &ArchOptOptions,
+) -> Result<(Design, PreImplReport), FlowError> {
+    let t0 = Instant::now();
+    let (mut design, compose_report) = compose(
+        network,
+        db,
+        device,
+        &ComposeOptions {
+            granularity: opts.granularity,
+            placer: opts.placer,
+        },
+    )?;
+    let extra_pipeline_cycles = pipeline_top_nets(&mut design);
+    let stitch_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let compile = route_assembled(&mut design, device, &opts.route)?;
+    let route_time = t1.elapsed();
+
+    // Physical design-rule check: relocation, placement and stitching must
+    // have produced a legal design. Any violation is a flow bug and aborts.
+    let violations = pi_stitch::check_design(&design, device)?;
+    if !violations.is_empty() {
+        return Err(crate::FlowError::DrcFailed(violations));
+    }
+
+    let latency = LatencyReport::for_assembled(
+        network,
+        opts.granularity,
+        db,
+        compile.timing.fmax_mhz,
+        extra_pipeline_cycles,
+    )?;
+
+    Ok((
+        design,
+        PreImplReport {
+            compose: compose_report,
+            compile,
+            stitch_time,
+            route_time,
+            latency,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function_opt::{build_component_db, FunctionOptOptions};
+    use pi_cnn::models;
+
+    fn toy_setup() -> (Device, Network, ComponentDb) {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let opts = FunctionOptOptions {
+            seeds: vec![1],
+            ..Default::default()
+        };
+        let (db, _) = build_component_db(&network, &device, &opts).unwrap();
+        (device, network, db)
+    }
+
+    use pi_cnn::Network;
+
+    #[test]
+    fn flow_produces_routed_design() {
+        let (device, network, db) = toy_setup();
+        let (design, report) =
+            run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
+                .unwrap();
+        assert!(design.fully_routed());
+        assert!(report.compile.timing.fmax_mhz > 100.0);
+        assert_eq!(report.compose.stitched_nets, 2);
+        assert!(report.latency.pipeline_ns > 0.0);
+        assert!(report.total_time() > Duration::ZERO);
+        assert!(report.stitch_share() > 0.0 && report.stitch_share() < 1.0);
+    }
+
+    #[test]
+    fn long_top_nets_get_pipeline_stages() {
+        let (device, network, db) = toy_setup();
+        let (design, report) =
+            run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
+                .unwrap();
+        let mut expected_extra = 0u64;
+        for net in design.top_nets() {
+            let a = design.top_endpoint_coord(net.source).expect("planned");
+            let b = design
+                .top_endpoint_coord(net.sinks[0])
+                .expect("planned");
+            let stages = a.manhattan(&b).div_ceil(WIRE_PIPELINE_SPACING).max(1);
+            assert_eq!(net.pipeline_stages, stages, "net {}", net.name);
+            expected_extra += u64::from(stages - 1);
+        }
+        // The latency model charges exactly the inserted registers.
+        let base: u64 = report
+            .latency
+            .per_component
+            .iter()
+            .map(|c| c.depth_cycles)
+            .sum();
+        assert_eq!(report.latency.pipeline_cycles, base + expected_extra);
+    }
+
+    #[test]
+    fn assembled_fmax_tracks_slowest_component() {
+        let (device, network, db) = toy_setup();
+        let (_, report) =
+            run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
+                .unwrap();
+        let slowest = db
+            .checkpoints()
+            .map(|cp| cp.meta.fmax_mhz)
+            .fold(f64::INFINITY, f64::min);
+        // The paper: "the frequency of the pre-built design is upper
+        // bounded by the slowest component". Inter-component wires may only
+        // push it below that bound.
+        assert!(
+            report.compile.timing.fmax_mhz <= slowest * 1.001,
+            "assembled {} > slowest component {}",
+            report.compile.timing.fmax_mhz,
+            slowest
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! The traditional flow: monolithic synthesis of the whole network, then
+//! full placement, physical optimization and routing — the comparison
+//! baseline of every experiment.
+
+use crate::report::LatencyReport;
+use crate::FlowError;
+use pi_cnn::graph::{Granularity, Network};
+use pi_fabric::Device;
+use pi_netlist::{Design, Module};
+use pi_pnr::{compile_flat, CompileReport};
+use pi_synth::{synth_network_flat, SynthOptions};
+use std::time::Duration;
+
+/// Options for the baseline flow.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineOptions {
+    pub synth: SynthOptions,
+    pub granularity: Granularity,
+    pub seed: u64,
+    /// Placement effort (default vendor effort).
+    pub effort: f64,
+    pub route: pi_pnr::RouteOptions,
+    pub phys_opt_passes: usize,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        BaselineOptions {
+            synth: SynthOptions::default().monolithic(),
+            granularity: Granularity::Layer,
+            seed: 1,
+            effort: 6.0,
+            route: pi_pnr::RouteOptions::default(),
+            phys_opt_passes: 4,
+        }
+    }
+}
+
+/// Report from the baseline flow.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    pub compile: CompileReport,
+    pub latency: LatencyReport,
+}
+
+impl BaselineReport {
+    /// Total implementation time: the sum of Vivado's opt/place/phys-opt/
+    /// route phases, exactly the measure the paper uses for the baseline.
+    pub fn total_time(&self) -> Duration {
+        self.compile.phases.total()
+    }
+}
+
+/// Run the full baseline: monolithic synthesis + full implementation.
+/// Returns the implemented design (wrapped flat) and its report.
+pub fn run_baseline_flow(
+    network: &Network,
+    device: &Device,
+    opts: &BaselineOptions,
+) -> Result<(Design, BaselineReport), FlowError> {
+    let mut module: Module = synth_network_flat(network, opts.granularity, &opts.synth)?;
+    let compile_opts = pi_pnr::compile::CompileOptions {
+        place: pi_pnr::PlaceOptions {
+            seed: opts.seed,
+            effort: opts.effort,
+            region: None,
+        },
+        route: opts.route,
+        phys_opt_passes: opts.phys_opt_passes,
+    };
+    let compile = compile_flat(&mut module, device, &compile_opts)?;
+    let latency = LatencyReport::for_monolithic(
+        network,
+        opts.granularity,
+        &module,
+        compile.timing.fmax_mhz,
+    )?;
+    let design = Design::flat(format!("{}_baseline", network.name), device.name(), module);
+    Ok((design, BaselineReport { compile, latency }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_cnn::models;
+
+    #[test]
+    fn baseline_implements_toy_network() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let (design, report) =
+            run_baseline_flow(&network, &device, &BaselineOptions::default()).unwrap();
+        assert!(design.instances()[0].module.fully_placed());
+        assert!(report.compile.timing.fmax_mhz > 50.0);
+        assert!(report.compile.route_stats.overused_tiles == 0);
+        assert!(report.total_time() > Duration::ZERO);
+        // Monolithic synthesis inserted I/O buffers.
+        assert_eq!(report.compile.resources.ios, 2);
+    }
+}

@@ -1,0 +1,661 @@
+//! Function optimization: pre-implement every component once, as well as it
+//! will go, and save the result.
+//!
+//! Per component (paper §IV-A):
+//! * **granularity** comes from the network's fusion rule (conv / pool+relu
+//!   / fc, or conv blocks for VGG),
+//! * **strategic floorplanning**: [`size_pblock`] picks the smallest column
+//!   group × row span whose capacity covers the component at the requested
+//!   utilization — small pblocks maximize relocatability,
+//! * **performance exploration**: a seed sweep over placement (rayon-
+//!   parallel), keeping the best-Fmax implementation, stopping early when a
+//!   target is met,
+//! * **strategic port planning**: [`plan_partpins`] commits each port to a
+//!   boundary interconnect tile next to the logic it feeds,
+//! * **clock routing**: the checkpoint records a partially routed clock so
+//!   OOC timing analysis is meaningful,
+//! * **logic locking**: placement and routing are frozen before the DCP is
+//!   written to the database.
+
+use crate::FlowError;
+use pi_cnn::graph::{Component, Granularity, Network};
+use pi_fabric::{Device, Pblock, ResourceCount, TileCoord};
+use pi_netlist::{Checkpoint, CheckpointMeta, Endpoint, Module};
+use pi_pnr::{place_module, route_module, sta_module, PlaceOptions, RouteOptions};
+use pi_stitch::ComponentDb;
+use pi_synth::{synth_component, SynthOptions};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Options for the function-optimization phase.
+#[derive(Debug, Clone)]
+pub struct FunctionOptOptions {
+    pub synth: SynthOptions,
+    pub granularity: Granularity,
+    /// Placement seeds to explore per component (the DSE axis).
+    pub seeds: Vec<u64>,
+    /// Stop the sweep once a component reaches this Fmax.
+    pub target_fmax_mhz: Option<f64>,
+    /// Fraction of pblock capacity the component may use (paper: tight
+    /// pblocks force area optimization; <1.0 leaves routing slack).
+    pub pblock_utilization: f64,
+    /// Placement effort multiplier (components are small; effort is cheap).
+    pub effort: f64,
+    /// Disable partition-pin planning (ablation A1: the paper warns this
+    /// costs performance and productivity).
+    pub plan_partpins: bool,
+    pub route: RouteOptions,
+}
+
+impl Default for FunctionOptOptions {
+    fn default() -> Self {
+        FunctionOptOptions {
+            synth: SynthOptions::default(),
+            granularity: Granularity::Layer,
+            seeds: vec![1, 2, 3],
+            target_fmax_mhz: None,
+            pblock_utilization: 0.7,
+            effort: 2.0,
+            plan_partpins: true,
+            route: RouteOptions::default(),
+        }
+    }
+}
+
+/// Per-component report from the build.
+#[derive(Debug, Clone)]
+pub struct ComponentBuildReport {
+    pub name: String,
+    pub signature: String,
+    pub fmax_mhz: f64,
+    pub resources: ResourceCount,
+    pub pblock: Pblock,
+    pub seeds_tried: usize,
+    pub latency_cycles: u64,
+    pub build_time: Duration,
+}
+
+/// Size the smallest pblock (anchored just right of the left I/O column)
+/// whose capacity covers `need` at the requested utilization. Grows in
+/// whole column groups (the device's repeating template) horizontally and
+/// rows vertically — whole-group widths keep the pblock maximally
+/// relocatable.
+pub fn size_pblock(
+    need: &ResourceCount,
+    device: &Device,
+    utilization: f64,
+) -> Result<Pblock, FlowError> {
+    // Column group width on our devices: 16 columns (7 CLB + DSP + 7 CLB +
+    // BRAM), starting at column 1.
+    const GROUP: u16 = 16;
+    let max_groups = (device.cols() - 1) / GROUP;
+    // Widths that stay within one contiguous fabric region (no I/O column
+    // crossing) keep the component relocatable; wider is a last resort.
+    let mut groups_in_region = 0u16;
+    for g in 0..max_groups {
+        let span_end = 1 + (g + 1) * GROUP - 1;
+        let crosses = (1..=span_end)
+            .any(|c| device.column_kind(c).map(|k| k.is_discontinuity()).unwrap_or(true));
+        if crosses {
+            break;
+        }
+        groups_in_region = g + 1;
+    }
+    let groups_in_region = groups_in_region.max(1);
+    // Cap pblock height at half the device: flatter pblocks tile the chip in
+    // halves, which is what lets an 80%-full VGG pack its rigid components.
+    let height_cap = (device.rows() / 2).max(8);
+    // On a nearly full device the requested headroom may be unpackable:
+    // tighten utilization progressively before giving up, like a
+    // floorplanner under pressure.
+    let base_util = utilization.clamp(0.05, 1.0);
+    let mut utils = vec![base_util];
+    for u in [0.85, 0.95, 1.0] {
+        if u > base_util {
+            utils.push(u);
+        }
+    }
+    // Shape preference dominates utilization: a tighter half-height pblock
+    // packs, a sprawling full-height one fragments the chip.
+    for (cap_rows, group_cap) in [
+        (height_cap, groups_in_region),
+        (device.rows(), groups_in_region),
+        (device.rows(), max_groups),
+    ] {
+        for &util in &utils {
+            let scaled = need.scale_ceil((100.0 / util) as u64, 100);
+            // Wide-flat shapes first: components then stack like shelves,
+            // which is what makes an 80%-full assembled design packable.
+            for groups in (1..=group_cap).rev() {
+                let col_hi = 1 + groups * GROUP - 1;
+                // Find the minimal height for this width.
+                let mut rows = 8u16;
+                while rows <= cap_rows {
+                    let pb = Pblock::new(1, col_hi, 0, rows - 1);
+                    let cap = device.pblock_capacity(&pb)?;
+                    if scaled.fits_in(&cap) {
+                        return Ok(pb);
+                    }
+                    rows += 8;
+                }
+            }
+        }
+    }
+    Err(FlowError::ComponentUnsatisfiable {
+        component: "<pblock sizing>".to_string(),
+        reason: format!(
+            "demand {need:?} exceeds device capacity {:?}",
+            device.totals()
+        ),
+    })
+}
+
+/// Strategic port planning: put each port's partition pin on the pblock
+/// boundary tile nearest the centroid of the cells it connects to. Badly
+/// planned ports (the ablation's alternative) land wherever, and the
+/// stitched design pays in boundary wire length.
+pub fn plan_partpins(module: &mut Module, pblock: &Pblock) -> Result<(), FlowError> {
+    // Centroid of connected placed cells, per port.
+    let mut targets: Vec<Option<TileCoord>> = vec![None; module.ports().len()];
+    for (pi, _) in module.ports().iter().enumerate() {
+        let mut sum = (0u64, 0u64);
+        let mut n = 0u64;
+        for net in module.nets() {
+            let touches = net
+                .endpoints()
+                .any(|e| matches!(e, Endpoint::Port(p) if p.index() == pi));
+            if !touches {
+                continue;
+            }
+            for e in net.endpoints() {
+                if let Endpoint::Cell(c) = e {
+                    if let Some(at) = module.cells()[c.index()].placement {
+                        sum.0 += u64::from(at.col);
+                        sum.1 += u64::from(at.row);
+                        n += 1;
+                    }
+                }
+            }
+        }
+        if let (Some(c), Some(r)) = (sum.0.checked_div(n), sum.1.checked_div(n)) {
+            targets[pi] = Some(TileCoord::new(c as u16, r as u16));
+        }
+    }
+    let ports = module.ports_mut()?;
+    for (pi, port) in ports.iter_mut().enumerate() {
+        let centroid = targets[pi].unwrap_or_else(|| pblock.center());
+        // Streaming convention: data and control *enter* through the bottom
+        // edge and *leave* through the top edge, at the column nearest the
+        // logic they feed. Components stacked in schedule order then connect
+        // across short boundary wires — this is what "strategic port
+        // planning" buys, and the un-planned ablation shows what it costs.
+        let col = centroid.col.clamp(pblock.col_lo, pblock.col_hi);
+        let row = match port.role {
+            pi_netlist::StreamRole::Sink => pblock.row_hi,
+            _ => pblock.row_lo,
+        };
+        port.partpin = Some(TileCoord::new(col, row));
+    }
+    Ok(())
+}
+
+/// The un-planned alternative (ablation A1): the OOC tool placed the ports
+/// "anywhere in the p-block" (paper §IV-A) — modeled as a deterministic
+/// hash-scatter over the pblock interior. The stitched design then pays for
+/// boundary wires that start deep inside the components.
+pub fn scatter_partpins(module: &mut Module, pblock: &Pblock) -> Result<(), FlowError> {
+    let ports = module.ports_mut()?;
+    for (pi, port) in ports.iter_mut().enumerate() {
+        // FNV-ish hash of the port name + index for a stable pseudo-random
+        // interior position.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in port.name.bytes().chain([pi as u8]) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let col = pblock.col_lo + (h % u64::from(pblock.width())) as u16;
+        let row = pblock.row_lo + ((h >> 32) % u64::from(pblock.height())) as u16;
+        port.partpin = Some(pi_fabric::TileCoord::new(col, row));
+    }
+    Ok(())
+}
+
+/// Pre-implement one component: synthesize OOC, size a pblock, sweep
+/// placement seeds, plan ports, route, lock, and wrap as a checkpoint.
+pub fn build_component(
+    network: &Network,
+    component: &Component,
+    device: &Device,
+    opts: &FunctionOptOptions,
+) -> Result<(Checkpoint, ComponentBuildReport), FlowError> {
+    let t0 = Instant::now();
+    let proto = synth_component(network, component, &opts.synth)?;
+    let need = proto.resources();
+    let pblock = size_pblock(&need, device, opts.pblock_utilization)?;
+
+    // Performance exploration: independent placements per seed, best Fmax
+    // wins. Each evaluation is deterministic in its seed.
+    let evaluate = |s: u64| -> Result<(f64, Module), FlowError> {
+        let mut m = proto.clone();
+        m.pblock = Some(pblock);
+        // Partition pins act as fixed anchors during placement: planning
+        // them *first* pulls each interface's logic toward its pblock edge,
+        // so the boundary paths the stitched design will pay for stay
+        // short. A refinement pass afterwards snaps the pin columns to the
+        // placed logic.
+        if opts.plan_partpins {
+            plan_partpins(&mut m, &pblock)?;
+        } else {
+            scatter_partpins(&mut m, &pblock)?;
+        }
+        place_module(
+            &mut m,
+            device,
+            &PlaceOptions {
+                seed: s,
+                effort: opts.effort,
+                region: Some(pblock),
+            },
+        )?;
+        if opts.plan_partpins {
+            plan_partpins(&mut m, &pblock)?;
+        }
+        let (_, congestion) = route_module(&mut m, device, &opts.route)?;
+        let timing = sta_module(&m, device, Some(&congestion))?;
+        Ok((timing.fmax_mhz, m))
+    };
+
+    let mut best: Option<(f64, Module)> = None;
+    let mut seeds_tried = 0usize;
+    if opts.target_fmax_mhz.is_none() {
+        // No target: sweep every seed, embarrassingly parallel.
+        let candidates: Vec<(f64, Module)> = opts
+            .seeds
+            .par_iter()
+            .map(|&s| evaluate(s))
+            .collect::<Result<_, _>>()?;
+        seeds_tried = opts.seeds.len();
+        for (fmax, m) in candidates {
+            if best.as_ref().map(|(b, _)| fmax > *b).unwrap_or(true) {
+                best = Some((fmax, m));
+            }
+        }
+    } else {
+        // Targeted: evaluate sequentially and stop as soon as it is met.
+        for &seed in &opts.seeds {
+            seeds_tried += 1;
+            let (fmax, m) = evaluate(seed)?;
+            if best.as_ref().map(|(b, _)| fmax > *b).unwrap_or(true) {
+                best = Some((fmax, m));
+            }
+            if let (Some(target), Some((got, _))) = (opts.target_fmax_mhz, best.as_ref()) {
+                if *got >= target {
+                    break;
+                }
+            }
+        }
+    }
+    let (fmax, mut module) = best.ok_or_else(|| FlowError::ComponentUnsatisfiable {
+        component: component.name.clone(),
+        reason: "no placement seeds supplied".to_string(),
+    })?;
+
+    // Clock pre-route marker + logic locking, then checkpoint.
+    module.clock_prerouted = true;
+    module.lock();
+    let latency_cycles = pi_cnn::cycles::component_pipeline_depth(network, component)?;
+    let signature = component.signature(network);
+    let meta = CheckpointMeta {
+        signature: signature.clone(),
+        fmax_mhz: fmax,
+        resources: need,
+        pblock,
+        device: device.name().to_string(),
+        latency_cycles,
+    };
+    let report = ComponentBuildReport {
+        name: component.name.clone(),
+        signature,
+        fmax_mhz: fmax,
+        resources: need,
+        pblock,
+        seeds_tried,
+        latency_cycles,
+        build_time: t0.elapsed(),
+    };
+    Ok((
+        Checkpoint {
+            meta,
+            module,
+        },
+        report,
+    ))
+}
+
+/// Build only the components a network needs that are *not* already in the
+/// database — the incremental path for extending a library with a new
+/// design ("the saved netlists may serve in multiple designs").
+pub fn extend_component_db(
+    db: &mut ComponentDb,
+    network: &Network,
+    device: &Device,
+    opts: &FunctionOptOptions,
+) -> Result<Vec<ComponentBuildReport>, FlowError> {
+    let components = network.components(opts.granularity)?;
+    let missing: Vec<_> = components
+        .iter()
+        .filter(|c| db.get(&c.signature(network)).is_none())
+        .collect();
+    let results: Vec<(Checkpoint, ComponentBuildReport)> = missing
+        .par_iter()
+        .map(|c| build_component(network, c, device, opts))
+        .collect::<Result<_, _>>()?;
+    let mut reports = Vec::with_capacity(results.len());
+    for (cp, report) in results {
+        db.insert(cp);
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// The paper's stated future work: "the frequency of the pre-implemented
+/// network is bounded by the slowest component of the design. We are
+/// planning to investigate optimization approaches to improve the
+/// performance of components during the function optimization stage."
+///
+/// Each round finds the slowest of this network's components and re-runs
+/// its performance exploration with fresh seeds and doubled effort,
+/// replacing the checkpoint when the new implementation is faster. Returns
+/// one report per improvement made; stops early when a round fails to
+/// improve.
+pub fn improve_slowest(
+    db: &mut ComponentDb,
+    network: &Network,
+    device: &Device,
+    opts: &FunctionOptOptions,
+    rounds: usize,
+) -> Result<Vec<ComponentBuildReport>, FlowError> {
+    let components = network.components(opts.granularity)?;
+    let mut improvements = Vec::new();
+    for round in 0..rounds {
+        // Slowest checkpoint among this network's components.
+        let (slowest_idx, old_fmax) = components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                db.get(&c.signature(network)).map(|cp| (i, cp.meta.fmax_mhz))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .ok_or_else(|| FlowError::ComponentUnsatisfiable {
+                component: network.name.clone(),
+                reason: "no checkpoints for this network in the database".to_string(),
+            })?;
+        // Fresh seeds per round so reruns explore new placements, plus
+        // doubled effort: a deeper dive on the one component that matters.
+        let base = 1000 + (round as u64) * 16;
+        let retry_opts = FunctionOptOptions {
+            seeds: (base..base + opts.seeds.len().max(4) as u64).collect(),
+            effort: opts.effort * 2.0,
+            target_fmax_mhz: None,
+            ..opts.clone()
+        };
+        let (cp, report) =
+            build_component(network, &components[slowest_idx], device, &retry_opts)?;
+        if report.fmax_mhz > old_fmax {
+            db.insert(cp);
+            improvements.push(report);
+        } else {
+            break;
+        }
+    }
+    Ok(improvements)
+}
+
+/// Build the whole component database for a network. Components build in
+/// parallel (rayon) — the "performed exactly once" investment of the paper.
+pub fn build_component_db(
+    network: &Network,
+    device: &Device,
+    opts: &FunctionOptOptions,
+) -> Result<(ComponentDb, Vec<ComponentBuildReport>), FlowError> {
+    let components = network.components(opts.granularity)?;
+    let results: Vec<(Checkpoint, ComponentBuildReport)> = components
+        .par_iter()
+        .map(|c| build_component(network, c, device, opts))
+        .collect::<Result<_, _>>()?;
+    let mut db = ComponentDb::new();
+    let mut reports = Vec::with_capacity(results.len());
+    for (cp, report) in results {
+        db.insert(cp);
+        reports.push(report);
+    }
+    Ok((db, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_cnn::models;
+
+    #[test]
+    fn pblock_sizing_is_minimal_and_sufficient() {
+        let device = Device::xcku5p_like();
+        let need = ResourceCount {
+            luts: 4000,
+            ffs: 6000,
+            brams: 10,
+            dsps: 30,
+            urams: 0,
+            ios: 0,
+        };
+        let pb = size_pblock(&need, &device, 0.7).unwrap();
+        let cap = device.pblock_capacity(&pb).unwrap();
+        assert!(need.fits_in(&cap));
+        // Tight: half the rows would not fit the scaled demand.
+        let smaller = Pblock::new(pb.col_lo, pb.col_hi, 0, pb.height() / 2);
+        let cap2 = device.pblock_capacity(&smaller).unwrap();
+        let scaled = need.scale_ceil(100 * 10 / 7, 100);
+        assert!(!scaled.fits_in(&cap2));
+    }
+
+    #[test]
+    fn pblock_sizing_rejects_impossible_demand() {
+        let device = Device::test_part();
+        let need = ResourceCount {
+            dsps: 1_000_000,
+            ..ResourceCount::ZERO
+        };
+        assert!(matches!(
+            size_pblock(&need, &device, 0.7),
+            Err(FlowError::ComponentUnsatisfiable { .. })
+        ));
+    }
+
+    #[test]
+    fn builds_toy_component_with_partpins_on_boundary() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let comps = network.components(Granularity::Layer).unwrap();
+        let opts = FunctionOptOptions {
+            seeds: vec![1, 2],
+            ..Default::default()
+        };
+        let (cp, report) = build_component(&network, &comps[0], &device, &opts).unwrap();
+        assert!(cp.module.locked);
+        assert!(cp.module.fully_placed());
+        assert!(report.fmax_mhz > 100.0, "fmax {}", report.fmax_mhz);
+        assert_eq!(report.seeds_tried, 2);
+        let pb = cp.meta.pblock;
+        for port in cp.module.ports() {
+            let pin = port.partpin.expect("planned");
+            let on_edge = pin.col == pb.col_lo
+                || pin.col == pb.col_hi
+                || pin.row == pb.row_lo
+                || pin.row == pb.row_hi;
+            assert!(on_edge, "partpin {pin} not on pblock edge {pb}");
+        }
+    }
+
+    #[test]
+    fn seed_sweep_never_worse_than_single_seed() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let comps = network.components(Granularity::Layer).unwrap();
+        let single = FunctionOptOptions {
+            seeds: vec![1],
+            ..Default::default()
+        };
+        let sweep = FunctionOptOptions {
+            seeds: vec![1, 2, 3],
+            ..Default::default()
+        };
+        let (_, r1) = build_component(&network, &comps[1], &device, &single).unwrap();
+        let (_, r3) = build_component(&network, &comps[1], &device, &sweep).unwrap();
+        assert!(r3.fmax_mhz >= r1.fmax_mhz);
+    }
+
+    #[test]
+    fn full_db_for_toy_network() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let opts = FunctionOptOptions {
+            seeds: vec![1],
+            ..Default::default()
+        };
+        let (db, reports) = build_component_db(&network, &device, &opts).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(reports.len(), 3);
+        for c in network.components(Granularity::Layer).unwrap() {
+            assert!(db.get(&c.signature(&network)).is_some());
+        }
+    }
+
+    #[test]
+    fn scattered_partpins_land_inside_the_pblock_deterministically() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let comps = network.components(Granularity::Layer).unwrap();
+        let opts = FunctionOptOptions {
+            seeds: vec![1],
+            plan_partpins: false,
+            ..Default::default()
+        };
+        let (cp1, _) = build_component(&network, &comps[0], &device, &opts).unwrap();
+        let (cp2, _) = build_component(&network, &comps[0], &device, &opts).unwrap();
+        for (p1, p2) in cp1.module.ports().iter().zip(cp2.module.ports()) {
+            let pin = p1.partpin.expect("scattered");
+            assert!(cp1.meta.pblock.contains(pin), "{pin} outside pblock");
+            assert_eq!(p1.partpin, p2.partpin, "scatter must be deterministic");
+        }
+        // At least one scattered pin sits off the pblock boundary — that is
+        // the point of the un-planned model.
+        let pb = cp1.meta.pblock;
+        let interior = cp1.module.ports().iter().any(|p| {
+            let pin = p.partpin.expect("scattered");
+            pin.col != pb.col_lo && pin.col != pb.col_hi && pin.row != pb.row_lo && pin.row != pb.row_hi
+        });
+        assert!(interior, "scatter produced only boundary pins");
+    }
+
+    #[test]
+    fn planned_partpins_follow_the_streaming_convention() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let comps = network.components(Granularity::Layer).unwrap();
+        let opts = FunctionOptOptions {
+            seeds: vec![1],
+            ..Default::default()
+        };
+        let (cp, _) = build_component(&network, &comps[0], &device, &opts).unwrap();
+        let pb = cp.meta.pblock;
+        for port in cp.module.ports() {
+            let pin = port.partpin.expect("planned");
+            match port.role {
+                pi_netlist::StreamRole::Sink => assert_eq!(pin.row, pb.row_hi, "{}", port.name),
+                _ => assert_eq!(pin.row, pb.row_lo, "{}", port.name),
+            }
+        }
+    }
+
+    #[test]
+    fn extend_builds_only_missing_components() {
+        let device = Device::xcku5p_like();
+        let toy = models::toy();
+        let opts = FunctionOptOptions {
+            seeds: vec![1],
+            ..Default::default()
+        };
+        let (mut db, _) = build_component_db(&toy, &device, &opts).unwrap();
+        let before = db.len();
+        // Extending with the same network builds nothing.
+        let again = extend_component_db(&mut db, &toy, &device, &opts).unwrap();
+        assert!(again.is_empty());
+        assert_eq!(db.len(), before);
+        // A new network sharing no components adds exactly its own.
+        let other = pi_cnn::parse_archdef(
+            "network o\ninput 1x12x12\nconv c kernel=3 out=3\nfc f out=5\n",
+        )
+        .unwrap();
+        let built = extend_component_db(&mut db, &other, &device, &opts).unwrap();
+        assert_eq!(built.len(), 2);
+        assert_eq!(db.len(), before + 2);
+    }
+
+    #[test]
+    fn improve_slowest_never_regresses_the_floor() {
+        let device = Device::xcku5p_like();
+        let toy = models::toy();
+        let opts = FunctionOptOptions {
+            seeds: vec![1],
+            ..Default::default()
+        };
+        let (mut db, reports) = build_component_db(&toy, &device, &opts).unwrap();
+        let floor_before = reports
+            .iter()
+            .map(|r| r.fmax_mhz)
+            .fold(f64::INFINITY, f64::min);
+        let improvements = improve_slowest(&mut db, &toy, &device, &opts, 2).unwrap();
+        let floor_after = toy
+            .components(Granularity::Layer)
+            .unwrap()
+            .iter()
+            .map(|c| db.get(&c.signature(&toy)).unwrap().meta.fmax_mhz)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            floor_after >= floor_before,
+            "floor regressed: {floor_before} -> {floor_after}"
+        );
+        for imp in &improvements {
+            assert!(imp.fmax_mhz > floor_before);
+        }
+    }
+
+    #[test]
+    fn improve_slowest_errors_on_unknown_network() {
+        let device = Device::xcku5p_like();
+        let toy = models::toy();
+        let mut empty = ComponentDb::new();
+        let opts = FunctionOptOptions {
+            seeds: vec![1],
+            ..Default::default()
+        };
+        assert!(matches!(
+            improve_slowest(&mut empty, &toy, &device, &opts, 1),
+            Err(FlowError::ComponentUnsatisfiable { .. })
+        ));
+    }
+
+    #[test]
+    fn target_fmax_short_circuits_the_sweep() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let comps = network.components(Granularity::Layer).unwrap();
+        let opts = FunctionOptOptions {
+            seeds: vec![1, 2, 3, 4, 5],
+            target_fmax_mhz: Some(1.0), // trivially met by the first seed
+            ..Default::default()
+        };
+        let (_, report) = build_component(&network, &comps[1], &device, &opts).unwrap();
+        assert_eq!(report.seeds_tried, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Network memory-layout planning: where each layer's weights and
+//! feature-map buffers live in off-chip memory (the paper's VGG data-layout
+//! configuration).
+
+use crate::allocator::{AllocError, Allocation, BestFitAllocator};
+use serde::{Deserialize, Serialize};
+
+/// What a planned buffer holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferKind {
+    /// Layer weights/biases.
+    Weights,
+    /// An intermediate feature map (double-buffered stream spill).
+    FeatureMap,
+    /// Data-layout configuration tables.
+    Config,
+}
+
+/// One planned buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayoutEntry {
+    pub name: String,
+    pub kind: BufferKind,
+    pub allocation: Allocation,
+}
+
+/// The complete plan for a network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayoutPlan {
+    pub entries: Vec<LayoutEntry>,
+    pub bytes_used: u64,
+    pub fragmentation: f64,
+}
+
+/// Plan off-chip storage for a network: one weights buffer per
+/// parameterized layer, feature-map double buffers at every component
+/// boundary, plus a configuration table. Feature-map buffers for early
+/// layers are freed once downstream layers no longer need them — which is
+/// what exercises coalescing.
+pub fn plan_network_layout(
+    network: &pi_cnn::Network,
+    bytes_per_element: u64,
+    capacity: u64,
+) -> Result<LayoutPlan, AllocError> {
+    let mut alloc = BestFitAllocator::new(capacity, 64);
+    let mut entries = Vec::new();
+    let shapes = network
+        .input_shapes()
+        .map_err(|_| AllocError::ZeroSize)?;
+
+    // Configuration tables first (small, lives forever).
+    let cfg = alloc.alloc(4096)?;
+    entries.push(LayoutEntry {
+        name: "layout_config".to_string(),
+        kind: BufferKind::Config,
+        allocation: cfg,
+    });
+
+    // Weights live for the whole run.
+    for (i, node) in network.nodes().iter().enumerate() {
+        let w = node.layer.weights(shapes[i]);
+        if w == 0 {
+            continue;
+        }
+        let a = alloc.alloc(w * bytes_per_element)?;
+        entries.push(LayoutEntry {
+            name: format!("{}_weights", node.name),
+            kind: BufferKind::Weights,
+            allocation: a,
+        });
+    }
+
+    // Feature maps: allocate the output of each layer, free the input once
+    // consumed (ping-pong through the schedule).
+    let mut live: Option<Allocation> = None;
+    for (i, node) in network.nodes().iter().enumerate() {
+        let out = node
+            .layer
+            .output_shape(shapes[i])
+            .map_err(|_| AllocError::ZeroSize)?;
+        let a = alloc.alloc(out.elements() * bytes_per_element)?;
+        entries.push(LayoutEntry {
+            name: format!("{}_fmap", node.name),
+            kind: BufferKind::FeatureMap,
+            allocation: a,
+        });
+        if let Some(prev) = live.take() {
+            alloc.free(prev.base)?;
+        }
+        live = Some(a);
+    }
+
+    Ok(LayoutPlan {
+        bytes_used: alloc.used(),
+        fragmentation: alloc.fragmentation(),
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_fits_in_small_memory() {
+        let net = pi_cnn::models::lenet5();
+        let plan = plan_network_layout(&net, 2, 8 << 20).unwrap();
+        // Weights for every conv/fc layer plus fmap per node plus config.
+        let weights = plan
+            .entries
+            .iter()
+            .filter(|e| e.kind == BufferKind::Weights)
+            .count();
+        assert_eq!(weights, 4);
+        assert!(plan.bytes_used > 0);
+    }
+
+    #[test]
+    fn vgg_needs_hundreds_of_megabytes() {
+        let net = pi_cnn::models::vgg16();
+        let plan = plan_network_layout(&net, 2, 1 << 30).unwrap();
+        // 138M weights * 2 bytes ≈ 276 MB.
+        assert!(plan.bytes_used > 250 << 20);
+        let plan_err = plan_network_layout(&net, 2, 64 << 20);
+        assert!(matches!(plan_err, Err(AllocError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn no_overlapping_allocations() {
+        let net = pi_cnn::models::vgg_tiny();
+        let plan = plan_network_layout(&net, 2, 16 << 20).unwrap();
+        let mut spans: Vec<(u64, u64)> = plan
+            .entries
+            .iter()
+            .map(|e| (e.allocation.base, e.allocation.base + e.allocation.size))
+            .collect();
+        spans.sort_unstable();
+        // Live entries include freed feature maps that were later reused;
+        // only check the *final live set*: weights + config + last fmap are
+        // disjoint in any case because freed buffers may be reused. Verify
+        // weights/config never overlap each other.
+        let persistent: Vec<(u64, u64)> = plan
+            .entries
+            .iter()
+            .filter(|e| e.kind != BufferKind::FeatureMap)
+            .map(|e| (e.allocation.base, e.allocation.base + e.allocation.size))
+            .collect();
+        let mut sorted = persistent.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+    }
+}

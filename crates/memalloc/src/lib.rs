@@ -1,0 +1,14 @@
+//! Best-fit-with-coalescing off-chip memory allocator (paper §V-B2).
+//!
+//! The VGG flow stores coefficient data and layout-configuration buffers in
+//! off-chip memory; this allocator manages that address space. Memory is a
+//! series of blocks on a doubly-linked list; each block records its base
+//! address, size and state. Allocation picks the *best fit* (smallest free
+//! block that satisfies the request) and splits it; freeing coalesces with
+//! free neighbours, which is what supports defragmentation.
+
+pub mod allocator;
+pub mod layout;
+
+pub use allocator::{AllocError, Allocation, BestFitAllocator, Policy};
+pub use layout::{plan_network_layout, BufferKind, LayoutEntry, LayoutPlan};

@@ -1,0 +1,132 @@
+//! Design checkpoints: serialized placed-and-routed modules plus metadata.
+//!
+//! Checkpoints are stored as JSON so the component database is inspectable
+//! the way a directory of DCP files is — each file is a frozen, reusable,
+//! relocatable implementation of one component.
+
+use crate::module::Module;
+use pi_fabric::{Pblock, ResourceCount};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Metadata recorded with a checkpoint at pre-implementation time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// The component signature used for database matching, e.g.
+    /// `conv_k5s1p0_ci1_co6_in32`. Produced by the synthesis generators and
+    /// matched against DFG nodes by the stitcher.
+    pub signature: String,
+    /// Fmax achieved in standalone OOC implementation, MHz.
+    pub fmax_mhz: f64,
+    /// Logic resources of the module.
+    pub resources: ResourceCount,
+    /// The pblock the module was implemented in (absolute coordinates of the
+    /// original implementation; relocation translates it).
+    pub pblock: Pblock,
+    /// Device catalog name the checkpoint targets — relocation is only valid
+    /// on the same part.
+    pub device: String,
+    /// Pipeline latency of the component in clock cycles (for the latency
+    /// model).
+    pub latency_cycles: u64,
+}
+
+/// A checkpoint: metadata plus the locked module netlist.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub meta: CheckpointMeta,
+    pub module: Module,
+}
+
+impl Checkpoint {
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> Result<String, crate::NetlistError> {
+        serde_json::to_string(self).map_err(|e| crate::NetlistError::Decode(e.to_string()))
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(s: &str) -> Result<Checkpoint, crate::NetlistError> {
+        serde_json::from_str(s).map_err(|e| crate::NetlistError::Decode(e.to_string()))
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &Path) -> Result<(), crate::NetlistError> {
+        let json = self.to_json()?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> Result<Checkpoint, crate::NetlistError> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellKind};
+    use crate::module::ModuleBuilder;
+    use crate::net::Endpoint;
+    use crate::port::StreamRole;
+    use pi_fabric::TileCoord;
+
+    fn checkpoint() -> Checkpoint {
+        let mut b = ModuleBuilder::new("conv1");
+        let din = b.input("din", StreamRole::Source, 16);
+        let dout = b.output("dout", StreamRole::Sink, 16);
+        let c = b.cell(Cell::new("mac", CellKind::Dsp));
+        b.connect("ni", Endpoint::Port(din), [Endpoint::Cell(c)]);
+        b.connect("no", Endpoint::Cell(c), [Endpoint::Port(dout)]);
+        let mut m = b.finish().unwrap();
+        m.set_placement(crate::CellId(0), TileCoord::new(8, 3))
+            .unwrap();
+        m.pblock = Some(Pblock::new(1, 8, 0, 9));
+        m.lock();
+        Checkpoint {
+            meta: CheckpointMeta {
+                signature: "conv_k5s1p0_ci1_co6_in32".to_string(),
+                fmax_mhz: 562.0,
+                resources: m.resources(),
+                pblock: Pblock::new(1, 8, 0, 9),
+                device: "test-part".to_string(),
+                latency_cycles: 21,
+            },
+            module: m,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cp = checkpoint();
+        let json = cp.to_json().unwrap();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back.meta.signature, cp.meta.signature);
+        assert_eq!(back.meta.fmax_mhz, cp.meta.fmax_mhz);
+        assert_eq!(back.module.cells().len(), 1);
+        assert!(back.module.locked);
+        assert_eq!(
+            back.module.cell(crate::CellId(0)).placement,
+            Some(TileCoord::new(8, 3))
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cp = checkpoint();
+        let dir = std::env::temp_dir().join("pi_netlist_dcp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conv1.dcp.json");
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.meta.latency_cycles, 21);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(Checkpoint::from_json("{not json").is_err());
+        assert!(Checkpoint::load(Path::new("/nonexistent/x.json")).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Netlist analysis: the summary numbers implementation engineers read
+//! before and after physical design — cell mix, fanout distribution, and
+//! (once placed) net-length distribution.
+
+use crate::module::Module;
+use crate::net::Endpoint;
+use serde::Serialize;
+
+/// Cell-population summary of a module.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct CellMix {
+    pub slices: usize,
+    pub dsps: usize,
+    pub brams: usize,
+    pub urams: usize,
+    pub iobufs: usize,
+    /// Cells with unregistered outputs (combinational logic).
+    pub combinational: usize,
+    /// Cells frozen by logic locking.
+    pub fixed: usize,
+}
+
+/// Distribution summary over a set of integer samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Distribution {
+    pub count: usize,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+}
+
+impl Distribution {
+    /// Summarize samples (consumed; sorted internally).
+    pub fn of(mut samples: Vec<u64>) -> Distribution {
+        if samples.is_empty() {
+            return Distribution::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u64 = samples.iter().sum();
+        let rank = ((count as f64 * 0.95).ceil() as usize).clamp(1, count);
+        Distribution {
+            count,
+            min: samples[0],
+            max: samples[count - 1],
+            mean: sum as f64 / count as f64,
+            p95: samples[rank - 1],
+        }
+    }
+}
+
+/// Full analysis of one module.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModuleStats {
+    pub cells: CellMix,
+    pub nets: usize,
+    pub ports: usize,
+    /// Sinks per net.
+    pub fanout: Distribution,
+    /// HPWL per placed net, tiles (empty distribution when unplaced).
+    pub net_length: Distribution,
+    /// Fraction of nets with a committed route.
+    pub routed_fraction: f64,
+}
+
+/// Analyze a module.
+pub fn module_stats(module: &Module) -> ModuleStats {
+    let mut mix = CellMix::default();
+    for cell in module.cells() {
+        match cell.kind {
+            crate::cell::CellKind::Slice { .. } => mix.slices += 1,
+            crate::cell::CellKind::Dsp => mix.dsps += 1,
+            crate::cell::CellKind::Bram => mix.brams += 1,
+            crate::cell::CellKind::Uram => mix.urams += 1,
+            crate::cell::CellKind::IoBuf => mix.iobufs += 1,
+        }
+        if !cell.registered {
+            mix.combinational += 1;
+        }
+        if cell.fixed {
+            mix.fixed += 1;
+        }
+    }
+
+    let mut fanouts = Vec::with_capacity(module.nets().len());
+    let mut lengths = Vec::new();
+    let mut routed = 0usize;
+    let mut routable = 0usize;
+    for net in module.nets() {
+        if net.is_clock {
+            continue;
+        }
+        routable += 1;
+        fanouts.push(net.sinks.len() as u64);
+        if net.route.is_some() {
+            routed += 1;
+        }
+        let pts: Vec<pi_fabric::TileCoord> = net
+            .endpoints()
+            .filter_map(|e| match e {
+                Endpoint::Cell(c) => module.cells()[c.index()].placement,
+                Endpoint::Port(p) => module.ports()[p.index()].partpin,
+            })
+            .collect();
+        if pts.len() >= 2 {
+            lengths.push(u64::from(pi_fabric::coords::hpwl(&pts)));
+        }
+    }
+
+    ModuleStats {
+        cells: mix,
+        nets: module.nets().len(),
+        ports: module.ports().len(),
+        fanout: Distribution::of(fanouts),
+        net_length: Distribution::of(lengths),
+        routed_fraction: if routable == 0 {
+            0.0
+        } else {
+            routed as f64 / routable as f64
+        },
+    }
+}
+
+impl std::fmt::Display for ModuleStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cells: {} slices, {} DSPs, {} BRAMs, {} URAMs, {} IOBs ({} comb, {} fixed)",
+            self.cells.slices,
+            self.cells.dsps,
+            self.cells.brams,
+            self.cells.urams,
+            self.cells.iobufs,
+            self.cells.combinational,
+            self.cells.fixed
+        )?;
+        writeln!(
+            f,
+            "nets: {} ({} ports); fanout mean {:.1} max {}; {:.0}% routed",
+            self.nets,
+            self.ports,
+            self.fanout.mean,
+            self.fanout.max,
+            self.routed_fraction * 100.0
+        )?;
+        if self.net_length.count > 0 {
+            writeln!(
+                f,
+                "net length (tiles): mean {:.1}, p95 {}, max {}",
+                self.net_length.mean, self.net_length.p95, self.net_length.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellKind};
+    use crate::module::ModuleBuilder;
+    use crate::port::StreamRole;
+    use pi_fabric::TileCoord;
+
+    fn sample_module() -> Module {
+        let mut b = ModuleBuilder::new("m");
+        let din = b.input("din", StreamRole::Source, 8);
+        let dout = b.output("dout", StreamRole::Sink, 8);
+        let a = b.cell(Cell::new("a", CellKind::full_slice()));
+        let k = b.cell(Cell::new("k", CellKind::full_slice()).combinational());
+        let d = b.cell(Cell::new("d", CellKind::Dsp));
+        let r = b.cell(Cell::new("r", CellKind::Bram));
+        b.connect("i", Endpoint::Port(din), [Endpoint::Cell(a)]);
+        b.connect(
+            "fan",
+            Endpoint::Cell(a),
+            [Endpoint::Cell(k), Endpoint::Cell(d), Endpoint::Cell(r)],
+        );
+        b.connect("o", Endpoint::Cell(r), [Endpoint::Port(dout)]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cell_mix_counts_kinds_and_flags() {
+        let m = sample_module();
+        let s = module_stats(&m);
+        assert_eq!(s.cells.slices, 2);
+        assert_eq!(s.cells.dsps, 1);
+        assert_eq!(s.cells.brams, 1);
+        assert_eq!(s.cells.combinational, 1);
+        assert_eq!(s.cells.fixed, 0);
+        assert_eq!(s.nets, 3);
+        assert_eq!(s.ports, 2);
+    }
+
+    #[test]
+    fn fanout_distribution() {
+        let m = sample_module();
+        let s = module_stats(&m);
+        assert_eq!(s.fanout.count, 3);
+        assert_eq!(s.fanout.max, 3);
+        assert_eq!(s.fanout.min, 1);
+        assert!((s.fanout.mean - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn net_lengths_appear_once_placed() {
+        let mut m = sample_module();
+        let s = module_stats(&m);
+        assert_eq!(s.net_length.count, 0);
+        for (i, at) in [(0u32, (1, 1)), (1, (4, 1)), (2, (8, 1)), (3, (9, 5))] {
+            m.set_placement(crate::CellId(i), TileCoord::new(at.0, at.1))
+                .unwrap();
+        }
+        let s = module_stats(&m);
+        // "fan" net: cells a,k,d,r -> bbox (1..9, 1..5) = 12.
+        assert_eq!(s.net_length.count, 1);
+        assert_eq!(s.net_length.max, 12);
+        assert_eq!(s.routed_fraction, 0.0);
+    }
+
+    #[test]
+    fn distribution_of_edge_cases() {
+        assert_eq!(Distribution::of(vec![]), Distribution::default());
+        let d = Distribution::of(vec![7]);
+        assert_eq!((d.min, d.max, d.p95, d.count), (7, 7, 7, 1));
+        let d = Distribution::of((1..=100).collect());
+        assert_eq!(d.p95, 95);
+        assert!((d.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let m = sample_module();
+        let text = module_stats(&m).to_string();
+        assert!(text.contains("2 slices"));
+        assert!(text.contains("1 comb"));
+        assert!(text.contains("fanout mean"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The delay model: every picosecond the STA adds comes from here.
+//!
+//! Calibration intent: a well-placed component (chain neighbours 1–3 tiles
+//! apart) lands in the 450–650 MHz band of the paper's Table III; a
+//! stretched monolithic placement (5–15 tiles per hop, plus discontinuity
+//! and congestion penalties) drops into the 200–375 MHz band.
+
+use pi_fabric::{Device, TileCoord};
+use pi_netlist::CellKind;
+
+/// Clock-to-output delay of a registered cell, picoseconds. Hard blocks are
+/// slower than fabric flip-flops, matching real UltraScale datasheet
+/// ordering.
+pub fn clk_to_q_ps(kind: CellKind) -> u32 {
+    match kind {
+        CellKind::Slice { .. } => 100,
+        CellKind::Dsp => 450,
+        CellKind::Bram => 650,
+        CellKind::Uram => 750,
+        CellKind::IoBuf => 500,
+    }
+}
+
+/// Setup time at a registered cell input, picoseconds.
+pub const SETUP_PS: u32 = 60;
+
+/// Fixed component of every tile-to-tile wire, picoseconds.
+pub const WIRE_BASE_PS: f64 = 120.0;
+
+/// Incremental wire delay per tile of effective distance, picoseconds.
+pub const WIRE_PER_TILE_PS: f64 = 32.0;
+
+/// Extra delay per unit of local routing congestion (fraction of capacity
+/// in use above the comfortable threshold), picoseconds.
+pub const CONGESTION_PS: f64 = 220.0;
+
+/// Congestion fraction below which no penalty applies.
+pub const CONGESTION_FREE_FRACTION: f64 = 0.6;
+
+/// Wire delay between two placed endpoints, picoseconds. Uses the device's
+/// effective wiring distance, which already charges fabric-discontinuity
+/// crossings; `congestion` is the local channel-utilization fraction (0–1+)
+/// around the wire's span. Clock skew between the endpoints' clock regions
+/// is charged here too — a register-to-register hop across regions loses
+/// that margin.
+pub fn wire_delay_ps(device: &Device, a: TileCoord, b: TileCoord, congestion: f64) -> f64 {
+    let dist = device.wire_distance(a, b);
+    let cong = (congestion - CONGESTION_FREE_FRACTION).max(0.0);
+    WIRE_BASE_PS
+        + WIRE_PER_TILE_PS * dist
+        + CONGESTION_PS * cong
+        + pi_fabric::clock::skew_ps(device, a, b)
+}
+
+/// Combinational propagation delay through a cell, picoseconds. Registered
+/// cells terminate paths, so this only applies to combinational cells; the
+/// generators set `delay_ps` per function and this clamps it into the model.
+pub fn comb_delay_ps(delay_ps: u32) -> f64 {
+    f64::from(delay_ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_fabric::Device;
+
+    #[test]
+    fn clk_to_q_ordering() {
+        let slice = clk_to_q_ps(CellKind::Slice { luts: 8, ffs: 16 });
+        assert!(slice < clk_to_q_ps(CellKind::Dsp));
+        assert!(clk_to_q_ps(CellKind::Dsp) < clk_to_q_ps(CellKind::Bram));
+    }
+
+    #[test]
+    fn wire_delay_grows_with_distance_and_congestion() {
+        let d = Device::test_part();
+        let a = TileCoord::new(1, 1);
+        let near = TileCoord::new(2, 1);
+        let far = TileCoord::new(10, 10);
+        assert!(wire_delay_ps(&d, a, near, 0.0) < wire_delay_ps(&d, a, far, 0.0));
+        assert!(wire_delay_ps(&d, a, far, 0.9) > wire_delay_ps(&d, a, far, 0.0));
+        // Below the free threshold congestion costs nothing.
+        assert_eq!(
+            wire_delay_ps(&d, a, far, 0.5),
+            wire_delay_ps(&d, a, far, 0.0)
+        );
+    }
+
+    #[test]
+    fn well_placed_component_band() {
+        // A 4-hop combinational path with adjacent placement should land
+        // near 2 ns (≈500 MHz): source clk2q + 4 wires + 3 comb slices +
+        // setup.
+        let d = Device::test_part();
+        let a = TileCoord::new(1, 1);
+        let b = TileCoord::new(1, 2);
+        let hop = wire_delay_ps(&d, a, b, 0.0);
+        let path = f64::from(clk_to_q_ps(CellKind::Dsp))
+            + 4.0 * hop
+            + 3.0 * comb_delay_ps(250)
+            + f64::from(SETUP_PS);
+        let fmax = 1.0e6 / path;
+        assert!((400.0..700.0).contains(&fmax), "fmax = {fmax:.0} MHz");
+    }
+}

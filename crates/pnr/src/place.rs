@@ -1,0 +1,537 @@
+//! Simulated-annealing placement.
+//!
+//! One engine serves both flows:
+//! * the OOC flow places a single module inside a tight pblock
+//!   ([`place_module`]),
+//! * the monolithic baseline places the whole flat design across the chip
+//!   (same entry point, region = full device),
+//! * the assembled flow never calls this for locked instances — component-
+//!   level placement is the stitcher's job — but
+//!   [`place_design_instances`] exists to finalize any *unlocked* instances.
+//!
+//! Cost = Σ over nets of HPWL × timing weight; combinational nets weigh
+//! more because every tile they stretch costs picoseconds on a critical
+//! path. Moves are range-limited, with the window shrinking as the
+//! temperature drops (classic VPR-style schedule).
+
+use crate::PnrError;
+use pi_fabric::{Device, Pblock, SiteKind, TileCoord};
+use pi_netlist::{Design, Endpoint, Module};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Placement options.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaceOptions {
+    /// RNG seed — same seed, same placement.
+    pub seed: u64,
+    /// Move budget multiplier. 1.0 is the default effort; the performance-
+    /// exploration loop raises it for small OOC modules.
+    pub effort: f64,
+    /// Placement region; `None` means the full device (monolithic default).
+    pub region: Option<Pblock>,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            seed: 1,
+            effort: 1.0,
+            region: None,
+        }
+    }
+}
+
+/// Statistics from one placement run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaceStats {
+    pub moves: u64,
+    pub accepted: u64,
+    pub initial_cost: f64,
+    pub final_cost: f64,
+}
+
+/// Weight applied to nets with combinational endpoints: they shape the
+/// critical path, so the annealer works harder on them.
+const COMB_NET_WEIGHT: f64 = 2.5;
+
+/// Base number of moves per cell; total budget is
+/// `effort × MOVES_PER_CELL × n × ln(n)`.
+const MOVES_PER_CELL: f64 = 24.0;
+
+/// Hard cap on total annealing moves — the "default effort" ceiling a
+/// vendor tool runs with. Very large monolithic designs hit this cap and
+/// get proportionally less optimization per cell, which is exactly the
+/// effect the paper exploits by pre-implementing small modules.
+const MOVE_CAP: u64 = 40_000_000;
+
+/// Place all movable cells of a module. Fixed cells keep their placement
+/// and block their sites. Returns statistics for reports.
+pub fn place_module(
+    module: &mut Module,
+    device: &Device,
+    opts: &PlaceOptions,
+) -> Result<PlaceStats, PnrError> {
+    let region = opts.region.unwrap_or_else(|| device.full_pblock());
+    region.validate(device)?;
+
+    // Partition cells into fixed and movable, grouped by site kind.
+    let n_cells = module.cells().len();
+    let mut movable: Vec<usize> = Vec::with_capacity(n_cells);
+    let mut occupied: HashMap<TileCoord, usize> = HashMap::with_capacity(n_cells);
+    let mut positions: Vec<Option<TileCoord>> = vec![None; n_cells];
+    for (i, cell) in module.cells().iter().enumerate() {
+        if cell.fixed {
+            let at = cell
+                .placement
+                .ok_or_else(|| PnrError::Unplaced(format!("fixed cell {}", cell.name)))?;
+            occupied.insert(at, i);
+            positions[i] = Some(at);
+        } else {
+            movable.push(i);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Free sites per kind inside the region.
+    let mut free_sites: HashMap<SiteKind, Vec<TileCoord>> = HashMap::new();
+    for kind in [
+        SiteKind::Slice,
+        SiteKind::Dsp48,
+        SiteKind::Ramb36,
+        SiteKind::Uram288,
+        SiteKind::Iob,
+    ] {
+        let sites: Vec<TileCoord> = device
+            .sites_in(&region, kind)
+            .filter(|c| !occupied.contains_key(c))
+            .collect();
+        free_sites.insert(kind, sites);
+    }
+    // Iob cells may sit outside CLB-focused pblocks: fall back to the whole
+    // device's IO columns for them.
+    {
+        let io_sites = free_sites.get_mut(&SiteKind::Iob).expect("inserted above");
+        if io_sites.is_empty() {
+            *io_sites = device
+                .sites_in(&device.full_pblock(), SiteKind::Iob)
+                .filter(|c| !occupied.contains_key(c))
+                .collect();
+        }
+    }
+
+    // Initial placement: random assignment per kind.
+    let mut next_site: HashMap<SiteKind, usize> = HashMap::new();
+    for kind in free_sites.keys() {
+        next_site.insert(*kind, 0);
+    }
+    // Deterministic shuffle of each kind's site list. Iterate kinds in a
+    // fixed order — HashMap iteration order would desynchronize the RNG
+    // stream between otherwise identical runs.
+    for kind in [
+        SiteKind::Slice,
+        SiteKind::Dsp48,
+        SiteKind::Ramb36,
+        SiteKind::Uram288,
+        SiteKind::Iob,
+    ] {
+        let sites = free_sites.get_mut(&kind).expect("all kinds inserted");
+        shuffle(sites, &mut rng);
+    }
+    let mut demand: HashMap<SiteKind, usize> = HashMap::new();
+    for &i in &movable {
+        *demand.entry(module.cells()[i].kind.site()).or_insert(0) += 1;
+    }
+    for (kind, need) in &demand {
+        let have = free_sites[kind].len();
+        if *need > have {
+            return Err(PnrError::Unplaceable {
+                kind: kind.short_name(),
+                needed: *need,
+                available: have,
+            });
+        }
+    }
+    for &i in &movable {
+        let kind = module.cells()[i].kind.site();
+        let cursor = next_site.get_mut(&kind).expect("all kinds initialized");
+        let at = free_sites[&kind][*cursor];
+        *cursor += 1;
+        positions[i] = Some(at);
+        occupied.insert(at, i);
+    }
+
+    // Net model: endpoints resolve to movable cells, fixed coordinates
+    // (fixed cells, partition pins) or nothing (unplanned ports).
+    #[derive(Clone)]
+    struct PNet {
+        cells: Vec<usize>,
+        fixed: Vec<TileCoord>,
+        weight: f64,
+    }
+    let mut pnets: Vec<PNet> = Vec::with_capacity(module.nets().len());
+    let mut cell_nets: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+    for net in module.nets() {
+        if net.is_clock {
+            continue;
+        }
+        let mut p = PNet {
+            cells: Vec::with_capacity(net.degree()),
+            fixed: Vec::new(),
+            weight: 1.0,
+        };
+        let mut comb = false;
+        for e in net.endpoints() {
+            match e {
+                Endpoint::Cell(c) => {
+                    let cell = &module.cells()[c.index()];
+                    comb |= !cell.registered;
+                    if cell.fixed {
+                        p.fixed
+                            .push(cell.placement.expect("fixed cells verified placed"));
+                    } else {
+                        p.cells.push(c.index());
+                    }
+                }
+                Endpoint::Port(pid) => {
+                    if let Some(pp) = module.ports()[pid.index()].partpin {
+                        p.fixed.push(pp);
+                    }
+                }
+            }
+        }
+        if p.cells.is_empty() {
+            continue; // nothing movable on this net
+        }
+        if comb {
+            p.weight = COMB_NET_WEIGHT;
+        }
+        let id = pnets.len() as u32;
+        for &c in &p.cells {
+            cell_nets[c].push(id);
+        }
+        pnets.push(p);
+    }
+
+    let net_cost = |p: &PNet, positions: &[Option<TileCoord>]| -> f64 {
+        let mut cmin = u16::MAX;
+        let mut cmax = 0u16;
+        let mut rmin = u16::MAX;
+        let mut rmax = 0u16;
+        let mut any = false;
+        for &c in &p.cells {
+            let at = positions[c].expect("movable cells placed at init");
+            cmin = cmin.min(at.col);
+            cmax = cmax.max(at.col);
+            rmin = rmin.min(at.row);
+            rmax = rmax.max(at.row);
+            any = true;
+        }
+        for f in &p.fixed {
+            cmin = cmin.min(f.col);
+            cmax = cmax.max(f.col);
+            rmin = rmin.min(f.row);
+            rmax = rmax.max(f.row);
+            any = true;
+        }
+        if !any {
+            return 0.0;
+        }
+        p.weight * f64::from(cmax - cmin) + p.weight * f64::from(rmax - rmin)
+    };
+
+    let total_cost =
+        |positions: &[Option<TileCoord>]| -> f64 { pnets.iter().map(|p| net_cost(p, positions)).sum() };
+
+    let initial_cost = total_cost(&positions);
+    let mut stats = PlaceStats {
+        initial_cost,
+        final_cost: initial_cost,
+        ..Default::default()
+    };
+
+    if movable.len() > 1 && !pnets.is_empty() {
+        let n = movable.len() as f64;
+        let budget =
+            ((opts.effort * MOVES_PER_CELL * n * n.ln().max(1.0)) as u64).clamp(200, MOVE_CAP);
+        let rounds = 48u64;
+        let moves_per_round = (budget / rounds).max(1);
+        let mut cost = initial_cost;
+        let mut temp = (initial_cost / pnets.len() as f64).max(1.0);
+        let span = u32::from(region.width()).max(u32::from(region.height()));
+
+        for round in 0..rounds {
+            // Range limit shrinks geometrically with the round index.
+            let frac = 1.0 - (round as f64 / rounds as f64);
+            let window = ((f64::from(span) * frac * frac) as u32).max(3);
+            for _ in 0..moves_per_round {
+                stats.moves += 1;
+                let &cell = &movable[rng.gen_range(0..movable.len())];
+                let kind = module.cells()[cell].kind.site();
+                let sites = &free_sites[&kind];
+                if sites.len() < 2 {
+                    continue;
+                }
+                let cur = positions[cell].expect("placed");
+                // Propose a target *inside* the range window. Sampling the
+                // window directly (instead of rejection-sampling the whole
+                // region) keeps the proposal rate constant as the window
+                // shrinks — otherwise fine-tuning rounds do nothing and
+                // stretched nets survive to the critical path.
+                let w = window as i32;
+                let mut target = None;
+                for _ in 0..8 {
+                    let cand = match cur.translated(
+                        rng.gen_range(-w..=w),
+                        rng.gen_range(-w..=w),
+                    ) {
+                        Some(c) => c,
+                        None => continue,
+                    };
+                    if cand == cur
+                        || !region.contains(cand)
+                        || device.tile_kind(cand).ok().and_then(|k| k.site()) != Some(kind)
+                    {
+                        continue;
+                    }
+                    target = Some(cand);
+                    break;
+                }
+                let Some(target) = target else {
+                    // Dense hard-block kinds can be sparse inside small
+                    // windows; fall back to a random same-kind site.
+                    continue;
+                };
+                let swap_with = occupied.get(&target).copied();
+                if let Some(o) = swap_with {
+                    if module.cells()[o].fixed {
+                        continue;
+                    }
+                }
+
+                // Cost of affected nets before.
+                let mut affected: Vec<u32> = cell_nets[cell].clone();
+                if let Some(o) = swap_with {
+                    affected.extend_from_slice(&cell_nets[o]);
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                let before: f64 = affected.iter().map(|&ni| net_cost(&pnets[ni as usize], &positions)).sum();
+
+                // Apply.
+                positions[cell] = Some(target);
+                if let Some(o) = swap_with {
+                    positions[o] = Some(cur);
+                }
+                let after: f64 = affected.iter().map(|&ni| net_cost(&pnets[ni as usize], &positions)).sum();
+                let delta = after - before;
+                let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+                if accept {
+                    stats.accepted += 1;
+                    cost += delta;
+                    occupied.remove(&cur);
+                    occupied.insert(target, cell);
+                    if let Some(o) = swap_with {
+                        occupied.insert(cur, o);
+                    }
+                } else {
+                    // Revert.
+                    positions[cell] = Some(cur);
+                    if let Some(o) = swap_with {
+                        positions[o] = Some(target);
+                    }
+                }
+            }
+            temp *= 0.82;
+        }
+        stats.final_cost = cost;
+    }
+
+    // Commit placements.
+    for &i in &movable {
+        module.set_placement(
+            pi_netlist::CellId(i as u32),
+            positions[i].expect("movable cells placed"),
+        )?;
+    }
+    Ok(stats)
+}
+
+/// Place any unlocked instances of an assembled design (locked instances are
+/// already placed by relocation). Each instance is placed inside its own
+/// module pblock.
+pub fn place_design_instances(
+    design: &mut Design,
+    device: &Device,
+    opts: &PlaceOptions,
+) -> Result<Vec<PlaceStats>, PnrError> {
+    let mut all = Vec::new();
+    for inst in design.instances_mut() {
+        if inst.module.locked {
+            continue;
+        }
+        let region = inst.module.pblock.or(opts.region);
+        let inst_opts = PlaceOptions {
+            region,
+            ..*opts
+        };
+        all.push(place_module(&mut inst.module, device, &inst_opts)?);
+    }
+    Ok(all)
+}
+
+/// Fisher–Yates with our seeded RNG (avoids pulling in rand's slice trait
+/// for one call site).
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_netlist::{Cell, CellKind, ModuleBuilder, StreamRole};
+
+    fn chain_module(n: usize) -> Module {
+        let mut b = ModuleBuilder::new("chain");
+        let din = b.input("din", StreamRole::Source, 16);
+        let dout = b.output("dout", StreamRole::Sink, 16);
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.cell(Cell::new(format!("s{i}"), CellKind::full_slice())))
+            .collect();
+        b.connect("in", Endpoint::Port(din), [Endpoint::Cell(ids[0])]);
+        for i in 1..n {
+            b.connect(
+                format!("n{i}"),
+                Endpoint::Cell(ids[i - 1]),
+                [Endpoint::Cell(ids[i])],
+            );
+        }
+        b.connect(
+            "out",
+            Endpoint::Cell(ids[n - 1]),
+            [Endpoint::Port(dout)],
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn places_all_cells_in_region() {
+        let device = Device::test_part();
+        let mut m = chain_module(30);
+        let region = Pblock::new(1, 7, 0, 19);
+        let opts = PlaceOptions {
+            seed: 3,
+            effort: 1.0,
+            region: Some(region),
+        };
+        place_module(&mut m, &device, &opts).unwrap();
+        assert!(m.fully_placed());
+        for c in m.cells() {
+            assert!(region.contains(c.placement.unwrap()), "{:?}", c.placement);
+        }
+        // No two cells share a site.
+        let mut seen = std::collections::HashSet::new();
+        for c in m.cells() {
+            assert!(seen.insert(c.placement.unwrap()));
+        }
+    }
+
+    #[test]
+    fn annealing_reduces_wirelength() {
+        let device = Device::test_part();
+        let mut m = chain_module(60);
+        let opts = PlaceOptions {
+            seed: 11,
+            effort: 2.0,
+            region: None,
+        };
+        let stats = place_module(&mut m, &device, &opts).unwrap();
+        assert!(
+            stats.final_cost < stats.initial_cost,
+            "no improvement: {} -> {}",
+            stats.initial_cost,
+            stats.final_cost
+        );
+        // A 60-cell chain placed well should have near-minimal wirelength:
+        // each hop a few tiles at most on average.
+        assert!(m.wirelength() < 60 * 6);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let device = Device::test_part();
+        let opts = PlaceOptions {
+            seed: 42,
+            effort: 1.0,
+            region: None,
+        };
+        let mut a = chain_module(40);
+        let mut b = chain_module(40);
+        place_module(&mut a, &device, &opts).unwrap();
+        place_module(&mut b, &device, &opts).unwrap();
+        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(ca.placement, cb.placement);
+        }
+    }
+
+    #[test]
+    fn region_too_small_is_an_error() {
+        let device = Device::test_part();
+        let mut m = chain_module(100);
+        let opts = PlaceOptions {
+            seed: 1,
+            effort: 1.0,
+            region: Some(Pblock::new(1, 2, 0, 3)), // 8 slices for 100 cells
+        };
+        match place_module(&mut m, &device, &opts) {
+            Err(PnrError::Unplaceable { needed, available, .. }) => {
+                assert_eq!(needed, 100);
+                assert!(available < 100);
+            }
+            other => panic!("expected Unplaceable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_cells_do_not_move() {
+        let device = Device::test_part();
+        let mut m = chain_module(10);
+        let at = TileCoord::new(3, 3);
+        m.set_placement(pi_netlist::CellId(0), at).unwrap();
+        m.cells_mut().unwrap()[0].fixed = true;
+        place_module(&mut m, &device, &PlaceOptions::default()).unwrap();
+        assert_eq!(m.cells()[0].placement, Some(at));
+    }
+
+    #[test]
+    fn dsp_cells_land_on_dsp_columns() {
+        let device = Device::test_part();
+        let mut b = ModuleBuilder::new("mix");
+        let din = b.input("din", StreamRole::Source, 16);
+        let s = b.cell(Cell::new("s", CellKind::full_slice()));
+        let d = b.cell(Cell::new("d", CellKind::Dsp));
+        let r = b.cell(Cell::new("r", CellKind::Bram));
+        let dout = b.output("dout", StreamRole::Sink, 16);
+        b.connect("a", Endpoint::Port(din), [Endpoint::Cell(s)]);
+        b.connect("b", Endpoint::Cell(s), [Endpoint::Cell(d)]);
+        b.connect("c", Endpoint::Cell(d), [Endpoint::Cell(r)]);
+        b.connect("e", Endpoint::Cell(r), [Endpoint::Port(dout)]);
+        let mut m = b.finish().unwrap();
+        place_module(&mut m, &device, &PlaceOptions::default()).unwrap();
+        let kind_at = |i: usize| {
+            device
+                .tile_kind(m.cells()[i].placement.unwrap())
+                .unwrap()
+                .site()
+                .unwrap()
+        };
+        assert_eq!(kind_at(0), SiteKind::Slice);
+        assert_eq!(kind_at(1), SiteKind::Dsp48);
+        assert_eq!(kind_at(2), SiteKind::Ramb36);
+    }
+}

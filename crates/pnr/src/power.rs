@@ -1,0 +1,85 @@
+//! Power estimation: a standard activity + capacitance model.
+//!
+//! Dynamic power scales with the switched capacitance — logic resources
+//! weighted by their toggle energy plus total routed wirelength — times the
+//! clock frequency. Static power scales with the resources in use. The
+//! absolute numbers are model outputs; what the experiments use is the
+//! *relative* comparison (fewer resources and shorter wires at the same
+//! function → less power, the paper's §V-C claim).
+
+use pi_fabric::ResourceCount;
+
+/// Energy weights, microwatts per MHz per unit.
+const UW_PER_MHZ_LUT: f64 = 0.9;
+const UW_PER_MHZ_FF: f64 = 0.35;
+const UW_PER_MHZ_BRAM: f64 = 26.0;
+const UW_PER_MHZ_DSP: f64 = 18.0;
+const UW_PER_MHZ_URAM: f64 = 40.0;
+const UW_PER_MHZ_WIRE_TILE: f64 = 0.05;
+
+/// Static leakage, milliwatts per unit.
+const STATIC_MW_PER_KLUT: f64 = 1.3;
+const STATIC_MW_BASE: f64 = 320.0;
+
+/// A power estimate in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    pub dynamic_mw: f64,
+    pub static_mw: f64,
+}
+
+impl PowerReport {
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.static_mw
+    }
+}
+
+/// Estimate power for a design with the given resources, total routed
+/// wirelength (tiles) and clock frequency.
+pub fn estimate(resources: &ResourceCount, wirelength_tiles: u64, clock_mhz: f64) -> PowerReport {
+    let per_mhz_uw = resources.luts as f64 * UW_PER_MHZ_LUT
+        + resources.ffs as f64 * UW_PER_MHZ_FF
+        + resources.brams as f64 * UW_PER_MHZ_BRAM
+        + resources.dsps as f64 * UW_PER_MHZ_DSP
+        + resources.urams as f64 * UW_PER_MHZ_URAM
+        + wirelength_tiles as f64 * UW_PER_MHZ_WIRE_TILE;
+    PowerReport {
+        dynamic_mw: per_mhz_uw * clock_mhz / 1000.0,
+        static_mw: STATIC_MW_BASE + resources.luts as f64 / 1000.0 * STATIC_MW_PER_KLUT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(luts: u64, brams: u64, dsps: u64) -> ResourceCount {
+        ResourceCount {
+            luts,
+            ffs: luts,
+            brams,
+            dsps,
+            urams: 0,
+            ios: 0,
+        }
+    }
+
+    #[test]
+    fn more_resources_more_power() {
+        let small = estimate(&r(10_000, 50, 100), 10_000, 300.0);
+        let big = estimate(&r(280_000, 800, 2100), 500_000, 300.0);
+        assert!(big.total_mw() > small.total_mw());
+        assert!(big.dynamic_mw > small.dynamic_mw);
+    }
+
+    #[test]
+    fn power_scales_with_clock_and_wirelength() {
+        let base = estimate(&r(10_000, 50, 100), 10_000, 200.0);
+        let fast = estimate(&r(10_000, 50, 100), 10_000, 400.0);
+        assert!((fast.dynamic_mw / base.dynamic_mw - 2.0).abs() < 1e-9);
+        let wired = estimate(&r(10_000, 50, 100), 100_000, 200.0);
+        assert!(wired.dynamic_mw > base.dynamic_mw);
+        // Static power is frequency independent.
+        assert_eq!(base.static_mw, fast.static_mw);
+    }
+}

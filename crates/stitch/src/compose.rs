@@ -1,0 +1,258 @@
+//! Architecture composition — the paper's Algorithm 1.
+//!
+//! BFS the network DFG, match each fused component against the checkpoint
+//! database, choose a legal location (component placer), relocate the
+//! locked module there, and create the inter-component nets between the
+//! source/sink interfaces. The output is an assembled [`Design`] whose only
+//! unrouted nets are the stitched ones — ready for final inter-component
+//! routing.
+
+use crate::db::ComponentDb;
+use crate::placer::{place_components, ComponentPlacerOptions, PlacementOutcome};
+use crate::relocate::relocate_to;
+use crate::StitchError;
+use pi_cnn::graph::{Granularity, Network};
+use pi_fabric::Device;
+use pi_netlist::{Design, DesignKind};
+
+/// Options for composition.
+#[derive(Debug, Clone, Copy)]
+pub struct ComposeOptions {
+    pub granularity: Granularity,
+    pub placer: ComponentPlacerOptions,
+}
+
+impl Default for ComposeOptions {
+    fn default() -> Self {
+        ComposeOptions {
+            granularity: Granularity::Layer,
+            placer: ComponentPlacerOptions::default(),
+        }
+    }
+}
+
+/// What composition produced, for reports.
+#[derive(Debug, Clone)]
+pub struct ComposeReport {
+    pub component_signatures: Vec<String>,
+    pub placement: PlacementOutcome,
+    /// Inter-component nets created by stitching.
+    pub stitched_nets: usize,
+}
+
+/// Algorithm 1: compose a CNN accelerator from pre-built checkpoints.
+pub fn compose(
+    network: &Network,
+    db: &ComponentDb,
+    device: &Device,
+    opts: &ComposeOptions,
+) -> Result<(Design, ComposeReport), StitchError> {
+    // Component extraction (components() walks the DFG in BFS order, so the
+    // queue-based discovery of Algorithm 1 is the iteration order here).
+    let components = network.components(opts.granularity)?;
+    let signatures: Vec<String> = components
+        .iter()
+        .map(|c| c.signature(network))
+        .collect();
+
+    // Component matching: every node of the graph must resolve to a
+    // pre-built checkpoint.
+    let checkpoints: Vec<&pi_netlist::Checkpoint> = signatures
+        .iter()
+        .map(|sig| db.require(sig))
+        .collect::<Result<_, _>>()?;
+
+    // Component-adjacency edges from the network edges.
+    let mut node_to_comp = std::collections::HashMap::new();
+    for (ci, comp) in components.iter().enumerate() {
+        for node in &comp.nodes {
+            node_to_comp.insert(*node, ci);
+        }
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (a, b) in network.edges() {
+        match (node_to_comp.get(a), node_to_comp.get(b)) {
+            (Some(&ca), Some(&cb)) if ca != cb
+                && !edges.contains(&(ca, cb)) => {
+                    edges.push((ca, cb));
+                }
+            _ => {}
+        }
+    }
+
+    // Component placement (Eq. 1–3 with unplace-and-retry).
+    let placement = place_components(&checkpoints, &edges, device, &opts.placer)?;
+
+    // Relocation + instantiation.
+    let mut design = Design::new(
+        format!("{}_assembled", network.name),
+        device.name(),
+        DesignKind::Assembled,
+    );
+    for ((comp, cp), anchor) in components
+        .iter()
+        .zip(&checkpoints)
+        .zip(&placement.anchors)
+    {
+        let module = relocate_to(cp, device, *anchor)?;
+        design.add_instance(comp.name.clone(), module);
+    }
+
+    // Stitching: create the inter-component stream nets (single-source,
+    // single-sink FIFO links of the paper's Fig. 5).
+    let mut stitched = 0usize;
+    for &(ca, cb) in &edges {
+        let src_inst = pi_netlist::InstId(ca as u32);
+        let dst_inst = pi_netlist::InstId(cb as u32);
+        let (src_port, sw) = {
+            let (pid, p) = design
+                .instance(src_inst)
+                .module
+                .port_by_name("dout")
+                .ok_or_else(|| StitchError::MissingComponent(format!(
+                    "{}: no dout port",
+                    components[ca].name
+                )))?;
+            (pid, p.width)
+        };
+        let (dst_port, _) = design
+            .instance(dst_inst)
+            .module
+            .port_by_name("din")
+            .ok_or_else(|| StitchError::MissingComponent(format!(
+                "{}: no din port",
+                components[cb].name
+            )))?;
+        design.connect_top(
+            format!("link_{}_{}", components[ca].name, components[cb].name),
+            (src_inst, src_port),
+            vec![(dst_inst, dst_port)],
+            sw,
+        )?;
+        stitched += 1;
+    }
+
+    Ok((
+        design,
+        ComposeReport {
+            component_signatures: signatures,
+            placement,
+            stitched_nets: stitched,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_cnn::models;
+    use pi_fabric::Pblock;
+    use pi_netlist::{CheckpointMeta, StreamRole};
+    use pi_synth::{synth_component, SynthOptions};
+
+    /// Build a database for the toy network the way the flow would: real
+    /// synthesized components, hand-placed into tight pblocks and locked.
+    fn toy_db(device: &Device, network: &Network) -> ComponentDb {
+        let comps = network.components(Granularity::Layer).unwrap();
+        let mut db = ComponentDb::new();
+        for comp in &comps {
+            let mut m = synth_component(network, comp, &SynthOptions::lenet_like()).unwrap();
+            let pb = Pblock::new(1, 16, 0, 59);
+            m.pblock = Some(pb);
+            pi_pnr::place_module(
+                &mut m,
+                device,
+                &pi_pnr::PlaceOptions {
+                    seed: 7,
+                    effort: 0.5,
+                    region: Some(pb),
+                },
+            )
+            .unwrap();
+            // Partition pins on the pblock boundary.
+            let n_ports = m.ports().len();
+            {
+                let ports = m.ports_mut().unwrap();
+                for (i, port) in ports.iter_mut().enumerate() {
+                    let row = (i * 59 / n_ports.max(1)) as u16;
+                    port.partpin = Some(pi_fabric::TileCoord::new(
+                        if port.role == StreamRole::Source || port.role == StreamRole::Clock {
+                            1
+                        } else {
+                            16
+                        },
+                        row,
+                    ));
+                }
+            }
+            let _ = pi_pnr::route_module(&mut m, device, &pi_pnr::RouteOptions::default())
+                .unwrap();
+            m.lock();
+            db.insert(pi_netlist::Checkpoint {
+                meta: CheckpointMeta {
+                    signature: comp.signature(network),
+                    fmax_mhz: 500.0,
+                    resources: m.resources(),
+                    pblock: pb,
+                    device: device.name().to_string(),
+                    latency_cycles: 8,
+                },
+                module: m,
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn composes_toy_network_end_to_end() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let db = toy_db(&device, &network);
+        let (design, report) = compose(
+            &network,
+            &db,
+            &device,
+            &ComposeOptions::default(),
+        )
+        .unwrap();
+        // toy: conv / pool+relu / fc -> 3 instances, 2 stitched links.
+        assert_eq!(design.instances().len(), 3);
+        assert_eq!(report.stitched_nets, 2);
+        assert_eq!(design.top_nets().len(), 2);
+        assert!(design.validate().is_ok());
+        // All instances locked (pre-implemented), only top nets unrouted.
+        for inst in design.instances() {
+            assert!(inst.module.locked);
+        }
+        assert_eq!(design.unrouted_nets(), 2);
+    }
+
+    #[test]
+    fn missing_component_is_reported() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let db = ComponentDb::new();
+        match compose(&network, &db, &device, &ComposeOptions::default()) {
+            Err(StitchError::MissingComponent(sig)) => {
+                assert!(sig.starts_with("conv"), "unexpected first miss: {sig}")
+            }
+            other => panic!("expected MissingComponent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn composed_design_routes_incrementally() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let db = toy_db(&device, &network);
+        let (mut design, _) = compose(&network, &db, &device, &ComposeOptions::default())
+            .unwrap();
+        let report =
+            pi_pnr::route_assembled(&mut design, &device, &pi_pnr::RouteOptions::default())
+                .unwrap();
+        // Only the stitched nets were routed.
+        assert_eq!(report.route_stats.routed_nets, 2);
+        assert!(design.fully_routed());
+        assert!(report.timing.fmax_mhz > 100.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Design-rule checks for assembled designs — the sanity pass a real flow
+//! runs before writing the final checkpoint.
+//!
+//! Composition has many moving parts (relocation, overlap-free component
+//! placement, partition pins, locked internals); this module verifies the
+//! result *physically*: every cell on a legal site, no two cells sharing a
+//! site across instances, every instance inside its pblock, partition pins
+//! on pblock boundaries, routes within the grid, and locked modules intact.
+
+use crate::StitchError;
+use pi_fabric::{Device, TileCoord};
+use pi_netlist::Design;
+use std::collections::HashMap;
+
+/// One DRC violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A cell has no placement.
+    UnplacedCell { instance: String, cell: String },
+    /// A cell sits on a tile whose site kind does not match.
+    WrongSiteKind {
+        instance: String,
+        cell: String,
+        at: TileCoord,
+    },
+    /// Two cells (possibly from different instances) share a site.
+    SiteConflict {
+        a: String,
+        b: String,
+        at: TileCoord,
+    },
+    /// A cell lies outside its instance's pblock.
+    OutsidePblock {
+        instance: String,
+        cell: String,
+        at: TileCoord,
+    },
+    /// Instance pblocks overlap.
+    PblockOverlap { a: String, b: String },
+    /// A partition pin lies off its pblock boundary ring.
+    PartpinOffPblock {
+        instance: String,
+        port: String,
+        at: TileCoord,
+    },
+    /// A route visits a tile outside the device.
+    RouteOffGrid { net: String, at: TileCoord },
+    /// An instance that should be locked is not.
+    NotLocked { instance: String },
+    /// A non-clock net is unrouted.
+    Unrouted { net: String },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UnplacedCell { instance, cell } => {
+                write!(f, "unplaced cell {instance}/{cell}")
+            }
+            Violation::WrongSiteKind { instance, cell, at } => {
+                write!(f, "cell {instance}/{cell} on wrong site kind at {at}")
+            }
+            Violation::SiteConflict { a, b, at } => {
+                write!(f, "site conflict at {at}: {a} vs {b}")
+            }
+            Violation::OutsidePblock { instance, cell, at } => {
+                write!(f, "cell {instance}/{cell} at {at} outside its pblock")
+            }
+            Violation::PblockOverlap { a, b } => write!(f, "pblocks of {a} and {b} overlap"),
+            Violation::PartpinOffPblock { instance, port, at } => {
+                write!(f, "partpin {instance}/{port} at {at} off the pblock boundary")
+            }
+            Violation::RouteOffGrid { net, at } => write!(f, "route of {net} off grid at {at}"),
+            Violation::NotLocked { instance } => write!(f, "instance {instance} not locked"),
+            Violation::Unrouted { net } => write!(f, "net {net} unrouted"),
+        }
+    }
+}
+
+/// Run every check; returns all violations found (empty = clean).
+pub fn check_design(design: &Design, device: &Device) -> Result<Vec<Violation>, StitchError> {
+    let mut violations = Vec::new();
+    let mut site_owner: HashMap<TileCoord, String> = HashMap::new();
+
+    for inst in design.instances() {
+        if design.kind == pi_netlist::DesignKind::Assembled && !inst.module.locked {
+            violations.push(Violation::NotLocked {
+                instance: inst.name.clone(),
+            });
+        }
+        let pblock = inst.module.pblock;
+        for cell in inst.module.cells() {
+            let Some(at) = cell.placement else {
+                violations.push(Violation::UnplacedCell {
+                    instance: inst.name.clone(),
+                    cell: cell.name.clone(),
+                });
+                continue;
+            };
+            // Site kind legality.
+            match device.site_at(at) {
+                Ok(Some(site)) if site == cell.kind.site() => {}
+                _ => violations.push(Violation::WrongSiteKind {
+                    instance: inst.name.clone(),
+                    cell: cell.name.clone(),
+                    at,
+                }),
+            }
+            // Exclusive occupancy across ALL instances.
+            let tag = format!("{}/{}", inst.name, cell.name);
+            if let Some(prev) = site_owner.insert(at, tag.clone()) {
+                violations.push(Violation::SiteConflict { a: prev, b: tag, at });
+            }
+            // Pblock containment.
+            if let Some(pb) = pblock {
+                if !pb.contains(at) {
+                    violations.push(Violation::OutsidePblock {
+                        instance: inst.name.clone(),
+                        cell: cell.name.clone(),
+                        at,
+                    });
+                }
+            }
+        }
+        // Partition pins must sit on the pblock boundary ring.
+        if let Some(pb) = pblock {
+            for port in inst.module.ports() {
+                if let Some(pin) = port.partpin {
+                    let on_ring = pb.contains(pin)
+                        && (pin.col == pb.col_lo
+                            || pin.col == pb.col_hi
+                            || pin.row == pb.row_lo
+                            || pin.row == pb.row_hi);
+                    if !on_ring {
+                        violations.push(Violation::PartpinOffPblock {
+                            instance: inst.name.clone(),
+                            port: port.name.clone(),
+                            at: pin,
+                        });
+                    }
+                }
+            }
+        }
+        // Routes stay on the grid.
+        for net in inst.module.nets() {
+            if let Some(route) = &net.route {
+                for &t in &route.tiles {
+                    if !device.in_bounds(t) {
+                        violations.push(Violation::RouteOffGrid {
+                            net: format!("{}/{}", inst.name, net.name),
+                            at: t,
+                        });
+                    }
+                }
+            } else if !net.is_clock {
+                violations.push(Violation::Unrouted {
+                    net: format!("{}/{}", inst.name, net.name),
+                });
+            }
+        }
+    }
+
+    // Pairwise pblock disjointness.
+    let pbs: Vec<(String, pi_fabric::Pblock)> = design
+        .instances()
+        .iter()
+        .filter_map(|i| i.module.pblock.map(|pb| (i.name.clone(), pb)))
+        .collect();
+    for i in 0..pbs.len() {
+        for j in (i + 1)..pbs.len() {
+            if pbs[i].1.overlaps(&pbs[j].1) {
+                violations.push(Violation::PblockOverlap {
+                    a: pbs[i].0.clone(),
+                    b: pbs[j].0.clone(),
+                });
+            }
+        }
+    }
+
+    // Top nets routed and on-grid.
+    for net in design.top_nets() {
+        match &net.route {
+            Some(route) => {
+                for &t in &route.tiles {
+                    if !device.in_bounds(t) {
+                        violations.push(Violation::RouteOffGrid {
+                            net: net.name.clone(),
+                            at: t,
+                        });
+                    }
+                }
+            }
+            None => violations.push(Violation::Unrouted {
+                net: net.name.clone(),
+            }),
+        }
+    }
+
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{compose, ComposeOptions};
+    use crate::db::ComponentDb;
+    use pi_cnn::models;
+    use pi_fabric::Pblock;
+    use pi_netlist::{CheckpointMeta, StreamRole};
+    use pi_synth::{synth_component, SynthOptions};
+
+    /// The same database builder the compose tests use.
+    fn toy_db(device: &Device, network: &pi_cnn::Network) -> ComponentDb {
+        let comps = network
+            .components(pi_cnn::graph::Granularity::Layer)
+            .unwrap();
+        let mut db = ComponentDb::new();
+        for comp in &comps {
+            let mut m = synth_component(network, comp, &SynthOptions::lenet_like()).unwrap();
+            let pb = Pblock::new(1, 16, 0, 59);
+            m.pblock = Some(pb);
+            pi_pnr::place_module(
+                &mut m,
+                device,
+                &pi_pnr::PlaceOptions {
+                    seed: 7,
+                    effort: 0.5,
+                    region: Some(pb),
+                },
+            )
+            .unwrap();
+            let n_ports = m.ports().len();
+            {
+                let ports = m.ports_mut().unwrap();
+                for (i, port) in ports.iter_mut().enumerate() {
+                    let row = (i * 59 / n_ports.max(1)) as u16;
+                    port.partpin = Some(TileCoord::new(
+                        if port.role == StreamRole::Source || port.role == StreamRole::Clock {
+                            1
+                        } else {
+                            16
+                        },
+                        row,
+                    ));
+                }
+            }
+            let _ =
+                pi_pnr::route_module(&mut m, device, &pi_pnr::RouteOptions::default()).unwrap();
+            m.lock();
+            db.insert(pi_netlist::Checkpoint {
+                meta: CheckpointMeta {
+                    signature: comp.signature(network),
+                    fmax_mhz: 500.0,
+                    resources: m.resources(),
+                    pblock: pb,
+                    device: device.name().to_string(),
+                    latency_cycles: 8,
+                },
+                module: m,
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn composed_and_routed_design_is_clean() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let db = toy_db(&device, &network);
+        let (mut design, _) =
+            compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        let _ = pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default())
+            .unwrap();
+        let violations = check_design(&design, &device).unwrap();
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn unrouted_top_nets_are_flagged() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let db = toy_db(&device, &network);
+        let (design, _) = compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        let violations = check_design(&design, &device).unwrap();
+        let unrouted = violations
+            .iter()
+            .filter(|v| matches!(v, Violation::Unrouted { .. }))
+            .count();
+        assert_eq!(unrouted, design.top_nets().len());
+    }
+
+    #[test]
+    fn deliberate_overlap_is_caught() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let db = toy_db(&device, &network);
+        let (mut design, _) =
+            compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        let _ = pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default())
+            .unwrap();
+        // Clone instance 0's module over instance 1: pblocks and sites now
+        // collide.
+        let clone = design.instances()[0].module.clone();
+        design.instances_mut()[1].module = clone;
+        let violations = check_design(&design, &device).unwrap();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PblockOverlap { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::SiteConflict { .. })));
+    }
+
+    #[test]
+    fn partpin_off_boundary_is_caught() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let db = toy_db(&device, &network);
+        let (mut design, _) =
+            compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        let _ = pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default())
+            .unwrap();
+        // Force one partpin into the pblock interior. The module is locked,
+        // so build a modified copy.
+        let mut m = design.instances()[0].module.clone();
+        let pb = m.pblock.expect("has pblock");
+        let interior = TileCoord::new(pb.col_lo + 2, pb.row_lo + 2);
+        // Unlock by rebuilding a shallow copy with locked=false is not part
+        // of the API; emulate an upstream bug by deserializing and editing.
+        let mut json: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        json["locked"] = serde_json::Value::Bool(false);
+        m = serde_json::from_value(json).unwrap();
+        m.ports_mut().unwrap()[0].partpin = Some(interior);
+        m.lock();
+        design.instances_mut()[0].module = m;
+        let violations = check_design(&design, &device).unwrap();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PartpinOffPblock { .. })));
+    }
+}

@@ -1,0 +1,131 @@
+//! Resource cost model: the named constants every generator sizes itself
+//! with, and the parallelism rules that map layer shapes onto hardware.
+//!
+//! Calibration targets (see EXPERIMENTS.md): VGG-16 lands near the paper's
+//! Table II (~283 k LUTs, ~2100 DSPs, several hundred BRAM on the
+//! xcku5p-like part); LeNet lands in the same order of magnitude as the
+//! paper's LeNet row. The *relative* monolithic-vs-OOC gap comes from
+//! [`MONOLITHIC_LUT_OVERHEAD_PCT`] and friends, which model the global
+//! fanout buffering, control replication and conservative BRAM inference
+//! vendor synthesis exhibits on large designs (§V-C of the paper).
+
+/// Logic (LUTs) accompanying each DSP MAC lane tap in a convolution engine:
+/// operand muxing, partial-sum handling, its share of the adder tree.
+pub const CONV_LUT_PER_DSP: u64 = 120;
+
+/// Logic per DSP in the folded fully-connected engine (more reuse, less
+/// routing logic per MAC).
+pub const FC_LUT_PER_DSP: u64 = 120;
+
+/// Slices in a memory controller (address generators, burst logic,
+/// FIFO control) — Fig. 5's interface block.
+pub const MEMCTRL_SLICES: u64 = 190;
+/// DSPs used by a memory controller's address arithmetic.
+pub const MEMCTRL_DSPS: u64 = 2;
+/// BRAMs in a memory controller's FIFO queues.
+pub const MEMCTRL_FIFO_BRAMS: u64 = 4;
+
+/// Bits per block RAM.
+pub const BRAM_BITS: u64 = 36 * 1024;
+
+/// Extra slice fraction (percent) the monolithic flow pays: replicated
+/// control, fanout buffering the global optimizer inserts.
+pub const MONOLITHIC_LUT_OVERHEAD_PCT: u64 = 9;
+/// Extra BRAM fraction (percent) from conservative monolithic BRAM
+/// inference.
+pub const MONOLITHIC_BRAM_OVERHEAD_PCT: u64 = 6;
+/// Extra register fraction (percent) from monolithic fanout pipelining.
+pub const MONOLITHIC_FF_OVERHEAD_PCT: u64 = 12;
+
+/// Frame-cycle budget each engine is sized for: lanes are provisioned so a
+/// layer streams one frame in roughly this many cycles, balancing the
+/// pipeline (every streaming accelerator generator does this; it is also
+/// what keeps VGG-16's total DSP demand in the Table II band).
+pub const TARGET_FRAME_CYCLES: u64 = 8_000_000;
+
+/// Output-channel lanes instantiated per convolution engine, proportional
+/// to the layer's MAC load: heavy layers get wide arrays, light layers fold
+/// onto a single k×k lane.
+pub fn conv_lanes(macs: u64, taps: u64) -> u64 {
+    macs.div_ceil(taps.max(1) * TARGET_FRAME_CYCLES).clamp(1, 40)
+}
+
+/// DSP MACs in the folded fully-connected engine, MAC-load proportional
+/// with a minimum that keeps the accumulator tree busy.
+pub fn fc_dsps(macs: u64) -> u64 {
+    macs.div_ceil(TARGET_FRAME_CYCLES).clamp(4, 128)
+}
+
+/// Channel lanes in a pooling engine.
+pub fn pool_lanes(in_channels: u32) -> u64 {
+    u64::from(in_channels).div_ceil(4).clamp(1, 16)
+}
+
+/// BRAMs needed to hold `bits` of storage.
+pub fn brams_for_bits(bits: u64) -> u64 {
+    bits.div_ceil(BRAM_BITS)
+}
+
+/// Longest unregistered chain the generators allow. Deeper trees get
+/// pipeline registers inserted — the paper's own fix ("inserting pipeline
+/// elements such as FFs on the critical path improves the timing
+/// performance, while increasing the overall latency").
+pub const MAX_COMB_CHAIN: usize = 3;
+
+/// Combinational chain length of an adder/comparator tree reducing `taps`
+/// operands: the tree has `ceil(log2(taps))` levels, the generators
+/// register every second level, and chains longer than [`MAX_COMB_CHAIN`]
+/// are pipelined. This single rule is what makes deep-input layers slower
+/// (the paper's conv2-vs-conv1 and VGG-component observations).
+pub fn comb_chain_len(taps: u64) -> usize {
+    (ceil_log2(taps).div_ceil(2)).max(1).min(MAX_COMB_CHAIN as u64) as usize
+}
+
+/// Ceiling log2 (0 and 1 map to 0).
+pub fn ceil_log2(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        64 - u64::from((x - 1).leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_rules_balance_the_pipeline() {
+        // LeNet conv1 (118k MACs) folds onto one 5x5 lane.
+        assert_eq!(conv_lanes(117_600, 25), 1);
+        // A heavy VGG conv (1.85G MACs, 3x3) gets a wide array.
+        let heavy = conv_lanes(1_850_000_000, 9);
+        assert!((20..=40).contains(&heavy), "lanes = {heavy}");
+        // Lanes scale down with lighter layers.
+        assert!(conv_lanes(462_000_000, 9) < heavy);
+        assert_eq!(fc_dsps(48_000), 4);
+        assert_eq!(fc_dsps(102_000_000), 13);
+        assert_eq!(pool_lanes(6), 2);
+        assert_eq!(pool_lanes(512), 16);
+    }
+
+    #[test]
+    fn bram_sizing() {
+        assert_eq!(brams_for_bits(0), 0);
+        assert_eq!(brams_for_bits(1), 1);
+        assert_eq!(brams_for_bits(BRAM_BITS), 1);
+        assert_eq!(brams_for_bits(BRAM_BITS + 1), 2);
+    }
+
+    #[test]
+    fn comb_chain_grows_logarithmically() {
+        // A 2x2 pooling window -> shallow chain.
+        let shallow = comb_chain_len(4);
+        // VGG conv5: 9 taps * 512 channels -> deeper (pipelined-capped).
+        let deep = comb_chain_len(9 * 512);
+        assert!(deep > shallow);
+        assert_eq!(comb_chain_len(1), 1);
+        // Deep trees are pipelined rather than left combinational.
+        assert_eq!(comb_chain_len(u64::MAX), MAX_COMB_CHAIN);
+    }
+}

@@ -1,0 +1,151 @@
+//! The four motivation kernels of Fig. 1: blocks of 3×3 processing elements
+//! implementing matrix multiplication, outer product, Robert-Cross edge
+//! detection and smoothing — the designs Mandebi et al. pre-implemented to
+//! motivate the flow.
+
+use crate::emit::{emit_mac_lane, win_slice, LaneSpec};
+use crate::SynthError;
+use pi_netlist::{Cell, Endpoint, Module, ModuleBuilder, Net, StreamRole};
+use serde::{Deserialize, Serialize};
+
+/// The four kernels of the motivation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// MM: dense matrix multiplication PEs.
+    MatMul,
+    /// OP: outer product PEs.
+    OuterProduct,
+    /// RC: Robert-Cross gradient PEs.
+    RobertCross,
+    /// SM: 3×3 smoothing PEs.
+    Smoothing,
+}
+
+impl KernelKind {
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::MatMul,
+        KernelKind::OuterProduct,
+        KernelKind::RobertCross,
+        KernelKind::Smoothing,
+    ];
+
+    /// Abbreviation used in the paper's Fig. 1.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            KernelKind::MatMul => "MM",
+            KernelKind::OuterProduct => "OP",
+            KernelKind::RobertCross => "RC",
+            KernelKind::Smoothing => "SM",
+        }
+    }
+
+    /// Per-PE shape: (DSP taps, total slices, combinational chain length).
+    /// MM PEs are MAC-heavy; OP is lean; RC has comparator logic; SM has an
+    /// averaging tree.
+    fn pe_spec(self) -> (usize, usize, usize) {
+        match self {
+            KernelKind::MatMul => (4, 60, 3),
+            KernelKind::OuterProduct => (2, 30, 2),
+            KernelKind::RobertCross => (2, 40, 2),
+            KernelKind::Smoothing => (1, 35, 3),
+        }
+    }
+}
+
+/// Synthesize a `rows`×`cols` PE block of the given kernel (the paper uses
+/// 3×3). PEs connect in a systolic mesh: each PE feeds its right and lower
+/// neighbours.
+pub fn synth_kernel(kind: KernelKind, rows: usize, cols: usize) -> Result<Module, SynthError> {
+    assert!(rows > 0 && cols > 0);
+    let (taps, slices, comb_len) = kind.pe_spec();
+    let win = (taps * 2).max(2);
+    let spec = LaneSpec {
+        taps,
+        win_slices: win,
+        comb_len,
+        extra_slices: slices.saturating_sub(win + comb_len + 1),
+    };
+
+    let mut b = ModuleBuilder::new(format!("{}_{}x{}", kind.abbrev(), rows, cols));
+    let clk = b.input("clk", StreamRole::Clock, 1);
+    let din = b.input("din", StreamRole::Source, 16);
+    let en = b.input("en", StreamRole::Control, 1);
+    let dout = b.output("dout", StreamRole::Sink, 16);
+
+    // PE heads + lanes.
+    let mut heads = vec![vec![]; rows];
+    let mut outs = vec![vec![]; rows];
+    for r in 0..rows {
+        for c in 0..cols {
+            let prefix = format!("pe{r}_{c}");
+            let head = b.cell(Cell::new(format!("{prefix}_head"), win_slice()));
+            let out = emit_mac_lane(&mut b, &prefix, spec, Endpoint::Cell(head));
+            heads[r].push(head);
+            outs[r].push(out);
+        }
+    }
+    // Mesh wiring: PE(r,c) output feeds heads of PE(r,c+1) and PE(r+1,c).
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut sinks = Vec::new();
+            if c + 1 < cols {
+                sinks.push(Endpoint::Cell(heads[r][c + 1]));
+            }
+            if r + 1 < rows {
+                sinks.push(Endpoint::Cell(heads[r + 1][c]));
+            }
+            if !sinks.is_empty() {
+                b.connect(format!("mesh{r}_{c}"), outs[r][c], sinks);
+            }
+        }
+    }
+    // Input feeds the top-left PE; output leaves the bottom-right PE.
+    b.connect("din_net", Endpoint::Port(din), [Endpoint::Cell(heads[0][0])]);
+    b.net(Net::new(
+        "en_net",
+        Endpoint::Port(en),
+        vec![Endpoint::Cell(heads[0][0])],
+    ));
+    b.net(Net::new("clk_net", Endpoint::Port(clk), vec![Endpoint::Cell(heads[0][0])]).clock());
+    b.connect("dout_net", outs[rows - 1][cols - 1], [Endpoint::Port(dout)]);
+
+    Ok(b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_synthesize_3x3() {
+        for kind in KernelKind::ALL {
+            let m = synth_kernel(kind, 3, 3).unwrap();
+            assert!(m.validate().is_ok(), "{}", kind.abbrev());
+            let (taps, _, _) = kind.pe_spec();
+            assert_eq!(m.resources().dsps, (taps * 9) as u64);
+        }
+    }
+
+    #[test]
+    fn kernel_sizes_are_ordered() {
+        let lut = |k: KernelKind| synth_kernel(k, 3, 3).unwrap().resources().luts;
+        // MM is the largest design, OP the leanest — matching the relative
+        // compile times of the motivation figure.
+        assert!(lut(KernelKind::MatMul) > lut(KernelKind::OuterProduct));
+        assert!(lut(KernelKind::RobertCross) > lut(KernelKind::OuterProduct));
+    }
+
+    #[test]
+    fn mesh_nets_connect_neighbours() {
+        let m = synth_kernel(KernelKind::Smoothing, 2, 2).unwrap();
+        let mesh = m.nets().iter().filter(|n| n.name.starts_with("mesh")).count();
+        // 2x2 mesh: PEs (0,0),(0,1),(1,0) have outgoing mesh nets.
+        assert_eq!(mesh, 3);
+    }
+
+    #[test]
+    fn abbreviations_match_figure() {
+        let names: Vec<&str> = KernelKind::ALL.iter().map(|k| k.abbrev()).collect();
+        assert_eq!(names, ["MM", "OP", "RC", "SM"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Max-pooling and ReLU engine generators (paper Fig. 4c).
+
+use crate::cost;
+use crate::emit::{emit_chain, emit_fanout, emit_merge, out_slice, tree_slice, win_slice};
+use crate::SynthOptions;
+use pi_cnn::layer::{PoolParams, Shape};
+use pi_netlist::{Cell, CellKind, Endpoint, ModuleBuilder};
+
+/// Emit a max-pooling engine: controller + shift register + per-channel-group
+/// comparator trees, exactly the structure of the paper's Fig. 4c.
+pub fn emit_pool_engine(
+    b: &mut ModuleBuilder,
+    prefix: &str,
+    p: &PoolParams,
+    input_shape: Shape,
+    opts: &SynthOptions,
+    input: Endpoint,
+) -> Endpoint {
+    let w = u64::from(opts.data_width);
+    let taps = u64::from(p.window) * u64::from(p.window);
+    let lanes = cost::pool_lanes(input_shape.channels);
+
+    // Line buffer for (window-1) rows when the window spans rows.
+    let lb_bits = u64::from(p.window.saturating_sub(1))
+        * u64::from(input_shape.width)
+        * u64::from(input_shape.channels)
+        * w;
+    let n_lb = cost::brams_for_bits(lb_bits).max(1) as usize;
+    let lb = emit_chain(
+        b,
+        &format!("{prefix}_lb"),
+        n_lb,
+        |i| Cell::new(format!("{prefix}_lb{i}"), CellKind::Bram),
+        Some(input),
+    );
+    let lb_out = Endpoint::Cell(*lb.last().expect("n_lb >= 1"));
+
+    // Controller driving the shift-register enables.
+    let ctrl = b.cell(Cell::new(format!("{prefix}_ctrl"), out_slice()));
+    b.connect(format!("{prefix}_cin"), lb_out, [Endpoint::Cell(ctrl)]);
+
+    let comb_len = cost::comb_chain_len(taps);
+    let win_slices = (taps * w).div_ceil(16).max(1) as usize;
+    let mut lane_outs = Vec::with_capacity(lanes as usize);
+    let mut heads = Vec::with_capacity(lanes as usize);
+    for l in 0..lanes {
+        let lp = format!("{prefix}_l{l}");
+        // Shift register.
+        let sr = emit_chain(
+            b,
+            &format!("{lp}_sr"),
+            win_slices,
+            |i| Cell::new(format!("{lp}_sr{i}"), win_slice()),
+            Some(lb_out),
+        );
+        heads.push(Endpoint::Cell(sr[0]));
+        // Comparator tree (combinational) + registered output.
+        let cmp = emit_chain(
+            b,
+            &format!("{lp}_cmp"),
+            comb_len,
+            |i| {
+                Cell::new(format!("{lp}_cmp{i}"), tree_slice())
+                    .combinational()
+                    .with_delay_ps(crate::emit::TREE_COMB_DELAY_PS)
+            },
+            Some(Endpoint::Cell(*sr.last().expect("win_slices >= 1"))),
+        );
+        let o = b.cell(Cell::new(format!("{lp}_out"), out_slice()));
+        b.connect(
+            format!("{lp}_oin"),
+            Endpoint::Cell(*cmp.last().expect("comb_len >= 1")),
+            [Endpoint::Cell(o)],
+        );
+        lane_outs.push(Endpoint::Cell(o));
+    }
+    // Enable broadcast from the controller.
+    emit_fanout(b, &format!("{prefix}_en"), Endpoint::Cell(ctrl), &heads, 8);
+
+    emit_merge(b, &format!("{prefix}_join"), &lane_outs)
+}
+
+/// Emit a ReLU stage: per-lane clamp slices. ReLU fuses into whatever
+/// produced `input` — it has no memory controller of its own, exactly the
+/// paper's fusion argument.
+pub fn emit_relu_stage(
+    b: &mut ModuleBuilder,
+    prefix: &str,
+    input_shape: Shape,
+    input: Endpoint,
+) -> Endpoint {
+    let lanes = cost::pool_lanes(input_shape.channels).min(4);
+    let mut outs = Vec::with_capacity(lanes as usize);
+    for l in 0..lanes {
+        let c = b.cell(Cell::new(format!("{prefix}_r{l}"), tree_slice()));
+        b.connect(format!("{prefix}_ri{l}"), input, [Endpoint::Cell(c)]);
+        outs.push(Endpoint::Cell(c));
+    }
+    emit_merge(b, &format!("{prefix}_join"), &outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_netlist::StreamRole;
+
+    #[test]
+    fn pool_engine_structure() {
+        let mut b = ModuleBuilder::new("pool");
+        let din = b.input("din", StreamRole::Source, 16);
+        let dout = b.output("dout", StreamRole::Sink, 16);
+        let p = PoolParams {
+            window: 2,
+            stride: 2,
+        };
+        let out = emit_pool_engine(
+            &mut b,
+            "p",
+            &p,
+            Shape::new(6, 28, 28),
+            &SynthOptions::lenet_like(),
+            Endpoint::Port(din),
+        );
+        b.connect("o", out, [Endpoint::Port(dout)]);
+        let m = b.finish().unwrap();
+        let r = m.resources();
+        // 2 channel lanes for 6 channels; no DSPs in a pooling engine.
+        assert_eq!(r.dsps, 0);
+        assert!(r.brams >= 1);
+        assert!(r.luts > 0);
+        // Comparator chains are combinational and shallow.
+        let comb = m.cells().iter().filter(|c| !c.registered).count();
+        assert_eq!(comb, 2 * cost::comb_chain_len(4));
+    }
+
+    #[test]
+    fn relu_is_tiny() {
+        let mut b = ModuleBuilder::new("relu");
+        let din = b.input("din", StreamRole::Source, 16);
+        let dout = b.output("dout", StreamRole::Sink, 16);
+        let out = emit_relu_stage(&mut b, "r", Shape::new(6, 14, 14), Endpoint::Port(din));
+        b.connect("o", out, [Endpoint::Port(dout)]);
+        let m = b.finish().unwrap();
+        assert!(m.resources().luts <= 64);
+        assert_eq!(m.resources().brams, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! LeNet-5 end to end: the paper's first benchmark.
+//!
+//! Builds the component database (conv1 / pool1+relu1 / conv2 / pool2+relu2
+//! / fc1 / fc2), persists it to disk as a directory of DCP files, reloads
+//! it — the "performed exactly once, reused in several applications"
+//! workflow — then generates the accelerator, compares with the monolithic
+//! baseline, and sanity-checks the model against reference inference.
+//!
+//! ```text
+//! cargo run --release --example lenet_accelerator
+//! ```
+
+use preimpl_cnn::cnn::infer::{forward, Weights};
+use preimpl_cnn::cnn::Tensor;
+use preimpl_cnn::prelude::*;
+
+fn main() {
+    let device = Device::xcku5p_like();
+    let network = preimpl_cnn::cnn::models::lenet5();
+
+    // Function optimization with a seed sweep (the paper's performance
+    // exploration).
+    let fopts = FunctionOptOptions {
+        synth: SynthOptions::lenet_like(),
+        seeds: vec![1, 2, 3],
+        ..Default::default()
+    };
+    let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    println!("pre-implemented components (Table III exploration):");
+    for r in &reports {
+        println!(
+            "  {:14} {:6.0} MHz  latency {:3} cycles  (explored {} seeds in {:?})",
+            r.name, r.fmax_mhz, r.latency_cycles, r.seeds_tried, r.build_time
+        );
+    }
+
+    // Persist and reload the database — checkpoints are inspectable JSON
+    // DCPs on disk.
+    let dir = std::env::temp_dir().join("preimpl_cnn_lenet_db");
+    db.save_dir(&dir).expect("db saves");
+    let db = ComponentDb::load_dir(&dir).expect("db reloads");
+    println!("\ndatabase persisted to {} ({} checkpoints)", dir.display(), db.len());
+
+    // Generate the accelerator.
+    let (design, pre) =
+        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
+            .expect("pre-implemented flow");
+    println!(
+        "\nassembled: Fmax {:.0} MHz, pipeline {:.0} ns, frame {:.3} ms, \
+         stitching was {:.0}% of the {:.1} ms generation",
+        pre.compile.timing.fmax_mhz,
+        pre.latency.pipeline_ns,
+        pre.latency.frame_ms,
+        pre.stitch_share() * 100.0,
+        pre.total_time().as_secs_f64() * 1000.0,
+    );
+
+    // Traditional baseline for the Fig. 6 / Table III comparison.
+    let bopts = BaselineOptions {
+        synth: SynthOptions::lenet_like().monolithic(),
+        ..Default::default()
+    };
+    let (_, base) = run_baseline_flow(&network, &device, &bopts).expect("baseline flow");
+    println!("\n{}", FlowComparison::new(&network.name, &base, &pre));
+
+    // Model sanity: the accelerator's function is LeNet inference; check the
+    // reference model classifies deterministically with the ROM'd weights.
+    let weights = Weights::random(&network, 42).expect("weights");
+    let image = Tensor::from_f32(1, 32, 32, &checkerboard(32));
+    let logits = forward(&network, &weights, &image).expect("inference");
+    println!(
+        "\nreference inference: {} classes, argmax = {}",
+        logits.len(),
+        logits.argmax()
+    );
+    assert!(design.fully_routed());
+}
+
+fn checkerboard(n: u32) -> Vec<f32> {
+    (0..n * n)
+        .map(|i| if (i / n + i % n).is_multiple_of(2) { 1.0 } else { -1.0 })
+        .collect()
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the whole flow on a toy CNN in under a second.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use preimpl_cnn::prelude::*;
+
+fn main() {
+    // 1. Pick a device and a network.
+    let device = Device::xcku5p_like();
+    let network = preimpl_cnn::cnn::models::toy();
+    println!(
+        "device {} ({} cols x {} rows), network '{}' with {} layers",
+        device.name(),
+        device.cols(),
+        device.rows(),
+        network.name,
+        network.nodes().len()
+    );
+
+    // 2. Function optimization (done once): pre-implement every component
+    //    out-of-context and store the locked checkpoints in a database.
+    let fopts = FunctionOptOptions {
+        seeds: vec![1, 2],
+        ..Default::default()
+    };
+    let (db, reports) = build_component_db(&network, &device, &fopts).expect("components build");
+    println!("\ncomponent database ({} checkpoints):", db.len());
+    for r in &reports {
+        println!(
+            "  {:12} {:6.0} MHz  {:5} LUTs {:3} DSPs  pblock {}x{}",
+            r.name,
+            r.fmax_mhz,
+            r.resources.luts,
+            r.resources.dsps,
+            r.pblock.width(),
+            r.pblock.height()
+        );
+    }
+
+    // 3. Architecture optimization (automatic): compose the accelerator
+    //    from the checkpoints and route the inter-component nets.
+    let (design, report) =
+        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
+            .expect("flow succeeds");
+    assert!(design.fully_routed());
+    println!(
+        "\nassembled '{}': Fmax {:.0} MHz, pipeline latency {:.0} ns, \
+         generated in {:.1} ms ({} stitched nets)",
+        design.name,
+        report.compile.timing.fmax_mhz,
+        report.latency.pipeline_ns,
+        report.total_time().as_secs_f64() * 1000.0,
+        report.compose.stitched_nets
+    );
+
+    // 4. Compare with the traditional monolithic flow.
+    let (_, baseline) =
+        run_baseline_flow(&network, &device, &BaselineOptions::default()).expect("baseline");
+    println!("{}", FlowComparison::new(&network.name, &baseline, &report));
+}

@@ -1,0 +1,87 @@
+//! VGG-16 end to end: the paper's large benchmark.
+//!
+//! VGG streams its 138 M weights from off-chip memory, so this example also
+//! plans the off-chip layout with the best-fit-with-coalescing allocator
+//! (paper §V-B2). The monolithic baseline takes ~30 s; pass `--full` to run
+//! it, otherwise only the pre-implemented flow runs.
+//!
+//! ```text
+//! cargo run --release --example vgg_accelerator -- --full
+//! ```
+
+use preimpl_cnn::memalloc::plan_network_layout;
+use preimpl_cnn::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let device = Device::xcku5p_like();
+    let network = preimpl_cnn::cnn::models::vgg16();
+
+    // Off-chip memory layout for the streamed weights and feature maps.
+    let layout = plan_network_layout(&network, 2, 1 << 30).expect("1 GiB DDR fits VGG");
+    println!(
+        "off-chip layout: {} buffers, {:.1} MiB used, fragmentation {:.1}%",
+        layout.entries.len(),
+        layout.bytes_used as f64 / (1 << 20) as f64,
+        layout.fragmentation * 100.0
+    );
+
+    // Pre-implement the conv blocks / pools / FCs (block granularity — the
+    // paper's VGG component split).
+    let fopts = FunctionOptOptions {
+        synth: SynthOptions::vgg_like(),
+        granularity: Granularity::Block,
+        seeds: vec![1, 2],
+        ..Default::default()
+    };
+    let t = std::time::Instant::now();
+    let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    println!(
+        "\n{} components pre-implemented in {:.1} s:",
+        db.len(),
+        t.elapsed().as_secs_f64()
+    );
+    for r in &reports {
+        println!(
+            "  {:50} {:6.0} MHz  {:6} LUTs {:4} DSPs",
+            truncate(&r.name, 50),
+            r.fmax_mhz,
+            r.resources.luts,
+            r.resources.dsps
+        );
+    }
+
+    let aopts = ArchOptOptions {
+        granularity: Granularity::Block,
+        ..Default::default()
+    };
+    let (design, pre) =
+        run_pre_implemented_flow(&network, &db, &device, &aopts).expect("flow succeeds");
+    let util = design.utilization(&device);
+    println!(
+        "\nassembled VGG-16: Fmax {:.0} MHz, frame latency {:.2} ms, \
+         {:.1}% LUTs / {:.1}% DSPs, generated in {:.0} ms",
+        pre.compile.timing.fmax_mhz,
+        pre.latency.frame_ms,
+        util.luts,
+        util.dsps,
+        pre.total_time().as_secs_f64() * 1000.0
+    );
+
+    if full {
+        println!("\nrunning the monolithic baseline (~30 s)...");
+        let bopts = BaselineOptions {
+            synth: SynthOptions::vgg_like().monolithic(),
+            granularity: Granularity::Block,
+            ..Default::default()
+        };
+        let (_, base) = run_baseline_flow(&network, &device, &bopts).expect("baseline");
+        println!("{}", FlowComparison::new(&network.name, &base, &pre));
+    } else {
+        println!("\n(pass --full to also run the ~30 s monolithic baseline)");
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}

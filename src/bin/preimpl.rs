@@ -1,0 +1,217 @@
+//! `preimpl` — command-line driver for the pre-implemented CNN flow.
+//!
+//! ```text
+//! preimpl stats     <archdef>                      network statistics (Table I style)
+//! preimpl build-db  <archdef> <db-dir> [--block]   pre-implement components into a DCP directory
+//! preimpl compose   <archdef> <db-dir> [--block]   generate the accelerator from checkpoints
+//! preimpl baseline  <archdef>          [--block]   run the traditional monolithic flow
+//! preimpl floorplan <archdef> <db-dir> [--block]   render the assembled floorplan
+//! preimpl devices                                  list the device catalog
+//! ```
+//!
+//! All commands accept `--device <name>` (default `xcku5p-like`) and
+//! `--seeds N` (default 3). Run `cargo run --release --bin preimpl -- <cmd>`.
+
+use preimpl_cnn::cnn::graph::Granularity;
+use preimpl_cnn::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    device: String,
+    seeds: u64,
+    block: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        positional: Vec::new(),
+        device: "xcku5p-like".to_string(),
+        seeds: 3,
+        block: false,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--device" => {
+                args.device = argv.next().ok_or("--device needs a value")?;
+            }
+            "--seeds" => {
+                args.seeds = argv
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|_| "--seeds must be a number".to_string())?;
+            }
+            "--block" => args.block = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> <archdef> \
+     [db-dir] [--device NAME] [--seeds N] [--block]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.command == "devices" {
+        for name in ["xcku5p-like", "xcku060-like", "test-part"] {
+            let d = Device::catalog(name).map_err(|e| e.to_string())?;
+            let t = d.totals();
+            println!(
+                "{name:<14} {} cols x {} rows, {} LUTs, {} FFs, {} BRAMs, {} DSPs",
+                d.cols(),
+                d.rows(),
+                t.luts,
+                t.ffs,
+                t.brams,
+                t.dsps
+            );
+        }
+        return Ok(());
+    }
+
+    let device = Device::catalog(&args.device).map_err(|e| e.to_string())?;
+    let granularity = if args.block {
+        Granularity::Block
+    } else {
+        Granularity::Layer
+    };
+    let archdef_path = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("missing <archdef>\n{}", usage()))?;
+    let text = std::fs::read_to_string(archdef_path)
+        .map_err(|e| format!("reading {archdef_path}: {e}"))?;
+    let network = parse_archdef(&text).map_err(|e| e.to_string())?;
+
+    match args.command.as_str() {
+        "stats" => {
+            let stats = network.stats().map_err(|e| e.to_string())?;
+            println!("network {}", network.name);
+            println!("  conv layers : {:>12}", stats.conv_layers);
+            println!("  conv weights: {:>12}", stats.conv_weights);
+            println!("  conv MACs   : {:>12}", stats.conv_macs);
+            println!("  fc layers   : {:>12}", stats.fc_layers);
+            println!("  fc weights  : {:>12}", stats.fc_weights);
+            println!("  fc MACs     : {:>12}", stats.fc_macs);
+            println!("  total       : {:>12} weights, {} MACs", stats.total_weights(), stats.total_macs());
+            println!("\ncomponents ({granularity:?} granularity):");
+            for c in network.components(granularity).map_err(|e| e.to_string())? {
+                println!("  {:<40} {} -> {}", c.name, c.input_shape, c.output_shape);
+            }
+            Ok(())
+        }
+        "build-db" => {
+            let dir = db_dir(&args)?;
+            let fopts = fopts(&args, granularity);
+            let t = std::time::Instant::now();
+            let (db, reports) =
+                build_component_db(&network, &device, &fopts).map_err(|e| e.to_string())?;
+            db.save_dir(&dir).map_err(|e| e.to_string())?;
+            println!(
+                "built {} checkpoints in {:.1} s -> {}",
+                db.len(),
+                t.elapsed().as_secs_f64(),
+                dir.display()
+            );
+            for r in &reports {
+                println!(
+                    "  {:<40} {:6.0} MHz  {:6} LUTs {:4} DSPs",
+                    r.name, r.fmax_mhz, r.resources.luts, r.resources.dsps
+                );
+            }
+            Ok(())
+        }
+        "compose" | "floorplan" => {
+            let dir = db_dir(&args)?;
+            let db = ComponentDb::load_dir(&dir).map_err(|e| e.to_string())?;
+            let aopts = preimpl_cnn::flow::ArchOptOptions {
+                granularity,
+                ..Default::default()
+            };
+            let (design, report) = run_pre_implemented_flow(&network, &db, &device, &aopts)
+                .map_err(|e| e.to_string())?;
+            if args.command == "floorplan" {
+                println!(
+                    "{}",
+                    preimpl_cnn::pnr::report::floorplan_sketch(&design, &device, 96)
+                );
+            } else {
+                println!(
+                    "assembled {}: Fmax {:.0} MHz, pipeline {:.0} ns, frame {:.3} ms, \
+                     generated in {:.1} ms ({} stitched nets, stitch share {:.0}%)",
+                    design.name,
+                    report.compile.timing.fmax_mhz,
+                    report.latency.pipeline_ns,
+                    report.latency.frame_ms,
+                    report.total_time().as_secs_f64() * 1000.0,
+                    report.compose.stitched_nets,
+                    report.stitch_share() * 100.0
+                );
+                print!(
+                    "{}",
+                    preimpl_cnn::pnr::report::utilization_table(&design.resources(), &device)
+                );
+            }
+            Ok(())
+        }
+        "baseline" => {
+            let bopts = BaselineOptions {
+                granularity,
+                seed: args.seeds,
+                ..Default::default()
+            };
+            let (design, report) =
+                run_baseline_flow(&network, &device, &bopts).map_err(|e| e.to_string())?;
+            println!(
+                "baseline {}: Fmax {:.0} MHz, implemented in {:.2} s",
+                design.name,
+                report.compile.timing.fmax_mhz,
+                report.total_time().as_secs_f64()
+            );
+            print!(
+                "{}",
+                preimpl_cnn::pnr::report::utilization_table(&design.resources(), &device)
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn db_dir(args: &Args) -> Result<PathBuf, String> {
+    args.positional
+        .get(1)
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("missing <db-dir>\n{}", usage()))
+}
+
+fn fopts(args: &Args, granularity: Granularity) -> FunctionOptOptions {
+    FunctionOptOptions {
+        granularity,
+        seeds: (1..=args.seeds).collect(),
+        ..Default::default()
+    }
+}

@@ -1,0 +1,69 @@
+//! # preimpl-cnn
+//!
+//! A reproduction of *"Exploring a Layer-based Pre-implemented Flow for
+//! Mapping CNN on FPGA"* (IPPS 2021) as a pure-Rust toolflow: a columnar
+//! FPGA device model, netlists and design checkpoints, synthesis
+//! generators for CNN layer engines, a simulated-annealing placer and
+//! negotiated-congestion router with static timing analysis, a
+//! RapidWright-like stitching layer, and — on top of all of it — the
+//! paper's layer-based pre-implemented flow and its monolithic baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use preimpl_cnn::prelude::*;
+//!
+//! // Target device and network.
+//! let device = Device::xcku5p_like();
+//! let network = models::toy();
+//!
+//! // Phase 1 (done once): pre-implement every component into a database.
+//! let fopts = FunctionOptOptions { seeds: vec![1], ..Default::default() };
+//! let (db, _reports) = build_component_db(&network, &device, &fopts).unwrap();
+//!
+//! // Phase 2 (automatic): compose + inter-component routing.
+//! let (design, report) =
+//!     run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default()).unwrap();
+//! assert!(design.fully_routed());
+//! println!("accelerator Fmax: {:.0} MHz", report.compile.timing.fmax_mhz);
+//! ```
+//!
+//! See `examples/` for LeNet-5, VGG-16 and custom-network walkthroughs, and
+//! the `pi-bench` crate for the binaries that regenerate every table and
+//! figure of the paper.
+
+pub use pi_cnn as cnn;
+pub use pi_fabric as fabric;
+pub use pi_flow as flow;
+pub use pi_memalloc as memalloc;
+pub use pi_netlist as netlist;
+pub use pi_pnr as pnr;
+pub use pi_stitch as stitch;
+pub use pi_synth as synth;
+
+/// Everything a typical user of the flow needs in scope.
+pub mod prelude {
+    pub use pi_cnn::graph::Granularity;
+    pub use pi_cnn::{models, parse_archdef, Network};
+    pub use pi_fabric::{Device, Pblock, ResourceCount, TileCoord};
+    pub use pi_flow::{
+        build_component_db, run_baseline_flow, run_pre_implemented_flow, ArchOptOptions,
+        BaselineOptions, FlowComparison, FunctionOptOptions,
+    };
+    pub use pi_netlist::{Checkpoint, Design, Module};
+    pub use pi_pnr::{CompileReport, TimingReport};
+    pub use pi_stitch::ComponentDb;
+    pub use pi_synth::{SynthMode, SynthOptions};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reaches_every_crate() {
+        use crate::prelude::*;
+        let d = Device::test_part();
+        assert!(d.cols() > 0);
+        let n = models::toy();
+        assert!(n.validate().is_ok());
+    }
+}

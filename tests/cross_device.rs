@@ -1,0 +1,48 @@
+//! Device portability: the flow runs on any catalog part, and checkpoints
+//! stay bound to the part they were implemented for.
+
+use preimpl_cnn::prelude::*;
+
+#[test]
+fn toy_network_flows_on_the_ku060_part() {
+    let device = Device::xcku060_like();
+    let network = preimpl_cnn::cnn::models::toy();
+    let fopts = FunctionOptOptions {
+        seeds: vec![1],
+        ..Default::default()
+    };
+    let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    for cp in db.checkpoints() {
+        assert_eq!(cp.meta.device, "xcku060-like");
+    }
+    for r in &reports {
+        assert!(r.fmax_mhz > 100.0, "{} too slow: {}", r.name, r.fmax_mhz);
+    }
+    let (design, report) =
+        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
+            .expect("flow succeeds on ku060");
+    assert!(design.fully_routed());
+    assert!(report.compile.timing.fmax_mhz > 100.0);
+}
+
+#[test]
+fn per_device_databases_are_independent() {
+    let network = preimpl_cnn::cnn::models::toy();
+    let fopts = FunctionOptOptions {
+        seeds: vec![1],
+        ..Default::default()
+    };
+    let (db_a, _) =
+        build_component_db(&network, &Device::xcku5p_like(), &fopts).expect("builds");
+    let (db_b, _) =
+        build_component_db(&network, &Device::xcku060_like(), &fopts).expect("builds");
+    // Same signatures, different physical implementations.
+    let sigs_a: Vec<_> = db_a.signatures().collect();
+    let sigs_b: Vec<_> = db_b.signatures().collect();
+    assert_eq!(sigs_a, sigs_b);
+    for sig in sigs_a {
+        let a = db_a.get(sig).expect("present");
+        let b = db_b.get(sig).expect("present");
+        assert_ne!(a.meta.device, b.meta.device);
+    }
+}

@@ -1,0 +1,153 @@
+//! Failure injection: every gate in the flow must fail loudly and
+//! specifically, not corrupt state or panic.
+
+use preimpl_cnn::flow::FlowError;
+use preimpl_cnn::prelude::*;
+use preimpl_cnn::stitch::StitchError;
+
+#[test]
+fn missing_component_names_the_signature() {
+    let device = Device::xcku5p_like();
+    let network = preimpl_cnn::cnn::models::toy();
+    let empty = ComponentDb::new();
+    match run_pre_implemented_flow(&network, &empty, &device, &ArchOptOptions::default()) {
+        Err(FlowError::Stitch(StitchError::MissingComponent(sig))) => {
+            assert!(sig.starts_with("conv_k3"), "unexpected signature {sig}");
+        }
+        other => panic!("expected MissingComponent, got {other:?}"),
+    }
+}
+
+#[test]
+fn partial_database_reports_the_first_unmatched_component() {
+    let device = Device::xcku5p_like();
+    let network = preimpl_cnn::cnn::models::toy();
+    let fopts = FunctionOptOptions {
+        seeds: vec![1],
+        ..Default::default()
+    };
+    let (full_db, _) = build_component_db(&network, &device, &fopts).expect("builds");
+    // Rebuild a database missing exactly the pool component.
+    let mut partial = ComponentDb::new();
+    for cp in full_db.checkpoints() {
+        if !cp.meta.signature.starts_with("pool") {
+            partial.insert(cp.clone());
+        }
+    }
+    match run_pre_implemented_flow(&network, &partial, &device, &ArchOptOptions::default()) {
+        Err(FlowError::Stitch(StitchError::MissingComponent(sig))) => {
+            assert!(sig.starts_with("pool"), "should miss the pool, got {sig}");
+        }
+        other => panic!("expected MissingComponent, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_demand_fails_pblock_sizing() {
+    let device = Device::test_part();
+    let demand = ResourceCount {
+        luts: 10_000_000,
+        ..ResourceCount::ZERO
+    };
+    match preimpl_cnn::flow::size_pblock(&demand, &device, 0.7) {
+        Err(FlowError::ComponentUnsatisfiable { .. }) => {}
+        other => panic!("expected ComponentUnsatisfiable, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_mismatch_is_rejected_at_relocation() {
+    let device = Device::xcku5p_like();
+    let other = Device::xcku060_like();
+    let network = preimpl_cnn::cnn::models::toy();
+    let fopts = FunctionOptOptions {
+        seeds: vec![1],
+        ..Default::default()
+    };
+    let (db, _) = build_component_db(&network, &device, &fopts).expect("builds");
+    match run_pre_implemented_flow(&network, &db, &other, &ArchOptOptions::default()) {
+        Err(FlowError::Stitch(StitchError::DeviceMismatch { .. })) => {}
+        other => panic!("expected DeviceMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_archdefs_report_line_numbers() {
+    for (text, expect_line) in [
+        ("network a\ninput 1x8\n", 2),
+        ("network a\ninput 1x8x8\nconv c kernel=0 out=2\n", 3),
+        ("network a\ninput 1x8x8\nbogus x\n", 3),
+    ] {
+        match parse_archdef(text) {
+            Err(preimpl_cnn::cnn::CnnError::Parse { line, .. }) => {
+                assert_eq!(line, expect_line, "for {text:?}")
+            }
+            Err(preimpl_cnn::cnn::CnnError::ShapeMismatch(_)) if expect_line == 3 => {}
+            other => panic!("expected parse error for {text:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn router_reports_congestion_when_capacity_is_starved() {
+    use preimpl_cnn::pnr::{place_module, route_module, PlaceOptions, RouteOptions};
+    let device = Device::test_part();
+    let network = preimpl_cnn::cnn::models::toy();
+    let mut module = preimpl_cnn::synth::synth_network_flat(
+        &network,
+        Granularity::Layer,
+        &SynthOptions::lenet_like(),
+    )
+    .expect("synthesizes");
+    place_module(&mut module, &device, &PlaceOptions::default()).expect("places");
+    // One wire per tile with a single negotiation round cannot succeed for
+    // a thousand-cell design on the tiny test part.
+    let starved = RouteOptions {
+        max_iters: 1,
+        capacity: 1,
+    };
+    let (stats, map) = route_module(&mut module, &device, &starved).expect("runs");
+    assert!(
+        stats.overused_tiles > 0,
+        "starved routing should leave overuse"
+    );
+    assert_eq!(map.overused(), stats.overused_tiles);
+}
+
+#[test]
+fn locked_modules_reject_mutation_everywhere() {
+    let device = Device::xcku5p_like();
+    let network = preimpl_cnn::cnn::models::toy();
+    let fopts = FunctionOptOptions {
+        seeds: vec![1],
+        ..Default::default()
+    };
+    let (db, _) = build_component_db(&network, &device, &fopts).expect("builds");
+    let cp = db.checkpoints().next().expect("non-empty");
+    let mut module = cp.module.clone();
+    assert!(module.set_placement(preimpl_cnn::netlist::CellId(0), TileCoord::new(1, 1)).is_err());
+    assert!(module.cells_mut().is_err());
+    assert!(module.nets_mut().is_err());
+    assert!(module.ports_mut().is_err());
+    // The placer refuses to touch it too (all cells fixed => no-op is fine,
+    // but a locked module as a whole errors at the module API).
+    use preimpl_cnn::pnr::{place_module, PlaceOptions};
+    let placed_before: Vec<_> = module.cells().iter().map(|c| c.placement).collect();
+    // place_module on a locked module: every cell is fixed, so nothing
+    // moves and nothing errors — verify it is a strict no-op.
+    place_module(&mut module, &device, &PlaceOptions::default()).expect("no-op placement");
+    let placed_after: Vec<_> = module.cells().iter().map(|c| c.placement).collect();
+    assert_eq!(placed_before, placed_after);
+}
+
+#[test]
+fn corrupt_checkpoint_files_are_decode_errors() {
+    let dir = std::env::temp_dir().join(format!("pi_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("bad.dcp.json"), b"{ not valid json").expect("writes");
+    match ComponentDb::load_dir(&dir) {
+        Err(StitchError::Netlist(preimpl_cnn::netlist::NetlistError::Decode(_))) => {}
+        other => panic!("expected decode error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,146 @@
+//! Cross-model consistency: the synthesized hardware, the latency model and
+//! the reference function must agree with each other — the checks that keep
+//! the simulator honest.
+
+use preimpl_cnn::cnn::graph::Granularity;
+use preimpl_cnn::cnn::infer::{forward, forward_trace, Weights};
+use preimpl_cnn::cnn::{cycles, models, Tensor};
+use preimpl_cnn::synth::component::component_dsp_estimate;
+use preimpl_cnn::synth::{synth_component, SynthOptions};
+
+#[test]
+fn synthesized_dsps_match_the_analytic_estimate() {
+    // The latency model divides MACs by the analytic DSP estimate; the
+    // netlist generators must instantiate exactly that many.
+    for (network, gran, opts) in [
+        (models::lenet5(), Granularity::Layer, SynthOptions::lenet_like()),
+        (models::vgg16(), Granularity::Block, SynthOptions::vgg_like()),
+    ] {
+        for comp in network.components(gran).expect("components") {
+            let module = synth_component(&network, &comp, &opts).expect("synthesizes");
+            let estimate = component_dsp_estimate(&network, &comp).expect("estimates");
+            assert_eq!(
+                module.resources().dsps,
+                estimate,
+                "{}: netlist and estimate disagree",
+                comp.name
+            );
+        }
+    }
+}
+
+#[test]
+fn rom_capacity_covers_the_weights_it_stores() {
+    // LeNet hard-codes weights in ROM; every parameterized component's BRAM
+    // count must cover its weight storage at 16 bits/weight.
+    let network = models::lenet5();
+    let shapes = network.input_shapes().expect("shapes");
+    for comp in network.components(Granularity::Layer).expect("components") {
+        let module =
+            synth_component(&network, &comp, &SynthOptions::lenet_like()).expect("synthesizes");
+        let weights: u64 = comp
+            .nodes
+            .iter()
+            .map(|id| network.node(*id).layer.weights(shapes[id.index()]))
+            .sum();
+        let needed = (weights * 16).div_ceil(36 * 1024);
+        assert!(
+            module.resources().brams >= needed,
+            "{}: {} BRAMs cannot hold {} weights",
+            comp.name,
+            module.resources().brams,
+            weights
+        );
+    }
+}
+
+#[test]
+fn frame_cycles_are_bounded_below_by_ideal_macs_per_dsp() {
+    let network = models::vgg16();
+    for comp in network.components(Granularity::Block).expect("components") {
+        let macs = cycles::component_macs(&network, &comp).expect("macs");
+        if macs == 0 {
+            continue;
+        }
+        let dsps = component_dsp_estimate(&network, &comp).expect("estimates");
+        let cycles = cycles::frame_cycles(macs, comp.output_shape.elements(), dsps);
+        assert!(
+            cycles >= macs / dsps,
+            "{}: {} cycles below the ideal {}",
+            comp.name,
+            cycles,
+            macs / dsps
+        );
+    }
+}
+
+#[test]
+fn inference_trace_shapes_match_graph_shapes() {
+    let network = models::vgg_tiny();
+    let weights = Weights::random(&network, 11).expect("weights");
+    let input = Tensor::zeros(3, 32, 32);
+    let trace = forward_trace(&network, &weights, &input).expect("runs");
+    let shapes = network.input_shapes().expect("shapes");
+    for (id, tensor) in &trace {
+        let expected = network
+            .node(*id)
+            .layer
+            .output_shape(shapes[id.index()])
+            .expect("output shape");
+        assert_eq!(tensor.shape(), expected, "node {}", network.node(*id).name);
+    }
+}
+
+#[test]
+fn relu_layers_never_produce_negative_activations() {
+    let network = models::lenet5();
+    let weights = Weights::random(&network, 3).expect("weights");
+    let input = Tensor::from_f32(
+        1,
+        32,
+        32,
+        &(0..32 * 32)
+            .map(|i| ((i % 17) as f32 - 8.0) / 8.0)
+            .collect::<Vec<_>>(),
+    );
+    let trace = forward_trace(&network, &weights, &input).expect("runs");
+    for (id, tensor) in &trace {
+        if network.node(*id).layer.is_elementwise() {
+            assert!(
+                tensor.raw().iter().all(|&v| v >= 0),
+                "ReLU output contains negatives"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_depth_orders_components_like_the_paper() {
+    // Table III ordering: conv2 deeper than conv1, pools shallow, FCs in
+    // between.
+    let network = models::lenet5();
+    let comps = network.components(Granularity::Layer).expect("components");
+    let depth = |i: usize| {
+        cycles::component_pipeline_depth(&network, &comps[i]).expect("depth")
+    };
+    let (conv1, pool1, conv2, fc1) = (depth(0), depth(1), depth(2), depth(4));
+    assert!(conv2 > conv1, "conv2 {conv2} <= conv1 {conv1}");
+    assert!(pool1 < conv1);
+    assert!(fc1 < conv1);
+}
+
+#[test]
+fn quantized_inference_is_close_to_float_for_small_networks() {
+    // Fixed-point vs floating point on the toy network with small weights:
+    // results must stay within the quantization error envelope.
+    let network = models::toy();
+    let weights = Weights::random(&network, 5).expect("weights");
+    let input = Tensor::from_f32(1, 8, 8, &vec![0.25f32; 64]);
+    let out = forward(&network, &weights, &input).expect("runs");
+    // Saturation would pin outputs at the i16 rails; random small weights
+    // and inputs must not saturate.
+    assert!(out
+        .raw()
+        .iter()
+        .all(|&v| v > i16::MIN + 100 && v < i16::MAX - 100));
+}
