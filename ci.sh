@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, then the tier-1 build+test pass.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> ci.sh: all gates passed"

@@ -5,17 +5,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pi_cnn::graph::Granularity;
 use pi_fabric::{Device, TileCoord};
-use pi_flow::{build_component_db, FunctionOptOptions};
+use pi_flow::{build_component_db, FlowConfig};
 use pi_stitch::{compose, place_components, ComponentPlacerOptions, ComposeOptions};
 
 fn bench_stitching(c: &mut Criterion) {
     let device = Device::xcku5p_like();
     let network = pi_cnn::models::lenet5();
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (db, _) = build_component_db(&network, &device, &fopts).expect("db builds");
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (db, _) = build_component_db(&network, &device, &cfg).expect("db builds");
 
     // Relocation of the largest LeNet component.
     let biggest = db

@@ -60,9 +60,7 @@ fn bench_synthesis(c: &mut Criterion) {
     let network = pi_cnn::models::lenet5();
     let comps = network.components(Granularity::Layer).expect("components");
     c.bench_function("synth/lenet_conv1_component", |b| {
-        b.iter(|| {
-            synth_component(&network, &comps[0], &SynthOptions::lenet_like()).expect("synth")
-        })
+        b.iter(|| synth_component(&network, &comps[0], &SynthOptions::lenet_like()).expect("synth"))
     });
     let mut group = c.benchmark_group("synth/monolithic");
     group.sample_size(10);
@@ -82,8 +80,7 @@ fn bench_synthesis(c: &mut Criterion) {
 fn bench_checkpoints(c: &mut Criterion) {
     let network = pi_cnn::models::lenet5();
     let comps = network.components(Granularity::Layer).expect("components");
-    let module =
-        synth_component(&network, &comps[0], &SynthOptions::lenet_like()).expect("synth");
+    let module = synth_component(&network, &comps[0], &SynthOptions::lenet_like()).expect("synth");
     let cp = pi_netlist::Checkpoint {
         meta: pi_netlist::CheckpointMeta {
             signature: comps[0].signature(&network),
@@ -96,7 +93,9 @@ fn bench_checkpoints(c: &mut Criterion) {
         module,
     };
     let json = cp.to_json().expect("serializes");
-    c.bench_function("dcp/serialize_conv1", |b| b.iter(|| cp.to_json().expect("serializes")));
+    c.bench_function("dcp/serialize_conv1", |b| {
+        b.iter(|| cp.to_json().expect("serializes"))
+    });
     c.bench_function("dcp/deserialize_conv1", |b| {
         b.iter(|| pi_netlist::Checkpoint::from_json(&json).expect("parses"))
     });

@@ -1,4 +1,7 @@
 //! Regenerates the paper's ablation flow options experiment. Run with --release.
 fn main() {
-    println!("{}", pi_bench::experiments::ablation_flow_options().render());
+    println!(
+        "{}",
+        pi_bench::experiments::ablation_flow_options().render()
+    );
 }

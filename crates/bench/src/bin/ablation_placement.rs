@@ -1,5 +1,8 @@
 //! Regenerates the paper's ablation placement experiment. Run with --release.
 fn main() {
     let mut ctx = pi_bench::Ctx::new();
-    println!("{}", pi_bench::experiments::ablation_placement(&mut ctx).render());
+    println!(
+        "{}",
+        pi_bench::experiments::ablation_placement(&mut ctx).render()
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates the paper's fig6 productivity experiment. Run with --release.
 fn main() {
     let mut ctx = pi_bench::Ctx::new();
-    println!("{}", pi_bench::experiments::fig6_productivity(&mut ctx).render());
+    println!(
+        "{}",
+        pi_bench::experiments::fig6_productivity(&mut ctx).render()
+    );
 }

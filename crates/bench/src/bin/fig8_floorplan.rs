@@ -1,5 +1,8 @@
 //! Renders the assembled VGG-16 floorplan (the paper's Fig. 8).
 fn main() {
     let mut ctx = pi_bench::Ctx::new();
-    println!("{}", pi_bench::experiments::fig8_floorplan(&mut ctx).render());
+    println!(
+        "{}",
+        pi_bench::experiments::fig8_floorplan(&mut ctx).render()
+    );
 }

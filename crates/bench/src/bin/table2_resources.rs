@@ -1,5 +1,8 @@
 //! Regenerates the paper's table2 resources experiment. Run with --release.
 fn main() {
     let mut ctx = pi_bench::Ctx::new();
-    println!("{}", pi_bench::experiments::table2_resources(&mut ctx).render());
+    println!(
+        "{}",
+        pi_bench::experiments::table2_resources(&mut ctx).render()
+    );
 }

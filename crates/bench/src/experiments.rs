@@ -6,8 +6,7 @@ use crate::{device, fmt_s, md_table, Ctx, Section};
 use pi_cnn::cycles;
 use pi_cnn::graph::Granularity;
 use pi_flow::{
-    build_component_db, plan_partpins, run_pre_implemented_flow, size_pblock, ArchOptOptions,
-    FunctionOptOptions,
+    build_component_db, plan_partpins, run_pre_implemented_flow, size_pblock, FlowConfig,
 };
 use pi_netlist::{Checkpoint, CheckpointMeta, Design, DesignKind};
 use pi_pnr::compile::CompileOptions;
@@ -78,8 +77,7 @@ pub fn fig1_motivation() -> Section {
         let pre_time = t1.elapsed();
 
         let compile_gain = 100.0 * (1.0 - pre_time.as_secs_f64() / base_time.as_secs_f64());
-        let fmax_gain = 100.0
-            * (pre_report.timing.fmax_mhz / base_report.timing.fmax_mhz - 1.0);
+        let fmax_gain = 100.0 * (pre_report.timing.fmax_mhz / base_report.timing.fmax_mhz - 1.0);
         rows.push(vec![
             reference.kernel.to_string(),
             fmt_s(base_time),
@@ -213,8 +211,10 @@ pub fn table2_resources(ctx: &mut Ctx) -> Section {
     Section {
         id: "Table II".to_string(),
         title: "Resource utilization — measured [paper]".to_string(),
-        body: md_table(&["design", "CLB LUTs", "CLB registers", "BRAMs", "DSPs"], &rows)
-            + "\nShape check: the pre-implemented build of each network uses fewer \
+        body: md_table(
+            &["design", "CLB LUTs", "CLB registers", "BRAMs", "DSPs"],
+            &rows,
+        ) + "\nShape check: the pre-implemented build of each network uses fewer \
                LUTs/FFs/BRAMs than the classic build at equal DSPs — the paper's \
                §V-C observation. Absolute DSP counts land on the paper's (~2k for \
                VGG); utilization percentages read lower because our modeled device \
@@ -280,7 +280,13 @@ pub fn fig6_productivity(ctx: &mut Ctx) -> Section {
              incremental router genuinely touches only the stitched nets, while \
              Vivado's final route re-processes the whole checkpoint. The one-time \
              component-database build (the paper's semi-manual function \
-             optimization) is shown separately, as the paper also excludes it.\n",
+             optimization) is shown separately, as the paper also excludes it.\n"
+            + &format!(
+                "\nConvergence (from the telemetry stream of these runs): {}. \
+                 Re-run any pi-bench binary with `--trace <path>` to dump the \
+                 full JSON-Lines stream.\n",
+                ctx.convergence()
+            ),
     }
 }
 
@@ -326,7 +332,8 @@ pub fn table3_lenet(ctx: &mut Ctx) -> Section {
         ),
         format!(
             "{:.1} ({:.1})",
-            ours.latency.pipeline_ns, paper::TABLE3[7].latency_ns
+            ours.latency.pipeline_ns,
+            paper::TABLE3[7].latency_ns
         ),
     ]);
     let base = &run.baseline;
@@ -339,14 +346,16 @@ pub fn table3_lenet(ctx: &mut Ctx) -> Section {
     Section {
         id: "Table III".to_string(),
         title: "LeNet performance exploration — measured (paper in parentheses)".to_string(),
-        body: md_table(&["component", "frequency MHz", "pipeline latency ns"], &rows)
-            + &format!(
-                "\nAssembled-vs-baseline Fmax ratio: {ratio:.2}x (paper claims \
+        body: md_table(
+            &["component", "frequency MHz", "pipeline latency ns"],
+            &rows,
+        ) + &format!(
+            "\nAssembled-vs-baseline Fmax ratio: {ratio:.2}x (paper claims \
                  1.75x). Shape checks: conv2 is slower than conv1 (more input \
                  channels, deeper accumulation), pools are the fastest \
                  components, and the assembled frequency is bounded by the \
                  slowest component.\n"
-            ),
+        ),
     }
 }
 
@@ -364,7 +373,8 @@ pub fn fig7_vgg(ctx: &mut Ctx) -> Section {
         ),
         format!(
             "{:.2} ({:.2})",
-            base.latency.frame_ms, paper::FIG7[0].latency_ms
+            base.latency.frame_ms,
+            paper::FIG7[0].latency_ms
         ),
     ]);
     for (i, (r, lat)) in run
@@ -427,8 +437,7 @@ pub fn table4_sota(ctx: &mut Ctx) -> Section {
             ]
         })
         .collect();
-    let dsp_util = 100.0 * run.preimpl_design.resources().dsps as f64
-        / device.totals().dsps as f64;
+    let dsp_util = 100.0 * run.preimpl_design.resources().dsps as f64 / device.totals().dsps as f64;
     rows.push(vec![
         "This repo (measured)".to_string(),
         device.name().to_string(),
@@ -441,7 +450,14 @@ pub fn table4_sota(ctx: &mut Ctx) -> Section {
         id: "Table IV".to_string(),
         title: "VGG-16 vs state-of-the-art (literature rows are citations)".to_string(),
         body: md_table(
-            &["work", "FPGA", "Fmax MHz", "precision", "DSP util", "latency ms"],
+            &[
+                "work",
+                "FPGA",
+                "Fmax MHz",
+                "precision",
+                "DSP util",
+                "latency ms",
+            ],
             &rows,
         ) + "\nAs in the paper, the cited rows come from different devices and \
              setups and are qualitative reference only. The paper's headline — \
@@ -585,8 +601,7 @@ pub fn ablation_cle() -> Section {
     }
     Section {
         id: "Extension A3".to_string(),
-        title: "CLE architecture class: Q replicated engines (VGG-16 conv layers)"
-            .to_string(),
+        title: "CLE architecture class: Q replicated engines (VGG-16 conv layers)".to_string(),
         body: md_table(
             &[
                 "config",
@@ -613,52 +628,27 @@ pub fn ablation_cle() -> Section {
 pub fn ablation_flow_options() -> Section {
     let device = device();
     let network = pi_cnn::models::lenet5();
-    let variants: Vec<(&str, FunctionOptOptions)> = vec![
+    let lenet_cfg = || FlowConfig::new().with_synth(pi_synth::SynthOptions::lenet_like());
+    let variants: Vec<(&str, FlowConfig)> = vec![
         (
             "default (planned ports, tight pblocks, 3 seeds)",
-            FunctionOptOptions {
-                synth: pi_synth::SynthOptions::lenet_like(),
-                ..Default::default()
-            },
+            lenet_cfg(),
         ),
-        (
-            "no port planning",
-            FunctionOptOptions {
-                synth: pi_synth::SynthOptions::lenet_like(),
-                plan_partpins: false,
-                ..Default::default()
-            },
-        ),
+        ("no port planning", lenet_cfg().with_plan_partpins(false)),
         (
             "loose pblocks (25% target utilization)",
-            FunctionOptOptions {
-                synth: pi_synth::SynthOptions::lenet_like(),
-                pblock_utilization: 0.25,
-                ..Default::default()
-            },
+            lenet_cfg().with_pblock_utilization(0.25),
         ),
-        (
-            "single placement seed",
-            FunctionOptOptions {
-                synth: pi_synth::SynthOptions::lenet_like(),
-                seeds: vec![1],
-                ..Default::default()
-            },
-        ),
+        ("single placement seed", lenet_cfg().with_seeds([1])),
     ];
     let mut rows = Vec::new();
-    for (label, fopts) in variants {
-        let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    for (label, cfg) in variants {
+        let (db, reports) = build_component_db(&network, &device, &cfg).expect("db builds");
         let min_fmax = reports
             .iter()
             .map(|r| r.fmax_mhz)
             .fold(f64::INFINITY, f64::min);
-        let result = run_pre_implemented_flow(
-            &network,
-            &db,
-            &device,
-            &ArchOptOptions::default(),
-        );
+        let result = run_pre_implemented_flow(&network, &db, &device, &cfg);
         match result {
             Ok((_, report)) => rows.push(vec![
                 label.to_string(),
@@ -728,12 +718,11 @@ pub fn ablation_placement(ctx: &mut Ctx) -> Section {
     ];
     let mut rows = Vec::new();
     for (label, placer) in variants {
-        let opts = ArchOptOptions {
-            granularity: Granularity::Layer,
-            placer,
-            ..Default::default()
-        };
-        match run_pre_implemented_flow(&network, &db, &device, &opts) {
+        let cfg = FlowConfig::new()
+            .with_granularity(Granularity::Layer)
+            .with_placer(placer)
+            .with_obs(ctx.obs().clone());
+        match run_pre_implemented_flow(&network, &db, &device, &cfg) {
             Ok((_, report)) => rows.push(vec![
                 label.to_string(),
                 format!("{:.0}", report.compose.placement.timing_cost),
@@ -772,26 +761,15 @@ pub fn ablation_placement(ctx: &mut Ctx) -> Section {
 pub fn ext_alexnet() -> Section {
     let device = device();
     let network = pi_cnn::models::alexnet_like();
-    let fopts = FunctionOptOptions {
-        synth: pi_synth::SynthOptions::vgg_like(),
-        seeds: vec![1, 2],
-        ..Default::default()
-    };
+    let cfg = FlowConfig::new()
+        .with_synth(pi_synth::SynthOptions::vgg_like())
+        .with_seeds([1, 2]);
     let t0 = Instant::now();
-    let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    let (db, reports) = build_component_db(&network, &device, &cfg).expect("db builds");
     let db_time = t0.elapsed();
-    let (design, pre) = run_pre_implemented_flow(
-        &network,
-        &db,
-        &device,
-        &ArchOptOptions::default(),
-    )
-    .expect("flow succeeds");
-    let bopts = pi_flow::BaselineOptions {
-        synth: pi_synth::SynthOptions::vgg_like().monolithic(),
-        ..Default::default()
-    };
-    let (_, base) = pi_flow::run_baseline_flow(&network, &device, &bopts).expect("baseline");
+    let (design, pre) =
+        run_pre_implemented_flow(&network, &db, &device, &cfg).expect("flow succeeds");
+    let (_, base) = pi_flow::run_baseline_flow(&network, &device, &cfg).expect("baseline");
 
     let mut rows = Vec::new();
     for r in &reports {

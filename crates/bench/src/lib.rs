@@ -15,12 +15,14 @@ use pi_cnn::graph::Granularity;
 use pi_cnn::Network;
 use pi_fabric::Device;
 use pi_flow::{
-    build_component_db, run_baseline_flow, run_pre_implemented_flow, ArchOptOptions,
-    BaselineOptions, BaselineReport, ComponentBuildReport, FunctionOptOptions, PreImplReport,
+    build_component_db, run_baseline_flow, run_pre_implemented_flow, BaselineReport,
+    ComponentBuildReport, FlowConfig, PreImplReport,
 };
 use pi_netlist::Design;
+use pi_obs::{Event, EventSink, FanoutSink, FileSink, MemorySink, Obs, Value};
 use pi_stitch::ComponentDb;
 use pi_synth::SynthOptions;
+use std::sync::Arc;
 
 /// One rendered experiment.
 #[derive(Debug, Clone)]
@@ -53,10 +55,23 @@ pub struct NetworkRun {
 
 /// Shared, lazily-built experiment context. Everything is seeded and
 /// deterministic, so all binaries agree with `all_experiments`.
-#[derive(Default)]
+///
+/// The context owns the run's telemetry: a [`MemorySink`] is always
+/// attached (so experiments can compute convergence summaries), and
+/// [`Ctx::new`] additionally tees the stream to a JSON-Lines file when the
+/// process was started with `--trace <path>`.
 pub struct Ctx {
     lenet: Option<NetworkRun>,
     vgg: Option<NetworkRun>,
+    sink: Arc<MemorySink>,
+    obs: Obs,
+    trace_path: Option<String>,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self::with_trace(None)
+    }
 }
 
 /// Standard evaluation device (see DESIGN.md for the calibration notes).
@@ -64,41 +79,22 @@ pub fn device() -> Device {
     Device::xcku5p_like()
 }
 
-fn run_network(
-    network: Network,
-    granularity: Granularity,
-    synth: SynthOptions,
-) -> NetworkRun {
+fn run_network(network: Network, cfg: &FlowConfig) -> NetworkRun {
     let device = device();
-    let fopts = FunctionOptOptions {
-        synth,
-        granularity,
-        seeds: vec![1, 2, 3],
-        ..Default::default()
-    };
     let t0 = std::time::Instant::now();
     let (db, component_reports) =
-        build_component_db(&network, &device, &fopts).expect("component DB builds");
+        build_component_db(&network, &device, cfg).expect("component DB builds");
     let db_build_time = t0.elapsed();
 
-    let aopts = ArchOptOptions {
-        granularity,
-        ..Default::default()
-    };
     let (preimpl_design, preimpl) =
-        run_pre_implemented_flow(&network, &db, &device, &aopts).expect("pre-implemented flow");
+        run_pre_implemented_flow(&network, &db, &device, cfg).expect("pre-implemented flow");
 
-    let bopts = BaselineOptions {
-        synth: synth.monolithic(),
-        granularity,
-        ..Default::default()
-    };
     let (baseline_design, baseline) =
-        run_baseline_flow(&network, &device, &bopts).expect("baseline flow");
+        run_baseline_flow(&network, &device, cfg).expect("baseline flow");
 
     NetworkRun {
         network,
-        granularity,
+        granularity: cfg.granularity,
         db,
         component_reports,
         db_build_time,
@@ -110,8 +106,69 @@ fn run_network(
 }
 
 impl Ctx {
+    /// Build a context, honoring a `--trace <path>` flag anywhere in the
+    /// process arguments (every `pi-bench` binary accepts it).
     pub fn new() -> Self {
-        Self::default()
+        let mut argv = std::env::args().skip(1);
+        let mut trace = None;
+        while let Some(a) = argv.next() {
+            if a == "--trace" {
+                trace = argv.next();
+            }
+        }
+        Self::with_trace(trace)
+    }
+
+    /// Build a context with an explicit trace destination (`None` keeps the
+    /// telemetry in memory only).
+    pub fn with_trace(trace: Option<String>) -> Self {
+        let sink = Arc::new(MemorySink::new());
+        let obs = match &trace {
+            Some(path) => {
+                let file = FileSink::create(path).unwrap_or_else(|e| panic!("--trace {path}: {e}"));
+                let tee: Vec<Arc<dyn EventSink>> = vec![sink.clone(), Arc::new(file)];
+                Obs::new(Arc::new(FanoutSink::new(tee)))
+            }
+            None => Obs::new(sink.clone()),
+        };
+        Ctx {
+            lenet: None,
+            vgg: None,
+            sink,
+            obs,
+            trace_path: trace,
+        }
+    }
+
+    /// The telemetry handle every flow run in this context reports through.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Where `--trace` is being written, if anywhere.
+    pub fn trace_path(&self) -> Option<&str> {
+        self.trace_path.as_deref()
+    }
+
+    /// Everything recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.sink.snapshot()
+    }
+
+    /// A [`FlowConfig`] wired to this context's telemetry stream, with the
+    /// harness' standard DSE width (seeds 1–3).
+    pub fn config(&self, granularity: Granularity, synth: SynthOptions) -> FlowConfig {
+        FlowConfig::new()
+            .with_synth(synth)
+            .with_granularity(granularity)
+            .with_seeds([1, 2, 3])
+            .with_obs(self.obs.clone())
+    }
+
+    /// Convergence summary of everything recorded so far (see
+    /// [`convergence_summary`]).
+    pub fn convergence(&self) -> ConvergenceSummary {
+        convergence_summary(&self.events())
     }
 
     /// LeNet-5 runs (layer granularity, weights in ROM — the paper's
@@ -119,11 +176,8 @@ impl Ctx {
     pub fn lenet(&mut self) -> &NetworkRun {
         if self.lenet.is_none() {
             eprintln!("[ctx] building LeNet-5 runs (both flows)...");
-            self.lenet = Some(run_network(
-                pi_cnn::models::lenet5(),
-                Granularity::Layer,
-                SynthOptions::lenet_like(),
-            ));
+            let cfg = self.config(Granularity::Layer, SynthOptions::lenet_like());
+            self.lenet = Some(run_network(pi_cnn::models::lenet5(), &cfg));
         }
         self.lenet.as_ref().expect("just built")
     }
@@ -133,14 +187,81 @@ impl Ctx {
     pub fn vgg(&mut self) -> &NetworkRun {
         if self.vgg.is_none() {
             eprintln!("[ctx] building VGG-16 runs (both flows; ~1 min)...");
-            self.vgg = Some(run_network(
-                pi_cnn::models::vgg16(),
-                Granularity::Block,
-                SynthOptions::vgg_like(),
-            ));
+            let cfg = self.config(Granularity::Block, SynthOptions::vgg_like());
+            self.vgg = Some(run_network(pi_cnn::models::vgg16(), &cfg));
         }
         self.vgg.as_ref().expect("just built")
     }
+}
+
+/// Aggregated convergence behavior extracted from a telemetry stream.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceSummary {
+    /// Distinct PathFinder negotiation runs seen (`iter` restarting at 0).
+    pub route_runs: usize,
+    /// Iterations the slowest router run needed to converge.
+    pub max_router_iters: u64,
+    /// Overused tiles left after the last iteration of the last run.
+    pub final_overuse: u64,
+    /// Simulated-annealing rounds across all placements.
+    pub anneal_rounds: u64,
+    /// Component-placer candidate decisions (Eq. 1–3 evaluations kept).
+    pub placer_candidates: u64,
+    /// Component-placer threshold-retry events (unplace-and-retry loop).
+    pub placer_retries: u64,
+}
+
+impl std::fmt::Display for ConvergenceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} router runs (slowest converged in {} iterations, final overuse {}), \
+             {} annealing rounds, {} component-placer candidates, {} threshold retries",
+            self.route_runs,
+            self.max_router_iters,
+            self.final_overuse,
+            self.anneal_rounds,
+            self.placer_candidates,
+            self.placer_retries
+        )
+    }
+}
+
+fn field_u64(event: &Event, key: &str) -> Option<u64> {
+    event
+        .fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::F64(n) => Some(*n as u64),
+            _ => None,
+        })
+}
+
+/// Fold a telemetry stream into the convergence numbers the paper-facing
+/// reports quote (router iterations-to-converge, final overuse, annealing
+/// and stitch-placer activity).
+pub fn convergence_summary(events: &[Event]) -> ConvergenceSummary {
+    let mut summary = ConvergenceSummary::default();
+    for e in events {
+        match (e.scope.as_str(), e.name.as_str()) {
+            ("pnr::route", "pathfinder_iter") => {
+                let iter = field_u64(e, "iter").unwrap_or(0);
+                if iter == 0 {
+                    summary.route_runs += 1;
+                }
+                summary.max_router_iters = summary.max_router_iters.max(iter + 1);
+                summary.final_overuse = field_u64(e, "overused").unwrap_or(0);
+            }
+            ("pnr::place", "anneal_round") => summary.anneal_rounds += 1,
+            ("stitch::placer", "candidate") => summary.placer_candidates += 1,
+            ("stitch::placer", "threshold_retry") => summary.placer_retries += 1,
+            _ => {}
+        }
+    }
+    summary
 }
 
 /// Render a markdown table.
@@ -187,5 +308,49 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(fmt_s(std::time::Duration::from_millis(50)), "50.0 ms");
         assert_eq!(fmt_s(std::time::Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn convergence_summary_folds_router_and_placer_events() {
+        use pi_obs::EventKind;
+        let mk = |scope: &str, name: &str, fields: Vec<(String, Value)>| Event {
+            seq: 0,
+            ts_us: 0,
+            seed: 0,
+            scope: scope.to_string(),
+            name: name.to_string(),
+            kind: EventKind::Point,
+            fields,
+        };
+        let events = vec![
+            mk(
+                "pnr::route",
+                "pathfinder_iter",
+                vec![
+                    ("iter".to_string(), Value::U64(0)),
+                    ("overused".to_string(), Value::U64(5)),
+                ],
+            ),
+            mk(
+                "pnr::route",
+                "pathfinder_iter",
+                vec![
+                    ("iter".to_string(), Value::U64(1)),
+                    ("overused".to_string(), Value::U64(0)),
+                ],
+            ),
+            mk("pnr::place", "anneal_round", vec![]),
+            mk("stitch::placer", "candidate", vec![]),
+            mk("stitch::placer", "threshold_retry", vec![]),
+        ];
+        let s = convergence_summary(&events);
+        assert_eq!(s.route_runs, 1);
+        assert_eq!(s.max_router_iters, 2);
+        assert_eq!(s.final_overuse, 0);
+        assert_eq!(s.anneal_rounds, 1);
+        assert_eq!(s.placer_candidates, 1);
+        assert_eq!(s.placer_retries, 1);
+        let line = s.to_string();
+        assert!(line.contains("converged in 2 iterations"));
     }
 }

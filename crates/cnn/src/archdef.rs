@@ -43,7 +43,9 @@ pub fn parse_archdef(text: &str) -> Result<Network, CnnError> {
                 network = Some(Network::new(name));
             }
             "input" => {
-                let net = network.as_mut().ok_or_else(|| err("input before network"))?;
+                let net = network
+                    .as_mut()
+                    .ok_or_else(|| err("input before network"))?;
                 let shape = words.next().ok_or_else(|| err("missing input shape"))?;
                 let dims: Vec<u32> = shape
                     .split('x')
@@ -55,7 +57,9 @@ pub fn parse_archdef(text: &str) -> Result<Network, CnnError> {
                 net.push_layer("input", Layer::Input(Shape::new(dims[0], dims[1], dims[2])));
             }
             "conv" | "pool" | "relu" | "fc" => {
-                let net = network.as_mut().ok_or_else(|| err("layer before network"))?;
+                let net = network
+                    .as_mut()
+                    .ok_or_else(|| err("layer before network"))?;
                 let name = words.next().ok_or_else(|| err("missing layer name"))?;
                 let kv = parse_kv(words, lineno + 1)?;
                 let get = |key: &str| -> Result<u32, CnnError> {
@@ -179,10 +183,8 @@ fc fc2 out=10
 
     #[test]
     fn defaults_for_stride_and_padding() {
-        let net = parse_archdef(
-            "network n\ninput 1x8x8\nconv c kernel=3 out=2\npool p window=2\n",
-        )
-        .unwrap();
+        let net = parse_archdef("network n\ninput 1x8x8\nconv c kernel=3 out=2\npool p window=2\n")
+            .unwrap();
         let shapes = net.input_shapes().unwrap();
         assert_eq!(shapes[2].height, 6); // stride defaulted to 1, pad to 0
         assert_eq!(net.output_shape().unwrap().height, 3); // pool stride = window
@@ -190,8 +192,7 @@ fc fc2 out=10
 
     #[test]
     fn error_positions_are_reported() {
-        let err = parse_archdef("network n\ninput 1x8x8\nconv c kernel=oops out=2\n")
-            .unwrap_err();
+        let err = parse_archdef("network n\ninput 1x8x8\nconv c kernel=oops out=2\n").unwrap_err();
         match err {
             CnnError::Parse { line, .. } => assert_eq!(line, 3),
             other => panic!("wrong error {other:?}"),

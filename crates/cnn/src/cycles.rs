@@ -165,7 +165,7 @@ mod tests {
         let slow = frame_cycles(1_000_000, 0, 10);
         let fast = frame_cycles(1_000_000, 0, 100);
         assert!(slow > fast * 9); // near-linear scaling
-        // Element-wise engines stream at output rate.
+                                  // Element-wise engines stream at output rate.
         assert_eq!(frame_cycles(0, 784, 16), 784);
     }
 

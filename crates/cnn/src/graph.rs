@@ -256,7 +256,9 @@ impl Network {
             components.push(c);
         }
         if components.is_empty() {
-            return Err(CnnError::BadGraph("network has no compute layers".to_string()));
+            return Err(CnnError::BadGraph(
+                "network has no compute layers".to_string(),
+            ));
         }
         Ok(components)
     }
@@ -265,7 +267,9 @@ impl Network {
     pub fn validate(&self) -> Result<(), CnnError> {
         for (f, t) in &self.edges {
             if f.index() >= self.nodes.len() || t.index() >= self.nodes.len() {
-                return Err(CnnError::BadGraph("edge references missing node".to_string()));
+                return Err(CnnError::BadGraph(
+                    "edge references missing node".to_string(),
+                ));
             }
         }
         self.bfs().map(|_| ())

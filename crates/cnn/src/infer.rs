@@ -49,9 +49,8 @@ impl Weights {
                 ),
                 _ => continue,
             };
-            let mut gen = |n: usize| -> Vec<i16> {
-                (0..n).map(|_| rng.gen_range(-128..=127)).collect()
-            };
+            let mut gen =
+                |n: usize| -> Vec<i16> { (0..n).map(|_| rng.gen_range(-128..=127)).collect() };
             by_node.insert(
                 NodeId(i as u32),
                 LayerWeights {
@@ -355,19 +354,26 @@ mod tests {
     fn im2col_matches_direct_convolution() {
         use rand::Rng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        for (cin, cout, k, size, stride, pad) in
-            [(1, 2, 3, 8, 1, 0), (3, 4, 3, 9, 1, 1), (2, 3, 5, 12, 2, 2), (4, 1, 1, 6, 1, 0)]
-        {
+        for (cin, cout, k, size, stride, pad) in [
+            (1, 2, 3, 8, 1, 0),
+            (3, 4, 3, 9, 1, 1),
+            (2, 3, 5, 12, 2, 2),
+            (4, 1, 1, 6, 1, 0),
+        ] {
             let p = ConvParams {
                 kernel: k,
                 stride,
                 padding: pad,
                 out_channels: cout,
             };
-            let data: Vec<i16> = (0..cin * size * size).map(|_| rng.gen_range(-300..300)).collect();
+            let data: Vec<i16> = (0..cin * size * size)
+                .map(|_| rng.gen_range(-300..300))
+                .collect();
             let input = Tensor::from_raw(cin, size, size, data);
             let w = LayerWeights {
-                kernel: (0..(k * k * cin * cout) as usize).map(|_| rng.gen_range(-100..100)).collect(),
+                kernel: (0..(k * k * cin * cout) as usize)
+                    .map(|_| rng.gen_range(-100..100))
+                    .collect(),
                 bias: (0..cout as usize).map(|_| rng.gen_range(-50..50)).collect(),
             };
             let direct = conv2d(&input, &p, &w).unwrap();
@@ -440,9 +446,6 @@ mod tests {
         let net = models::lenet5();
         let weights = Weights::random(&net, 1).unwrap();
         let stats = net.stats().unwrap();
-        assert_eq!(
-            weights.parameter_count() as u64,
-            stats.total_weights()
-        );
+        assert_eq!(weights.parameter_count() as u64, stats.total_weights());
     }
 }

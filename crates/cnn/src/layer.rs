@@ -53,7 +53,9 @@ impl ConvParams {
 
     /// Weight count (including biases), given the input channel count.
     pub fn weights(&self, in_channels: u32) -> u64 {
-        u64::from(self.kernel) * u64::from(self.kernel) * u64::from(in_channels)
+        u64::from(self.kernel)
+            * u64::from(self.kernel)
+            * u64::from(in_channels)
             * u64::from(self.out_channels)
             + u64::from(self.out_channels)
     }

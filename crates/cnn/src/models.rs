@@ -184,10 +184,7 @@ mod tests {
 
     #[test]
     fn lenet_output_is_ten_classes() {
-        assert_eq!(
-            lenet5().output_shape().unwrap(),
-            Shape::new(10, 1, 1)
-        );
+        assert_eq!(lenet5().output_shape().unwrap(), Shape::new(10, 1, 1));
     }
 
     #[test]
@@ -223,8 +220,16 @@ mod tests {
         let shapes = n.input_shapes().unwrap();
         assert_eq!(shapes[2], crate::layer::Shape::new(96, 55, 55));
         // AlexNet: ~61M parameters, ~0.7G conv MACs.
-        assert!((58_000_000..64_000_000).contains(&s.total_weights()), "{}", s.total_weights());
-        assert!((600_000_000..1_200_000_000).contains(&s.conv_macs), "{}", s.conv_macs);
+        assert!(
+            (58_000_000..64_000_000).contains(&s.total_weights()),
+            "{}",
+            s.total_weights()
+        );
+        assert!(
+            (600_000_000..1_200_000_000).contains(&s.conv_macs),
+            "{}",
+            s.conv_macs
+        );
         // 3x3-stride-2 pooling produces the classic 6x6x256 feature map.
         assert_eq!(n.components(Granularity::Layer).unwrap().len(), 11);
     }

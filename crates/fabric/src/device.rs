@@ -72,11 +72,10 @@ impl Device {
                 row: coord.row,
             });
         }
-        self.column_kind(coord.col)
-            .ok_or(FabricError::OutOfBounds {
-                col: coord.col,
-                row: coord.row,
-            })
+        self.column_kind(coord.col).ok_or(FabricError::OutOfBounds {
+            col: coord.col,
+            row: coord.row,
+        })
     }
 
     /// Site kind at a coordinate, `None` when the tile has no site.

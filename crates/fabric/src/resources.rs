@@ -173,10 +173,7 @@ mod tests {
         assert!((pct.luts - 50.0).abs() < 1e-9);
         assert!((pct.brams - 100.0).abs() < 1e-9);
         assert_eq!(pct.urams, 0.0);
-        let over = ResourceCount {
-            brams: 5,
-            ..used
-        };
+        let over = ResourceCount { brams: 5, ..used };
         assert!(!over.fits_in(&cap));
     }
 

@@ -8,13 +8,14 @@
 //! are reported separately — the paper's Fig. 6 shows stitching is only
 //! 5–9 % of the pre-implemented flow's total.
 
+use crate::config::FlowConfig;
 use crate::report::LatencyReport;
 use crate::FlowError;
 use pi_cnn::graph::{Granularity, Network};
 use pi_fabric::Device;
 use pi_netlist::Design;
-use pi_pnr::{route_assembled, CompileReport, RouteOptions};
-use pi_stitch::{compose, ComponentDb, ComponentPlacerOptions, ComposeOptions, ComposeReport};
+use pi_pnr::{route_assembled_obs, CompileReport, RouteOptions};
+use pi_stitch::{compose_obs, ComponentDb, ComponentPlacerOptions, ComposeOptions, ComposeReport};
 use std::time::{Duration, Instant};
 
 /// Wire length (tiles) each pipeline segment of a long inter-component net
@@ -32,7 +33,10 @@ pub fn pipeline_top_nets(design: &mut Design) -> u64 {
     for ni in 0..design.top_nets().len() {
         let net = &design.top_nets()[ni];
         let a = design.top_endpoint_coord(net.source);
-        let b = net.sinks.first().and_then(|&s| design.top_endpoint_coord(s));
+        let b = net
+            .sinks
+            .first()
+            .and_then(|&s| design.top_endpoint_coord(s));
         if let (Some(a), Some(b)) = (a, b) {
             let stages = (a.manhattan(&b).div_ceil(WIRE_PIPELINE_SPACING)).max(1);
             design.top_nets_mut()[ni].pipeline_stages = stages;
@@ -94,15 +98,22 @@ impl PreImplReport {
 }
 
 /// Run the architecture-optimization phase: compose from the database, then
-/// route the inter-component nets.
+/// route the inter-component nets. Telemetry goes to the sink the config
+/// carries: `stitch::placer` / `stitch::compose` during composition,
+/// `pnr::route` during final routing, and a `flow::arch_opt` summary.
 pub fn run_pre_implemented_flow(
     network: &Network,
     db: &ComponentDb,
     device: &Device,
-    opts: &ArchOptOptions,
+    cfg: &FlowConfig,
 ) -> Result<(Design, PreImplReport), FlowError> {
+    let opts = cfg.arch_opt_options();
+    let obs = cfg.obs();
+    let arch = obs.scoped("flow::arch_opt");
+
     let t0 = Instant::now();
-    let (mut design, compose_report) = compose(
+    let stitch_span = arch.span("stitch");
+    let (mut design, compose_report) = compose_obs(
         network,
         db,
         device,
@@ -110,12 +121,16 @@ pub fn run_pre_implemented_flow(
             granularity: opts.granularity,
             placer: opts.placer,
         },
+        obs,
     )?;
     let extra_pipeline_cycles = pipeline_top_nets(&mut design);
+    stitch_span.end();
     let stitch_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let compile = route_assembled(&mut design, device, &opts.route)?;
+    let route_span = arch.span("route");
+    let compile = route_assembled_obs(&mut design, device, &opts.route, obs)?;
+    route_span.end();
     let route_time = t1.elapsed();
 
     // Physical design-rule check: relocation, placement and stitching must
@@ -133,32 +148,46 @@ pub fn run_pre_implemented_flow(
         extra_pipeline_cycles,
     )?;
 
-    Ok((
-        design,
-        PreImplReport {
-            compose: compose_report,
-            compile,
-            stitch_time,
-            route_time,
-            latency,
-        },
-    ))
+    let report = PreImplReport {
+        compose: compose_report,
+        compile,
+        stitch_time,
+        route_time,
+        latency,
+    };
+    if arch.enabled() {
+        arch.point(
+            "flow_done",
+            &[
+                (
+                    "components",
+                    report.compose.component_signatures.len().into(),
+                ),
+                ("stitched_nets", report.compose.stitched_nets.into()),
+                ("fmax_mhz", report.compile.timing.fmax_mhz.into()),
+                ("pipeline_cycles", report.latency.pipeline_cycles.into()),
+                // Wall-clock-derived: present in the trace, stripped from
+                // the determinism comparison form.
+                ("wallclock_stitch_s", stitch_time.as_secs_f64().into()),
+                ("wallclock_route_s", route_time.as_secs_f64().into()),
+                ("wallclock_stitch_share", report.stitch_share().into()),
+            ],
+        );
+    }
+    Ok((design, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::function_opt::{build_component_db, FunctionOptOptions};
+    use crate::function_opt::build_component_db;
     use pi_cnn::models;
 
     fn toy_setup() -> (Device, Network, ComponentDb) {
         let device = Device::xcku5p_like();
         let network = models::toy();
-        let opts = FunctionOptOptions {
-            seeds: vec![1],
-            ..Default::default()
-        };
-        let (db, _) = build_component_db(&network, &device, &opts).unwrap();
+        let cfg = FlowConfig::new().with_seeds([1]);
+        let (db, _) = build_component_db(&network, &device, &cfg).unwrap();
         (device, network, db)
     }
 
@@ -168,8 +197,7 @@ mod tests {
     fn flow_produces_routed_design() {
         let (device, network, db) = toy_setup();
         let (design, report) =
-            run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-                .unwrap();
+            run_pre_implemented_flow(&network, &db, &device, &FlowConfig::new()).unwrap();
         assert!(design.fully_routed());
         assert!(report.compile.timing.fmax_mhz > 100.0);
         assert_eq!(report.compose.stitched_nets, 2);
@@ -182,14 +210,11 @@ mod tests {
     fn long_top_nets_get_pipeline_stages() {
         let (device, network, db) = toy_setup();
         let (design, report) =
-            run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-                .unwrap();
+            run_pre_implemented_flow(&network, &db, &device, &FlowConfig::new()).unwrap();
         let mut expected_extra = 0u64;
         for net in design.top_nets() {
             let a = design.top_endpoint_coord(net.source).expect("planned");
-            let b = design
-                .top_endpoint_coord(net.sinks[0])
-                .expect("planned");
+            let b = design.top_endpoint_coord(net.sinks[0]).expect("planned");
             let stages = a.manhattan(&b).div_ceil(WIRE_PIPELINE_SPACING).max(1);
             assert_eq!(net.pipeline_stages, stages, "net {}", net.name);
             expected_extra += u64::from(stages - 1);
@@ -208,8 +233,7 @@ mod tests {
     fn assembled_fmax_tracks_slowest_component() {
         let (device, network, db) = toy_setup();
         let (_, report) =
-            run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-                .unwrap();
+            run_pre_implemented_flow(&network, &db, &device, &FlowConfig::new()).unwrap();
         let slowest = db
             .checkpoints()
             .map(|cp| cp.meta.fmax_mhz)

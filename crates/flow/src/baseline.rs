@@ -2,12 +2,13 @@
 //! full placement, physical optimization and routing — the comparison
 //! baseline of every experiment.
 
+use crate::config::FlowConfig;
 use crate::report::LatencyReport;
 use crate::FlowError;
 use pi_cnn::graph::{Granularity, Network};
 use pi_fabric::Device;
 use pi_netlist::{Design, Module};
-use pi_pnr::{compile_flat, CompileReport};
+use pi_pnr::{compile_flat_obs, CompileReport};
 use pi_synth::{synth_network_flat, SynthOptions};
 use std::time::Duration;
 
@@ -52,12 +53,17 @@ impl BaselineReport {
 }
 
 /// Run the full baseline: monolithic synthesis + full implementation.
-/// Returns the implemented design (wrapped flat) and its report.
+/// Returns the implemented design (wrapped flat) and its report. The
+/// backend phases report under `pnr::compile` / `pnr::place` /
+/// `pnr::route`, plus a `flow::baseline` summary, through the sink the
+/// config carries.
 pub fn run_baseline_flow(
     network: &Network,
     device: &Device,
-    opts: &BaselineOptions,
+    cfg: &FlowConfig,
 ) -> Result<(Design, BaselineReport), FlowError> {
+    let opts = cfg.baseline_options();
+    let base = cfg.obs().scoped("flow::baseline");
     let mut module: Module = synth_network_flat(network, opts.granularity, &opts.synth)?;
     let compile_opts = pi_pnr::compile::CompileOptions {
         place: pi_pnr::PlaceOptions {
@@ -68,13 +74,24 @@ pub fn run_baseline_flow(
         route: opts.route,
         phys_opt_passes: opts.phys_opt_passes,
     };
-    let compile = compile_flat(&mut module, device, &compile_opts)?;
-    let latency = LatencyReport::for_monolithic(
-        network,
-        opts.granularity,
-        &module,
-        compile.timing.fmax_mhz,
-    )?;
+    let span = base.with_seed(opts.seed).span("baseline");
+    let compile = compile_flat_obs(&mut module, device, &compile_opts, cfg.obs())?;
+    span.end();
+    let latency =
+        LatencyReport::for_monolithic(network, opts.granularity, &module, compile.timing.fmax_mhz)?;
+    if base.enabled() {
+        base.with_seed(opts.seed).point(
+            "baseline_done",
+            &[
+                ("fmax_mhz", compile.timing.fmax_mhz.into()),
+                ("overused_tiles", compile.route_stats.overused_tiles.into()),
+                (
+                    "wallclock_total_s",
+                    compile.phases.total().as_secs_f64().into(),
+                ),
+            ],
+        );
+    }
     let design = Design::flat(format!("{}_baseline", network.name), device.name(), module);
     Ok((design, BaselineReport { compile, latency }))
 }
@@ -88,8 +105,7 @@ mod tests {
     fn baseline_implements_toy_network() {
         let device = Device::xcku5p_like();
         let network = models::toy();
-        let (design, report) =
-            run_baseline_flow(&network, &device, &BaselineOptions::default()).unwrap();
+        let (design, report) = run_baseline_flow(&network, &device, &FlowConfig::new()).unwrap();
         assert!(design.instances()[0].module.fully_placed());
         assert!(report.compile.timing.fmax_mhz > 50.0);
         assert!(report.compile.route_stats.overused_tiles == 0);

@@ -1,0 +1,239 @@
+//! The unified flow configuration.
+//!
+//! [`FlowConfig`] is the single knob surface for both flows: one
+//! builder-style struct carries everything the function-optimization,
+//! architecture-optimization and baseline phases need, plus the telemetry
+//! handle every engine below them reports through. Callers build one
+//! config and hand it to [`crate::build_component_db`],
+//! [`crate::run_pre_implemented_flow`] and [`crate::run_baseline_flow`];
+//! the per-phase option structs ([`FunctionOptOptions`],
+//! [`crate::ArchOptOptions`], [`crate::BaselineOptions`]) are an internal
+//! concern of this crate.
+
+use crate::arch_opt::ArchOptOptions;
+use crate::baseline::BaselineOptions;
+use crate::function_opt::FunctionOptOptions;
+use pi_cnn::graph::Granularity;
+use pi_obs::{EventSink, Obs};
+use pi_pnr::RouteOptions;
+use pi_stitch::ComponentPlacerOptions;
+use pi_synth::SynthOptions;
+use std::sync::Arc;
+
+/// Configuration for the whole flow (both phases and the baseline), plus
+/// the telemetry sink. Build one with the `with_*` methods:
+///
+/// ```
+/// use pi_flow::FlowConfig;
+/// use pi_cnn::graph::Granularity;
+///
+/// let cfg = FlowConfig::new()
+///     .with_granularity(Granularity::Layer)
+///     .with_seeds([1, 2, 3]);
+/// assert_eq!(cfg.seeds, vec![1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Synthesis options for component (OOC) synthesis. The baseline flow
+    /// derives its monolithic variant from this automatically.
+    pub synth: SynthOptions,
+    pub granularity: Granularity,
+    /// Placement seeds explored per component (the DSE axis); the first
+    /// seed also seeds the baseline's placement.
+    pub seeds: Vec<u64>,
+    /// Stop a component's seed sweep once this Fmax is reached.
+    pub target_fmax_mhz: Option<f64>,
+    /// Fraction of pblock capacity a component may use.
+    pub pblock_utilization: f64,
+    /// Placement effort for component (OOC) placement.
+    pub effort: f64,
+    /// Strategic partition-pin planning (ablation A1 turns this off).
+    pub plan_partpins: bool,
+    pub route: RouteOptions,
+    /// Eq. 1–3 component-placer options for the architecture phase.
+    pub placer: ComponentPlacerOptions,
+    /// phys_opt passes in the baseline flow.
+    pub phys_opt_passes: usize,
+    /// Placement effort for the monolithic baseline (vendor default
+    /// effort; higher than the per-component effort because the whole
+    /// design is placed at once).
+    pub baseline_effort: f64,
+    obs: Obs,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            synth: SynthOptions::default(),
+            granularity: Granularity::Layer,
+            seeds: vec![1, 2, 3],
+            target_fmax_mhz: None,
+            pblock_utilization: 0.7,
+            effort: 2.0,
+            plan_partpins: true,
+            route: RouteOptions::default(),
+            placer: ComponentPlacerOptions::default(),
+            phys_opt_passes: 4,
+            baseline_effort: 6.0,
+            obs: Obs::null(),
+        }
+    }
+}
+
+impl FlowConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_synth(mut self, synth: SynthOptions) -> Self {
+        self.synth = synth;
+        self
+    }
+
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    pub fn with_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    pub fn with_target_fmax(mut self, mhz: f64) -> Self {
+        self.target_fmax_mhz = Some(mhz);
+        self
+    }
+
+    pub fn with_pblock_utilization(mut self, utilization: f64) -> Self {
+        self.pblock_utilization = utilization;
+        self
+    }
+
+    pub fn with_effort(mut self, effort: f64) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    pub fn with_plan_partpins(mut self, plan: bool) -> Self {
+        self.plan_partpins = plan;
+        self
+    }
+
+    pub fn with_route(mut self, route: RouteOptions) -> Self {
+        self.route = route;
+        self
+    }
+
+    pub fn with_placer(mut self, placer: ComponentPlacerOptions) -> Self {
+        self.placer = placer;
+        self
+    }
+
+    pub fn with_phys_opt_passes(mut self, passes: usize) -> Self {
+        self.phys_opt_passes = passes;
+        self
+    }
+
+    pub fn with_baseline_effort(mut self, effort: f64) -> Self {
+        self.baseline_effort = effort;
+        self
+    }
+
+    /// Route telemetry into `sink`. Every engine the flow calls (annealer,
+    /// router, phys-opt, component placer) reports through it.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.obs = Obs::new(sink);
+        self
+    }
+
+    /// Use an existing telemetry handle (shares its sequence counter —
+    /// useful when several flows must interleave into one stream).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The telemetry handle this config carries.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    pub(crate) fn function_opt_options(&self) -> FunctionOptOptions {
+        FunctionOptOptions {
+            synth: self.synth,
+            granularity: self.granularity,
+            seeds: self.seeds.clone(),
+            target_fmax_mhz: self.target_fmax_mhz,
+            pblock_utilization: self.pblock_utilization,
+            effort: self.effort,
+            plan_partpins: self.plan_partpins,
+            route: self.route,
+        }
+    }
+
+    pub(crate) fn arch_opt_options(&self) -> ArchOptOptions {
+        ArchOptOptions {
+            granularity: self.granularity,
+            placer: self.placer,
+            route: self.route,
+        }
+    }
+
+    pub(crate) fn baseline_options(&self) -> BaselineOptions {
+        BaselineOptions {
+            synth: self.synth.monolithic(),
+            granularity: self.granularity,
+            seed: self.seeds.first().copied().unwrap_or(1),
+            effort: self.baseline_effort,
+            route: self.route,
+            phys_opt_passes: self.phys_opt_passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_obs::MemorySink;
+
+    #[test]
+    fn builder_round_trips_into_phase_options() {
+        let cfg = FlowConfig::new()
+            .with_granularity(Granularity::Block)
+            .with_seeds([7, 8])
+            .with_target_fmax(400.0)
+            .with_pblock_utilization(0.5)
+            .with_effort(3.0)
+            .with_plan_partpins(false)
+            .with_phys_opt_passes(2)
+            .with_baseline_effort(9.0);
+        let f = cfg.function_opt_options();
+        assert_eq!(f.granularity, Granularity::Block);
+        assert_eq!(f.seeds, vec![7, 8]);
+        assert_eq!(f.target_fmax_mhz, Some(400.0));
+        assert_eq!(f.pblock_utilization, 0.5);
+        assert_eq!(f.effort, 3.0);
+        assert!(!f.plan_partpins);
+        let a = cfg.arch_opt_options();
+        assert_eq!(a.granularity, Granularity::Block);
+        let b = cfg.baseline_options();
+        assert_eq!(b.seed, 7);
+        assert_eq!(b.effort, 9.0);
+        assert_eq!(b.phys_opt_passes, 2);
+    }
+
+    #[test]
+    fn default_config_is_silent() {
+        assert!(!FlowConfig::new().obs().enabled());
+    }
+
+    #[test]
+    fn sink_enables_telemetry() {
+        let sink = Arc::new(MemorySink::new());
+        let cfg = FlowConfig::new().with_sink(sink.clone());
+        assert!(cfg.obs().enabled());
+        cfg.obs().point("p", &[]);
+        assert_eq!(sink.len(), 1);
+    }
+}

@@ -17,11 +17,13 @@
 //! * **logic locking**: placement and routing are frozen before the DCP is
 //!   written to the database.
 
+use crate::config::FlowConfig;
 use crate::FlowError;
 use pi_cnn::graph::{Component, Granularity, Network};
 use pi_fabric::{Device, Pblock, ResourceCount, TileCoord};
 use pi_netlist::{Checkpoint, CheckpointMeta, Endpoint, Module};
-use pi_pnr::{place_module, route_module, sta_module, PlaceOptions, RouteOptions};
+use pi_obs::Obs;
+use pi_pnr::{place_module_obs, route_module_obs, sta_module, PlaceOptions, RouteOptions};
 use pi_stitch::ComponentDb;
 use pi_synth::{synth_component, SynthOptions};
 use rayon::prelude::*;
@@ -94,8 +96,12 @@ pub fn size_pblock(
     let mut groups_in_region = 0u16;
     for g in 0..max_groups {
         let span_end = 1 + (g + 1) * GROUP - 1;
-        let crosses = (1..=span_end)
-            .any(|c| device.column_kind(c).map(|k| k.is_discontinuity()).unwrap_or(true));
+        let crosses = (1..=span_end).any(|c| {
+            device
+                .column_kind(c)
+                .map(|k| k.is_discontinuity())
+                .unwrap_or(true)
+        });
         if crosses {
             break;
         }
@@ -228,6 +234,21 @@ pub fn build_component(
     device: &Device,
     opts: &FunctionOptOptions,
 ) -> Result<(Checkpoint, ComponentBuildReport), FlowError> {
+    build_component_obs(network, component, device, opts, &Obs::null())
+}
+
+/// [`build_component`] with telemetry: the DSE sweep reports each seed's
+/// outcome (`flow::function_opt` / `dse_seed`) and the accepted
+/// implementation (`component_built`); the engines below report under
+/// `pnr::place` / `pnr::route`.
+pub fn build_component_obs(
+    network: &Network,
+    component: &Component,
+    device: &Device,
+    opts: &FunctionOptOptions,
+    obs: &Obs,
+) -> Result<(Checkpoint, ComponentBuildReport), FlowError> {
+    let dse = obs.scoped("flow::function_opt");
     let t0 = Instant::now();
     let proto = synth_component(network, component, &opts.synth)?;
     let need = proto.resources();
@@ -248,7 +269,7 @@ pub fn build_component(
         } else {
             scatter_partpins(&mut m, &pblock)?;
         }
-        place_module(
+        place_module_obs(
             &mut m,
             device,
             &PlaceOptions {
@@ -256,12 +277,23 @@ pub fn build_component(
                 effort: opts.effort,
                 region: Some(pblock),
             },
+            obs,
         )?;
         if opts.plan_partpins {
             plan_partpins(&mut m, &pblock)?;
         }
-        let (_, congestion) = route_module(&mut m, device, &opts.route)?;
+        let (_, congestion) = route_module_obs(&mut m, device, &opts.route, &obs.with_seed(s))?;
         let timing = sta_module(&m, device, Some(&congestion))?;
+        if dse.enabled() {
+            dse.with_seed(s).point(
+                "dse_seed",
+                &[
+                    ("component", component.name.as_str().into()),
+                    ("seed", s.into()),
+                    ("fmax_mhz", timing.fmax_mhz.into()),
+                ],
+            );
+        }
         Ok((timing.fmax_mhz, m))
     };
 
@@ -323,13 +355,25 @@ pub fn build_component(
         latency_cycles,
         build_time: t0.elapsed(),
     };
-    Ok((
-        Checkpoint {
-            meta,
-            module,
-        },
-        report,
-    ))
+    if dse.enabled() {
+        dse.point(
+            "component_built",
+            &[
+                ("component", report.name.as_str().into()),
+                ("signature", report.signature.as_str().into()),
+                ("fmax_mhz", report.fmax_mhz.into()),
+                ("seeds_tried", report.seeds_tried.into()),
+                ("luts", need.luts.into()),
+                ("dsps", need.dsps.into()),
+                ("brams", need.brams.into()),
+                ("pblock_w", pblock.width().into()),
+                ("pblock_h", pblock.height().into()),
+                ("latency_cycles", report.latency_cycles.into()),
+                ("wallclock_build_s", t0.elapsed().as_secs_f64().into()),
+            ],
+        );
+    }
+    Ok((Checkpoint { meta, module }, report))
 }
 
 /// Build only the components a network needs that are *not* already in the
@@ -339,16 +383,36 @@ pub fn extend_component_db(
     db: &mut ComponentDb,
     network: &Network,
     device: &Device,
-    opts: &FunctionOptOptions,
+    cfg: &FlowConfig,
 ) -> Result<Vec<ComponentBuildReport>, FlowError> {
+    let opts = cfg.function_opt_options();
+    let obs = cfg.obs();
+    let dse = obs.scoped("flow::function_opt");
     let components = network.components(opts.granularity)?;
-    let missing: Vec<_> = components
-        .iter()
-        .filter(|c| db.get(&c.signature(network)).is_none())
-        .collect();
+    let mut missing = Vec::new();
+    let mut hits = 0u64;
+    for c in &components {
+        let sig = c.signature(network);
+        let hit = db.get(&sig).is_some();
+        if dse.enabled() {
+            dse.point(
+                "db_lookup",
+                &[("signature", sig.as_str().into()), ("hit", hit.into())],
+            );
+        }
+        if hit {
+            hits += 1;
+        } else {
+            missing.push(c);
+        }
+    }
+    if dse.enabled() {
+        dse.counter("db_hits", hits);
+        dse.counter("db_misses", missing.len() as u64);
+    }
     let results: Vec<(Checkpoint, ComponentBuildReport)> = missing
         .par_iter()
-        .map(|c| build_component(network, c, device, opts))
+        .map(|c| build_component_obs(network, c, device, &opts, obs))
         .collect::<Result<_, _>>()?;
     let mut reports = Vec::with_capacity(results.len());
     for (cp, report) in results {
@@ -372,9 +436,11 @@ pub fn improve_slowest(
     db: &mut ComponentDb,
     network: &Network,
     device: &Device,
-    opts: &FunctionOptOptions,
+    cfg: &FlowConfig,
     rounds: usize,
 ) -> Result<Vec<ComponentBuildReport>, FlowError> {
+    let opts = cfg.function_opt_options();
+    let dse = cfg.obs().scoped("flow::function_opt");
     let components = network.components(opts.granularity)?;
     let mut improvements = Vec::new();
     for round in 0..rounds {
@@ -383,7 +449,8 @@ pub fn improve_slowest(
             .iter()
             .enumerate()
             .filter_map(|(i, c)| {
-                db.get(&c.signature(network)).map(|cp| (i, cp.meta.fmax_mhz))
+                db.get(&c.signature(network))
+                    .map(|cp| (i, cp.meta.fmax_mhz))
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .ok_or_else(|| FlowError::ComponentUnsatisfiable {
@@ -399,9 +466,27 @@ pub fn improve_slowest(
             target_fmax_mhz: None,
             ..opts.clone()
         };
-        let (cp, report) =
-            build_component(network, &components[slowest_idx], device, &retry_opts)?;
-        if report.fmax_mhz > old_fmax {
+        let (cp, report) = build_component_obs(
+            network,
+            &components[slowest_idx],
+            device,
+            &retry_opts,
+            cfg.obs(),
+        )?;
+        let improved = report.fmax_mhz > old_fmax;
+        if dse.enabled() {
+            dse.point(
+                "improve_round",
+                &[
+                    ("round", round.into()),
+                    ("component", report.name.as_str().into()),
+                    ("old_fmax_mhz", old_fmax.into()),
+                    ("new_fmax_mhz", report.fmax_mhz.into()),
+                    ("improved", improved.into()),
+                ],
+            );
+        }
+        if improved {
             db.insert(cp);
             improvements.push(report);
         } else {
@@ -416,13 +501,20 @@ pub fn improve_slowest(
 pub fn build_component_db(
     network: &Network,
     device: &Device,
-    opts: &FunctionOptOptions,
+    cfg: &FlowConfig,
 ) -> Result<(ComponentDb, Vec<ComponentBuildReport>), FlowError> {
+    let opts = cfg.function_opt_options();
+    let obs = cfg.obs();
     let components = network.components(opts.granularity)?;
+    let span = obs.scoped("flow::function_opt").span_with(
+        "build_component_db",
+        &[("components", components.len().into())],
+    );
     let results: Vec<(Checkpoint, ComponentBuildReport)> = components
         .par_iter()
-        .map(|c| build_component(network, c, device, opts))
+        .map(|c| build_component_obs(network, c, device, &opts, obs))
         .collect::<Result<_, _>>()?;
+    span.end();
     let mut db = ComponentDb::new();
     let mut reports = Vec::with_capacity(results.len());
     for (cp, report) in results {
@@ -518,11 +610,8 @@ mod tests {
     fn full_db_for_toy_network() {
         let device = Device::xcku5p_like();
         let network = models::toy();
-        let opts = FunctionOptOptions {
-            seeds: vec![1],
-            ..Default::default()
-        };
-        let (db, reports) = build_component_db(&network, &device, &opts).unwrap();
+        let cfg = FlowConfig::new().with_seeds([1]);
+        let (db, reports) = build_component_db(&network, &device, &cfg).unwrap();
         assert_eq!(db.len(), 3);
         assert_eq!(reports.len(), 3);
         for c in network.components(Granularity::Layer).unwrap() {
@@ -552,7 +641,10 @@ mod tests {
         let pb = cp1.meta.pblock;
         let interior = cp1.module.ports().iter().any(|p| {
             let pin = p.partpin.expect("scattered");
-            pin.col != pb.col_lo && pin.col != pb.col_hi && pin.row != pb.row_lo && pin.row != pb.row_hi
+            pin.col != pb.col_lo
+                && pin.col != pb.col_hi
+                && pin.row != pb.row_lo
+                && pin.row != pb.row_hi
         });
         assert!(interior, "scatter produced only boundary pins");
     }
@@ -581,22 +673,18 @@ mod tests {
     fn extend_builds_only_missing_components() {
         let device = Device::xcku5p_like();
         let toy = models::toy();
-        let opts = FunctionOptOptions {
-            seeds: vec![1],
-            ..Default::default()
-        };
-        let (mut db, _) = build_component_db(&toy, &device, &opts).unwrap();
+        let cfg = FlowConfig::new().with_seeds([1]);
+        let (mut db, _) = build_component_db(&toy, &device, &cfg).unwrap();
         let before = db.len();
         // Extending with the same network builds nothing.
-        let again = extend_component_db(&mut db, &toy, &device, &opts).unwrap();
+        let again = extend_component_db(&mut db, &toy, &device, &cfg).unwrap();
         assert!(again.is_empty());
         assert_eq!(db.len(), before);
         // A new network sharing no components adds exactly its own.
-        let other = pi_cnn::parse_archdef(
-            "network o\ninput 1x12x12\nconv c kernel=3 out=3\nfc f out=5\n",
-        )
-        .unwrap();
-        let built = extend_component_db(&mut db, &other, &device, &opts).unwrap();
+        let other =
+            pi_cnn::parse_archdef("network o\ninput 1x12x12\nconv c kernel=3 out=3\nfc f out=5\n")
+                .unwrap();
+        let built = extend_component_db(&mut db, &other, &device, &cfg).unwrap();
         assert_eq!(built.len(), 2);
         assert_eq!(db.len(), before + 2);
     }
@@ -605,16 +693,13 @@ mod tests {
     fn improve_slowest_never_regresses_the_floor() {
         let device = Device::xcku5p_like();
         let toy = models::toy();
-        let opts = FunctionOptOptions {
-            seeds: vec![1],
-            ..Default::default()
-        };
-        let (mut db, reports) = build_component_db(&toy, &device, &opts).unwrap();
+        let cfg = FlowConfig::new().with_seeds([1]);
+        let (mut db, reports) = build_component_db(&toy, &device, &cfg).unwrap();
         let floor_before = reports
             .iter()
             .map(|r| r.fmax_mhz)
             .fold(f64::INFINITY, f64::min);
-        let improvements = improve_slowest(&mut db, &toy, &device, &opts, 2).unwrap();
+        let improvements = improve_slowest(&mut db, &toy, &device, &cfg, 2).unwrap();
         let floor_after = toy
             .components(Granularity::Layer)
             .unwrap()
@@ -635,12 +720,9 @@ mod tests {
         let device = Device::xcku5p_like();
         let toy = models::toy();
         let mut empty = ComponentDb::new();
-        let opts = FunctionOptOptions {
-            seeds: vec![1],
-            ..Default::default()
-        };
+        let cfg = FlowConfig::new().with_seeds([1]);
         assert!(matches!(
-            improve_slowest(&mut empty, &toy, &device, &opts, 1),
+            improve_slowest(&mut empty, &toy, &device, &cfg, 1),
             Err(FlowError::ComponentUnsatisfiable { .. })
         ));
     }

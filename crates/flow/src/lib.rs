@@ -20,11 +20,13 @@
 
 pub mod arch_opt;
 pub mod baseline;
+pub mod config;
 pub mod function_opt;
 pub mod report;
 
 pub use arch_opt::{pipeline_top_nets, run_pre_implemented_flow, ArchOptOptions, PreImplReport};
 pub use baseline::{run_baseline_flow, BaselineOptions, BaselineReport};
+pub use config::FlowConfig;
 pub use function_opt::{
     build_component_db, extend_component_db, improve_slowest, plan_partpins, size_pblock,
     ComponentBuildReport, FunctionOptOptions,
@@ -42,7 +44,10 @@ pub enum FlowError {
     Fabric(pi_fabric::FabricError),
     /// A component could not reach a satisfiable implementation (pblock
     /// sizing or DSE failed).
-    ComponentUnsatisfiable { component: String, reason: String },
+    ComponentUnsatisfiable {
+        component: String,
+        reason: String,
+    },
     /// The assembled design failed design-rule checking — a flow bug, never
     /// an input error.
     DrcFailed(Vec<pi_stitch::Violation>),
@@ -61,7 +66,11 @@ impl std::fmt::Display for FlowError {
                 write!(f, "component '{component}' unsatisfiable: {reason}")
             }
             FlowError::DrcFailed(violations) => {
-                write!(f, "assembled design failed DRC ({} violations", violations.len())?;
+                write!(
+                    f,
+                    "assembled design failed DRC ({} violations",
+                    violations.len()
+                )?;
                 if let Some(first) = violations.first() {
                     write!(f, "; first: {first}")?;
                 }

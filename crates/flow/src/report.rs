@@ -86,9 +86,13 @@ impl LatencyReport {
         fmax_mhz: f64,
         extra_pipeline_cycles: u64,
     ) -> Result<LatencyReport, FlowError> {
-        Self::build(network, granularity, fmax_mhz, extra_pipeline_cycles, |sig, _| {
-            db.get(sig).map(|cp| cp.meta.resources.dsps).unwrap_or(1)
-        })
+        Self::build(
+            network,
+            granularity,
+            fmax_mhz,
+            extra_pipeline_cycles,
+            |sig, _| db.get(sig).map(|cp| cp.meta.resources.dsps).unwrap_or(1),
+        )
     }
 
     /// Latency of the monolithic design: same engines (the generators are
@@ -210,7 +214,10 @@ mod tests {
     fn productivity_gain_matches_definition() {
         let g = productivity_gain(Duration::from_secs(100), Duration::from_secs(31));
         assert!((g - 0.69).abs() < 1e-9);
-        assert_eq!(productivity_gain(Duration::ZERO, Duration::from_secs(1)), 0.0);
+        assert_eq!(
+            productivity_gain(Duration::ZERO, Duration::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

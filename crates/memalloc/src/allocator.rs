@@ -161,9 +161,7 @@ impl BestFitAllocator {
         let best = match self.policy {
             Policy::BestFit => candidates.min_by_key(|(_, b)| (b.size, b.base)),
             Policy::FirstFit => candidates.min_by_key(|(_, b)| b.base),
-            Policy::WorstFit => {
-                candidates.max_by_key(|(_, b)| (b.size, std::cmp::Reverse(b.base)))
-            }
+            Policy::WorstFit => candidates.max_by_key(|(_, b)| (b.size, std::cmp::Reverse(b.base))),
         }
         .map(|(i, _)| i);
         let Some(i) = best else {
@@ -225,7 +223,10 @@ impl BestFitAllocator {
         let mut prev_free = false;
         for b in &self.blocks {
             if b.base != cursor {
-                return Err(format!("gap/overlap at {:#x}, expected {cursor:#x}", b.base));
+                return Err(format!(
+                    "gap/overlap at {:#x}, expected {cursor:#x}",
+                    b.base
+                ));
             }
             if b.size == 0 {
                 return Err(format!("zero-size block at {:#x}", b.base));
@@ -237,7 +238,10 @@ impl BestFitAllocator {
             cursor += b.size;
         }
         if cursor != self.capacity {
-            return Err(format!("coverage ends at {cursor}, capacity {}", self.capacity));
+            return Err(format!(
+                "coverage ends at {cursor}, capacity {}",
+                self.capacity
+            ));
         }
         Ok(())
     }
@@ -363,7 +367,9 @@ mod tests {
             let mut live: Vec<u64> = Vec::new();
             let mut x = 123456789u64;
             for i in 0..400u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let size = 64 + x % 16384;
                 if i % 3 != 2 {
                     if let Ok(b) = a.alloc(size) {

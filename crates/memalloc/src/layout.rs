@@ -44,9 +44,7 @@ pub fn plan_network_layout(
 ) -> Result<LayoutPlan, AllocError> {
     let mut alloc = BestFitAllocator::new(capacity, 64);
     let mut entries = Vec::new();
-    let shapes = network
-        .input_shapes()
-        .map_err(|_| AllocError::ZeroSize)?;
+    let shapes = network.input_shapes().map_err(|_| AllocError::ZeroSize)?;
 
     // Configuration tables first (small, lives forever).
     let cfg = alloc.alloc(4096)?;

@@ -216,7 +216,11 @@ impl Design {
 
     /// Total net count (intra + top).
     pub fn net_count(&self) -> usize {
-        self.instances.iter().map(|i| i.module.nets().len()).sum::<usize>() + self.top_nets.len()
+        self.instances
+            .iter()
+            .map(|i| i.module.nets().len())
+            .sum::<usize>()
+            + self.top_nets.len()
     }
 
     /// Structural validation of every instance and top net.
@@ -283,9 +287,7 @@ mod tests {
         let (in_a, _) = d.instance(a).module.port_by_name("din").unwrap();
         let (in_b, _) = d.instance(b).module.port_by_name("din").unwrap();
         // Input port as source must fail.
-        assert!(d
-            .connect_top("bad", (a, in_a), vec![(b, in_b)], 8)
-            .is_err());
+        assert!(d.connect_top("bad", (a, in_a), vec![(b, in_b)], 8).is_err());
         let (out_a, _) = d.instance(a).module.port_by_name("dout").unwrap();
         let (out_b, _) = d.instance(b).module.port_by_name("dout").unwrap();
         // Output port as sink must fail.
@@ -324,7 +326,8 @@ mod tests {
         let b = d.add_instance("b", leaf("b"));
         let (out_a, _) = d.instance(a).module.port_by_name("dout").unwrap();
         let (in_b, _) = d.instance(b).module.port_by_name("din").unwrap();
-        d.connect_top("link", (a, out_a), vec![(b, in_b)], 8).unwrap();
+        d.connect_top("link", (a, out_a), vec![(b, in_b)], 8)
+            .unwrap();
         assert_eq!(d.top_nets()[0].pipeline_stages, 1);
         d.top_nets_mut()[0].pipeline_stages = 5;
         let json = serde_json::to_string(&d).unwrap();
@@ -354,7 +357,8 @@ mod tests {
         let b = d.add_instance("b", leaf("b"));
         let (out_a, _) = d.instance(a).module.port_by_name("dout").unwrap();
         let (in_b, _) = d.instance(b).module.port_by_name("din").unwrap();
-        d.connect_top("link", (a, out_a), vec![(b, in_b)], 8).unwrap();
+        d.connect_top("link", (a, out_a), vec![(b, in_b)], 8)
+            .unwrap();
         assert_eq!(d.cell_count(), 2);
         // 2 intra nets per leaf + 1 top net.
         assert_eq!(d.net_count(), 5);

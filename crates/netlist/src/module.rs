@@ -83,9 +83,7 @@ impl Module {
 
     /// True when every non-clock net has a route.
     pub fn fully_routed(&self) -> bool {
-        self.nets
-            .iter()
-            .all(|n| n.is_clock || n.route.is_some())
+        self.nets.iter().all(|n| n.is_clock || n.route.is_some())
     }
 
     /// Set a cell placement. Fails on locked modules or fixed cells.

@@ -76,8 +76,7 @@ mod tests {
 
     #[test]
     fn port_construction() {
-        let p = Port::new("din", Direction::Input, StreamRole::Source, 16)
-            .at(TileCoord::new(0, 4));
+        let p = Port::new("din", Direction::Input, StreamRole::Source, 16).at(TileCoord::new(0, 4));
         assert_eq!(p.width, 16);
         assert_eq!(p.partpin, Some(TileCoord::new(0, 4)));
         assert_eq!(p.dir, Direction::Input);

@@ -1,0 +1,602 @@
+//! Flow-wide telemetry: a lightweight, thread-safe structured-event layer.
+//!
+//! Every engine in the workspace (annealing placer, PathFinder router,
+//! physical optimization, component stitcher, the two flows) emits
+//! [`Event`]s through an [`Obs`] handle instead of printing or keeping
+//! private statistics. Events flow into an [`EventSink`]:
+//!
+//! * [`NullSink`] — drop everything (the default; instrumentation costs a
+//!   branch),
+//! * [`MemorySink`] — collect in memory for tests and in-process analysis,
+//! * [`FileSink`] — append JSON Lines to a file (the `--trace` flag of the
+//!   `pi-bench` binaries),
+//! * [`FanoutSink`] — tee to several sinks,
+//! * [`FilterSink`] — keep only events whose scope starts with a prefix.
+//!
+//! **Determinism contract**: an event's payload (`seq`, `seed`, `scope`,
+//! `name`, `kind`, `fields`) never contains wall-clock time; the only
+//! nondeterministic field is the microsecond timestamp `ts_us`, carried
+//! separately so it can be stripped. Two runs of the same seeded flow emit
+//! byte-identical streams once timestamps are removed —
+//! [`MemorySink::stripped_jsonl`] is exactly that comparison form.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A telemetry field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Self {
+                Value::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+
+value_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    u16 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    fn to_json(&self) -> serde_json::Value {
+        match self {
+            Value::U64(v) => serde_json::Value::U64(*v),
+            Value::I64(v) => serde_json::Value::I64(*v),
+            Value::F64(v) => serde_json::Value::F64(*v),
+            Value::Str(v) => serde_json::Value::Str(v.clone()),
+            Value::Bool(v) => serde_json::Value::Bool(*v),
+        }
+    }
+}
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A named phase begins. Paired with [`EventKind::SpanEnd`] by name
+    /// within a scope.
+    SpanStart,
+    /// A named phase ends. Duration is *not* in the payload — it is
+    /// derivable from the (strippable) timestamps, keeping the payload
+    /// deterministic.
+    SpanEnd,
+    /// A monotonic count sampled at this point.
+    Counter,
+    /// An instantaneous measurement.
+    Gauge,
+    /// A structured progress record (one iteration, one candidate, ...).
+    Point,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Point => "point",
+        }
+    }
+}
+
+/// One structured telemetry record.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotonic sequence number, shared by every handle cloned from the
+    /// same root — a total order over the run.
+    pub seq: u64,
+    /// Microseconds since the root handle was created. The only
+    /// nondeterministic field; strip it to compare runs.
+    pub ts_us: u64,
+    /// Seed of the computation that emitted this event.
+    pub seed: u64,
+    /// Dotted origin, e.g. `pnr::place` or `flow::baseline`.
+    pub scope: String,
+    pub name: String,
+    pub kind: EventKind,
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// JSON object for this event; `include_ts` controls whether the
+    /// nondeterministic data is present. Besides `ts_us`, fields whose key
+    /// starts with `wallclock` are nondeterministic by convention (they
+    /// carry wall-clock-derived measurements such as the stitch share) and
+    /// are stripped from the comparison form along with the timestamp.
+    pub fn to_json(&self, include_ts: bool) -> serde_json::Value {
+        let mut m = serde_json::Value::Map(Vec::new());
+        m["seq"] = serde_json::Value::U64(self.seq);
+        if include_ts {
+            m["ts_us"] = serde_json::Value::U64(self.ts_us);
+        }
+        m["seed"] = serde_json::Value::U64(self.seed);
+        m["scope"] = serde_json::Value::Str(self.scope.clone());
+        m["name"] = serde_json::Value::Str(self.name.clone());
+        m["kind"] = serde_json::Value::Str(self.kind.as_str().to_string());
+        let mut fields = serde_json::Value::Map(Vec::new());
+        for (k, v) in &self.fields {
+            if !include_ts && k.starts_with("wallclock") {
+                continue;
+            }
+            fields[k.as_str()] = v.to_json();
+        }
+        m["fields"] = fields;
+        m
+    }
+
+    /// One JSON line, timestamp included.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(&self.to_json(true)).expect("event serializes")
+    }
+}
+
+/// Receives every event emitted through an [`Obs`] handle. Implementations
+/// must be cheap and thread-safe; the engines call `record` from inside
+/// their hot loops (guarded by [`Obs::enabled`]).
+pub trait EventSink: Send + Sync {
+    fn record(&self, event: &Event);
+    fn flush(&self) {}
+}
+
+/// Drops everything.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Collects events in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("sink lock").clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The determinism comparison form: JSON Lines with the timestamp
+    /// stripped. Two same-seed runs must produce byte-identical output.
+    pub fn stripped_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().expect("sink lock").iter() {
+            out.push_str(&serde_json::to_string(&e.to_json(false)).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("sink lock").push(event.clone());
+    }
+}
+
+/// Appends JSON Lines (timestamps included) to a file.
+pub struct FileSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(FileSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl EventSink for FileSink {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().expect("sink lock");
+        let _ = writeln!(out, "{}", event.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("sink lock").flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Tees every event to several sinks.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl FanoutSink {
+    pub fn new(sinks: Vec<Arc<dyn EventSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn record(&self, event: &Event) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Forwards only events whose scope starts with a prefix.
+pub struct FilterSink {
+    prefix: String,
+    inner: Arc<dyn EventSink>,
+}
+
+impl FilterSink {
+    pub fn new(prefix: impl Into<String>, inner: Arc<dyn EventSink>) -> Self {
+        FilterSink {
+            prefix: prefix.into(),
+            inner,
+        }
+    }
+}
+
+impl EventSink for FilterSink {
+    fn record(&self, event: &Event) {
+        if event.scope.starts_with(&self.prefix) {
+            self.inner.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+struct ObsInner {
+    sink: Arc<dyn EventSink>,
+    seq: AtomicU64,
+    epoch: Instant,
+    enabled: bool,
+}
+
+/// A handle for emitting events. Clones share the sink, the sequence
+/// counter, and the epoch; each clone carries its own scope and seed, so
+/// threading telemetry through a call tree is `obs.scoped("pnr::route")`
+/// or `obs.with_seed(seed)` — cheap, and no global state anywhere.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+    scope: String,
+    seed: u64,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("scope", &self.scope)
+            .field("seed", &self.seed)
+            .field("enabled", &self.inner.enabled)
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A recording handle emitting to `sink`.
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        Obs {
+            inner: Arc::new(ObsInner {
+                sink,
+                seq: AtomicU64::new(0),
+                epoch: Instant::now(),
+                enabled: true,
+            }),
+            scope: String::new(),
+            seed: 0,
+        }
+    }
+
+    /// The disabled handle: every emit is a single branch.
+    pub fn null() -> Self {
+        Obs {
+            inner: Arc::new(ObsInner {
+                sink: Arc::new(NullSink),
+                seq: AtomicU64::new(0),
+                epoch: Instant::now(),
+                enabled: false,
+            }),
+            scope: String::new(),
+            seed: 0,
+        }
+    }
+
+    /// Whether events reach a real sink. Engines use this to skip building
+    /// field vectors in hot loops.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// A handle with the given scope (replacing this handle's scope).
+    pub fn scoped(&self, scope: impl Into<String>) -> Obs {
+        Obs {
+            inner: Arc::clone(&self.inner),
+            scope: scope.into(),
+            seed: self.seed,
+        }
+    }
+
+    /// A handle tagging its events with `seed`.
+    pub fn with_seed(&self, seed: u64) -> Obs {
+        Obs {
+            inner: Arc::clone(&self.inner),
+            scope: self.scope.clone(),
+            seed,
+        }
+    }
+
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    fn emit(&self, name: &str, kind: EventKind, fields: &[(&str, Value)]) {
+        if !self.inner.enabled {
+            return;
+        }
+        let event = Event {
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            ts_us: self.inner.epoch.elapsed().as_micros() as u64,
+            seed: self.seed,
+            scope: self.scope.clone(),
+            name: name.to_string(),
+            kind,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.inner.sink.record(&event);
+    }
+
+    /// A structured progress record.
+    pub fn point(&self, name: &str, fields: &[(&str, Value)]) {
+        self.emit(name, EventKind::Point, fields);
+    }
+
+    /// A monotonic count observed at this moment.
+    pub fn counter(&self, name: &str, value: u64) {
+        self.emit(name, EventKind::Counter, &[("value", Value::U64(value))]);
+    }
+
+    /// An instantaneous measurement.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.emit(name, EventKind::Gauge, &[("value", Value::F64(value))]);
+    }
+
+    /// Start a span; the returned guard emits the matching `SpanEnd` when
+    /// dropped. Extra fields go on the start event.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, &[])
+    }
+
+    /// [`Obs::span`] with fields on the start event.
+    pub fn span_with(&self, name: &str, fields: &[(&str, Value)]) -> SpanGuard {
+        self.emit(name, EventKind::SpanStart, fields);
+        SpanGuard {
+            obs: self.clone(),
+            name: name.to_string(),
+        }
+    }
+
+    /// Ask the sink to persist anything buffered.
+    pub fn flush(&self) {
+        self.inner.sink.flush();
+    }
+}
+
+/// Emits the `SpanEnd` for [`Obs::span`] on drop.
+pub struct SpanGuard {
+    obs: Obs,
+    name: String,
+}
+
+impl SpanGuard {
+    /// End the span now (instead of at scope exit).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.obs.emit(&self.name, EventKind::SpanEnd, &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_disabled_and_silent() {
+        let obs = Obs::null();
+        assert!(!obs.enabled());
+        obs.point("p", &[("x", 1u64.into())]);
+        obs.counter("c", 2);
+        let _g = obs.span("s");
+    }
+
+    #[test]
+    fn memory_sink_records_in_sequence_order() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone()).scoped("test").with_seed(7);
+        obs.point("a", &[("v", 1u64.into())]);
+        obs.gauge("g", 2.5);
+        obs.counter("c", 3);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(events.iter().all(|e| e.scope == "test" && e.seed == 7));
+        assert_eq!(events[1].kind, EventKind::Gauge);
+        assert_eq!(events[1].fields[0].1, Value::F64(2.5));
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_reverse_order() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone()).scoped("nest");
+        {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+                obs.point("work", &[]);
+            }
+        }
+        let events = sink.snapshot();
+        let trace: Vec<(String, EventKind)> =
+            events.iter().map(|e| (e.name.clone(), e.kind)).collect();
+        assert_eq!(
+            trace,
+            vec![
+                ("outer".to_string(), EventKind::SpanStart),
+                ("inner".to_string(), EventKind::SpanStart),
+                ("work".to_string(), EventKind::Point),
+                ("inner".to_string(), EventKind::SpanEnd),
+                ("outer".to_string(), EventKind::SpanEnd),
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_sink_keeps_only_matching_scopes() {
+        let mem = Arc::new(MemorySink::new());
+        let filtered = Arc::new(FilterSink::new("pnr::", mem.clone()));
+        let obs = Obs::new(filtered);
+        obs.scoped("pnr::place").point("keep", &[]);
+        obs.scoped("stitch::placer").point("drop", &[]);
+        obs.scoped("pnr::route").point("keep2", &[]);
+        let names: Vec<String> = mem.snapshot().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["keep", "keep2"]);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let obs = Obs::new(Arc::new(FanoutSink::new(vec![a.clone(), b.clone()])));
+        obs.point("p", &[]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn wallclock_fields_are_stripped_with_the_timestamp() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        obs.point(
+            "flow_done",
+            &[
+                ("fmax_mhz", 312.5f64.into()),
+                ("wallclock_stitch_share", 0.07f64.into()),
+            ],
+        );
+        let stripped = sink.stripped_jsonl();
+        assert!(stripped.contains("fmax_mhz"));
+        assert!(!stripped.contains("wallclock_stitch_share"));
+        // The full line keeps the wall-clock measurement.
+        let full = sink.snapshot()[0].to_json_line();
+        assert!(full.contains("wallclock_stitch_share"));
+    }
+
+    #[test]
+    fn stripped_jsonl_is_timestamp_free_and_stable() {
+        let run = || {
+            let sink = Arc::new(MemorySink::new());
+            let obs = Obs::new(sink.clone()).scoped("d").with_seed(3);
+            let span = obs.span_with("phase", &[("n", 4u64.into())]);
+            obs.point("step", &[("cost", 1.25f64.into()), ("ok", true.into())]);
+            span.end();
+            sink.stripped_jsonl()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.contains("ts_us"));
+        assert!(a.contains("\"scope\":\"d\""));
+        // Full lines still carry the timestamp.
+        let sink = Arc::new(MemorySink::new());
+        Obs::new(sink.clone()).point("p", &[]);
+        assert!(sink.snapshot()[0].to_json_line().contains("ts_us"));
+    }
+
+    #[test]
+    fn file_sink_writes_json_lines() {
+        let path = std::env::temp_dir().join("pi_obs_file_sink_test.jsonl");
+        {
+            let obs = Obs::new(Arc::new(FileSink::create(&path).expect("create")));
+            obs.scoped("f").point("p", &[("x", 9u64.into())]);
+            obs.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"x\":9"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

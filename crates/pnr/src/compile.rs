@@ -5,14 +5,15 @@
 //! and Fig. 6 — the baseline pays for all four phases on the whole design,
 //! the pre-implemented flow only for inter-component routing.
 
-use crate::place::{place_module, PlaceOptions, PlaceStats};
+use crate::place::{place_module_obs, PlaceOptions, PlaceStats};
 use crate::power::{estimate, PowerReport};
-use crate::route::{route_design, route_module, RouteOptions, RouteStats};
+use crate::route::{route_design_obs, route_module_obs, RouteOptions, RouteStats};
 use crate::timing::{sta_design, sta_module, TimingReport};
 use crate::PnrError;
+use pi_fabric::TileCoord;
 use pi_fabric::{Device, ResourceCount};
 use pi_netlist::{CellId, Design, Module};
-use pi_fabric::TileCoord;
+use pi_obs::Obs;
 use std::time::{Duration, Instant};
 
 /// Wall-clock duration of each phase.
@@ -75,32 +76,80 @@ pub fn compile_flat(
     device: &Device,
     opts: &CompileOptions,
 ) -> Result<CompileReport, PnrError> {
+    compile_flat_obs(module, device, opts, &Obs::null())
+}
+
+/// [`compile_flat`] with telemetry: each phase runs inside a span under
+/// `pnr::compile`, and every phys-opt pass emits the critical path it
+/// started from (`pnr::timing`).
+pub fn compile_flat_obs(
+    module: &mut Module,
+    device: &Device,
+    opts: &CompileOptions,
+    obs: &Obs,
+) -> Result<CompileReport, PnrError> {
+    let phases = obs.scoped("pnr::compile").with_seed(opts.place.seed);
+    let timing_obs = obs.scoped("pnr::timing").with_seed(opts.place.seed);
+
     // opt_design: structural cleanup/verification sweep.
     let t0 = Instant::now();
+    let span = phases.span("opt_design");
     module.validate()?;
     let resources = module.resources();
+    span.end();
     let opt_time = t0.elapsed();
 
     // place_design.
     let t1 = Instant::now();
-    let place_stats = place_module(module, device, &opts.place)?;
+    let span = phases.span("place_design");
+    let place_stats = place_module_obs(module, device, &opts.place, obs)?;
+    span.end();
     let place_time = t1.elapsed();
 
     // phys_opt_design: greedy relocation of critical-path cells.
     let t2 = Instant::now();
-    for _ in 0..opts.phys_opt_passes {
-        if !phys_opt_pass(module, device)? {
+    let span = phases.span_with(
+        "phys_opt_design",
+        &[("passes", opts.phys_opt_passes.into())],
+    );
+    for pass in 0..opts.phys_opt_passes {
+        let (improved, before) = phys_opt_pass(module, device)?;
+        if timing_obs.enabled() {
+            timing_obs.point(
+                "phys_opt_pass",
+                &[
+                    ("pass", pass.into()),
+                    ("critical_path_ps", before.critical_path_ps.into()),
+                    ("fmax_mhz", before.fmax_mhz.into()),
+                    ("path_cells", before.worst_path.len().into()),
+                    ("improved", improved.into()),
+                ],
+            );
+        }
+        if !improved {
             break;
         }
     }
+    span.end();
     let phys_opt_time = t2.elapsed();
 
     // route_design.
     let t3 = Instant::now();
-    let (route_stats, congestion) = route_module(module, device, &opts.route)?;
+    let span = phases.span("route_design");
+    let (route_stats, congestion) = route_module_obs(module, device, &opts.route, obs)?;
+    span.end();
     let route_time = t3.elapsed();
 
     let timing = sta_module(module, device, Some(&congestion))?;
+    if timing_obs.enabled() {
+        timing_obs.point(
+            "final_timing",
+            &[
+                ("critical_path_ps", timing.critical_path_ps.into()),
+                ("fmax_mhz", timing.fmax_mhz.into()),
+            ],
+        );
+    }
     let total_wirelength: u64 = module
         .nets()
         .iter()
@@ -134,16 +183,42 @@ pub fn route_assembled(
     device: &Device,
     opts: &RouteOptions,
 ) -> Result<CompileReport, PnrError> {
+    route_assembled_obs(design, device, opts, &Obs::null())
+}
+
+/// [`route_assembled`] with telemetry (see [`compile_flat_obs`]).
+pub fn route_assembled_obs(
+    design: &mut Design,
+    device: &Device,
+    opts: &RouteOptions,
+    obs: &Obs,
+) -> Result<CompileReport, PnrError> {
+    let phases = obs.scoped("pnr::compile");
+    let timing_obs = obs.scoped("pnr::timing");
+
     let t0 = Instant::now();
+    let span = phases.span("opt_design");
     design.validate()?;
     let resources = design.resources();
+    span.end();
     let opt_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let (route_stats, congestion) = route_design(design, device, opts)?;
+    let span = phases.span("route_design");
+    let (route_stats, congestion) = route_design_obs(design, device, opts, obs)?;
+    span.end();
     let route_time = t1.elapsed();
 
     let timing = sta_design(design, device, Some(&congestion))?;
+    if timing_obs.enabled() {
+        timing_obs.point(
+            "final_timing",
+            &[
+                ("critical_path_ps", timing.critical_path_ps.into()),
+                ("fmax_mhz", timing.fmax_mhz.into()),
+            ],
+        );
+    }
     // Wirelength of the whole design: locked routes plus the new ones.
     let total_wl: u64 = design
         .instances()
@@ -180,11 +255,12 @@ pub fn route_assembled(
 
 /// One phys_opt pass: try to shorten the wires feeding the worst path by
 /// moving its movable cells toward the centroid of their neighbours.
-/// Returns whether anything improved.
-fn phys_opt_pass(module: &mut Module, device: &Device) -> Result<bool, PnrError> {
+/// Returns whether anything improved, plus the timing report the pass
+/// started from (the critical path it worked on).
+fn phys_opt_pass(module: &mut Module, device: &Device) -> Result<(bool, TimingReport), PnrError> {
     let report = sta_module(module, device, None)?;
     if report.worst_path.len() < 2 {
-        return Ok(false);
+        return Ok((false, report));
     }
     // Map path names back to cell indices.
     let mut path_cells: Vec<usize> = Vec::new();
@@ -253,10 +329,10 @@ fn phys_opt_pass(module: &mut Module, device: &Device) -> Result<bool, PnrError>
         // Try free same-kind sites around the neighbour centroid (a direct
         // jump) and around the current position (local slide).
         let centroid = TileCoord::new(
-            (neighbours.iter().map(|n| u64::from(n.col)).sum::<u64>()
-                / neighbours.len() as u64) as u16,
-            (neighbours.iter().map(|n| u64::from(n.row)).sum::<u64>()
-                / neighbours.len() as u64) as u16,
+            (neighbours.iter().map(|n| u64::from(n.col)).sum::<u64>() / neighbours.len() as u64)
+                as u16,
+            (neighbours.iter().map(|n| u64::from(n.row)).sum::<u64>() / neighbours.len() as u64)
+                as u16,
         );
         let mut best: Option<(u64, TileCoord)> = None;
         for center in [centroid, cur] {
@@ -285,7 +361,7 @@ fn phys_opt_pass(module: &mut Module, device: &Device) -> Result<bool, PnrError>
             improved = true;
         }
     }
-    Ok(improved)
+    Ok((improved, report))
 }
 
 #[cfg(test)]

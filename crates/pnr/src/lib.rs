@@ -24,9 +24,17 @@ pub mod report;
 pub mod route;
 pub mod timing;
 
-pub use compile::{compile_flat, route_assembled, CompileOptions, CompileReport, PhaseTimes};
-pub use place::{place_design_instances, place_module, PlaceOptions, PlaceStats};
-pub use route::{route_design, route_module, RouteOptions, RouteStats};
+pub use compile::{
+    compile_flat, compile_flat_obs, route_assembled, route_assembled_obs, CompileOptions,
+    CompileReport, PhaseTimes,
+};
+pub use place::{
+    place_design_instances, place_design_instances_obs, place_module, place_module_obs,
+    PlaceOptions, PlaceStats,
+};
+pub use route::{
+    route_design, route_design_obs, route_module, route_module_obs, RouteOptions, RouteStats,
+};
 pub use timing::{sta_design, sta_module, TimingReport};
 
 /// Errors from the backend.

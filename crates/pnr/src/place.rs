@@ -17,6 +17,7 @@
 use crate::PnrError;
 use pi_fabric::{Device, Pblock, SiteKind, TileCoord};
 use pi_netlist::{Design, Endpoint, Module};
+use pi_obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -73,6 +74,19 @@ pub fn place_module(
     device: &Device,
     opts: &PlaceOptions,
 ) -> Result<PlaceStats, PnrError> {
+    place_module_obs(module, device, opts, &Obs::null())
+}
+
+/// [`place_module`] with telemetry: emits one `anneal_round` point per
+/// temperature step (cost, temperature, window, acceptance rate) under the
+/// `pnr::place` scope.
+pub fn place_module_obs(
+    module: &mut Module,
+    device: &Device,
+    opts: &PlaceOptions,
+    obs: &Obs,
+) -> Result<PlaceStats, PnrError> {
+    let obs = obs.scoped("pnr::place").with_seed(opts.seed);
     let region = opts.region.unwrap_or_else(|| device.full_pblock());
     region.validate(device)?;
 
@@ -242,8 +256,9 @@ pub fn place_module(
         p.weight * f64::from(cmax - cmin) + p.weight * f64::from(rmax - rmin)
     };
 
-    let total_cost =
-        |positions: &[Option<TileCoord>]| -> f64 { pnets.iter().map(|p| net_cost(p, positions)).sum() };
+    let total_cost = |positions: &[Option<TileCoord>]| -> f64 {
+        pnets.iter().map(|p| net_cost(p, positions)).sum()
+    };
 
     let initial_cost = total_cost(&positions);
     let mut stats = PlaceStats {
@@ -266,6 +281,7 @@ pub fn place_module(
             // Range limit shrinks geometrically with the round index.
             let frac = 1.0 - (round as f64 / rounds as f64);
             let window = ((f64::from(span) * frac * frac) as u32).max(3);
+            let mut round_accepted = 0u64;
             for _ in 0..moves_per_round {
                 stats.moves += 1;
                 let &cell = &movable[rng.gen_range(0..movable.len())];
@@ -283,10 +299,7 @@ pub fn place_module(
                 let w = window as i32;
                 let mut target = None;
                 for _ in 0..8 {
-                    let cand = match cur.translated(
-                        rng.gen_range(-w..=w),
-                        rng.gen_range(-w..=w),
-                    ) {
+                    let cand = match cur.translated(rng.gen_range(-w..=w), rng.gen_range(-w..=w)) {
                         Some(c) => c,
                         None => continue,
                     };
@@ -318,18 +331,25 @@ pub fn place_module(
                 }
                 affected.sort_unstable();
                 affected.dedup();
-                let before: f64 = affected.iter().map(|&ni| net_cost(&pnets[ni as usize], &positions)).sum();
+                let before: f64 = affected
+                    .iter()
+                    .map(|&ni| net_cost(&pnets[ni as usize], &positions))
+                    .sum();
 
                 // Apply.
                 positions[cell] = Some(target);
                 if let Some(o) = swap_with {
                     positions[o] = Some(cur);
                 }
-                let after: f64 = affected.iter().map(|&ni| net_cost(&pnets[ni as usize], &positions)).sum();
+                let after: f64 = affected
+                    .iter()
+                    .map(|&ni| net_cost(&pnets[ni as usize], &positions))
+                    .sum();
                 let delta = after - before;
                 let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
                 if accept {
                     stats.accepted += 1;
+                    round_accepted += 1;
                     cost += delta;
                     occupied.remove(&cur);
                     occupied.insert(target, cell);
@@ -343,6 +363,21 @@ pub fn place_module(
                         positions[o] = Some(target);
                     }
                 }
+            }
+            if obs.enabled() {
+                obs.point(
+                    "anneal_round",
+                    &[
+                        ("round", round.into()),
+                        ("temp", temp.into()),
+                        ("cost", cost.into()),
+                        ("window", window.into()),
+                        (
+                            "accept_rate",
+                            (round_accepted as f64 / moves_per_round as f64).into(),
+                        ),
+                    ],
+                );
             }
             temp *= 0.82;
         }
@@ -367,17 +402,24 @@ pub fn place_design_instances(
     device: &Device,
     opts: &PlaceOptions,
 ) -> Result<Vec<PlaceStats>, PnrError> {
+    place_design_instances_obs(design, device, opts, &Obs::null())
+}
+
+/// [`place_design_instances`] with telemetry (see [`place_module_obs`]).
+pub fn place_design_instances_obs(
+    design: &mut Design,
+    device: &Device,
+    opts: &PlaceOptions,
+    obs: &Obs,
+) -> Result<Vec<PlaceStats>, PnrError> {
     let mut all = Vec::new();
     for inst in design.instances_mut() {
         if inst.module.locked {
             continue;
         }
         let region = inst.module.pblock.or(opts.region);
-        let inst_opts = PlaceOptions {
-            region,
-            ..*opts
-        };
-        all.push(place_module(&mut inst.module, device, &inst_opts)?);
+        let inst_opts = PlaceOptions { region, ..*opts };
+        all.push(place_module_obs(&mut inst.module, device, &inst_opts, obs)?);
     }
     Ok(all)
 }
@@ -411,11 +453,7 @@ mod tests {
                 [Endpoint::Cell(ids[i])],
             );
         }
-        b.connect(
-            "out",
-            Endpoint::Cell(ids[n - 1]),
-            [Endpoint::Port(dout)],
-        );
+        b.connect("out", Endpoint::Cell(ids[n - 1]), [Endpoint::Port(dout)]);
         b.finish().unwrap()
     }
 
@@ -489,7 +527,9 @@ mod tests {
             region: Some(Pblock::new(1, 2, 0, 3)), // 8 slices for 100 cells
         };
         match place_module(&mut m, &device, &opts) {
-            Err(PnrError::Unplaceable { needed, available, .. }) => {
+            Err(PnrError::Unplaceable {
+                needed, available, ..
+            }) => {
                 assert_eq!(needed, 100);
                 assert!(available < 100);
             }

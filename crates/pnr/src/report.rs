@@ -73,7 +73,10 @@ pub fn utilization_table(used: &ResourceCount, device: &Device) -> String {
     let totals = device.totals();
     let pct = used.percent_of(&totals);
     let mut out = String::new();
-    out.push_str(&format!("{:<10} {:>10} {:>12} {:>8}\n", "resource", "used", "available", "util"));
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>12} {:>8}\n",
+        "resource", "used", "available", "util"
+    ));
     for (name, u, t, p) in [
         ("LUTs", used.luts, totals.luts, pct.luts),
         ("FFs", used.ffs, totals.ffs, pct.ffs),
@@ -159,8 +162,14 @@ mod tests {
         let device = Device::xcku5p_like();
         let design = two_instance_design(&device);
         let sketch = floorplan_sketch(&design, &device, 64);
-        let first_a = sketch.lines().position(|l| l.contains('A')).expect("A drawn");
-        let first_b = sketch.lines().position(|l| l.contains('B')).expect("B drawn");
+        let first_a = sketch
+            .lines()
+            .position(|l| l.contains('A'))
+            .expect("A drawn");
+        let first_b = sketch
+            .lines()
+            .position(|l| l.contains('B'))
+            .expect("B drawn");
         assert!(first_b < first_a, "B (higher rows) must render above A");
     }
 

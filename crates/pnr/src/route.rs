@@ -12,6 +12,7 @@
 use crate::PnrError;
 use pi_fabric::{Device, TileCoord, TileKind};
 use pi_netlist::{Design, Endpoint, Module, Route};
+use pi_obs::Obs;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -151,7 +152,10 @@ impl Grid {
 
     #[inline]
     fn coord(&self, idx: usize) -> TileCoord {
-        TileCoord::new((idx / self.rows as usize) as u16, (idx % self.rows as usize) as u16)
+        TileCoord::new(
+            (idx / self.rows as usize) as u16,
+            (idx % self.rows as usize) as u16,
+        )
     }
 
     fn node_cost(&self, idx: usize, capacity: u16) -> f32 {
@@ -239,10 +243,13 @@ enum Slot {
 }
 
 /// The negotiation engine shared by module- and design-level entry points.
+/// Emits one `pathfinder_iter` point per negotiation iteration when the
+/// handle is enabled.
 fn run(
     grid: &mut Grid,
     tasks: &mut [Task],
     opts: &RouteOptions,
+    obs: &Obs,
 ) -> (Vec<Option<Route>>, RouteStats) {
     let mut stats = RouteStats::default();
     let mut routes: Vec<Option<Route>> = (0..tasks.len()).map(|_| None).collect();
@@ -309,13 +316,13 @@ fn run(
             .filter(|(_, &o)| o > opts.capacity)
             .map(|(i, _)| i)
             .collect();
-        if overused.is_empty() && routes.iter().all(|r| r.is_some()) {
-            break;
-        }
+        let done = overused.is_empty() && routes.iter().all(|r| r.is_some());
         for &t in &overused {
             grid.hist[t] += 1.5;
         }
-        if iter + 1 < opts.max_iters {
+        let overused_count = overused.len();
+        let mut ripups = 0usize;
+        if !done && iter + 1 < opts.max_iters {
             let over_set: std::collections::HashSet<usize> = overused.into_iter().collect();
             for (ti, route) in routes.iter_mut().enumerate() {
                 let Some(r) = route else { continue };
@@ -328,19 +335,37 @@ fn run(
                         grid.occ[i] = grid.occ[i].saturating_sub(1);
                     }
                     *route = None;
+                    ripups += 1;
                     let _ = ti;
                 }
             }
+        }
+        if obs.enabled() {
+            obs.point(
+                "pathfinder_iter",
+                &[
+                    ("iter", iter.into()),
+                    ("overused", overused_count.into()),
+                    ("ripups", ripups.into()),
+                    (
+                        "unrouted",
+                        routes.iter().filter(|r| r.is_none()).count().into(),
+                    ),
+                    (
+                        "hist_total",
+                        grid.hist.iter().map(|&h| f64::from(h)).sum::<f64>().into(),
+                    ),
+                ],
+            );
+        }
+        if done {
+            break;
         }
     }
 
     stats.overused_tiles = grid.occ.iter().filter(|&&o| o > opts.capacity).count();
     stats.routed_nets = routes.iter().filter(|r| r.is_some()).count() - stats.trivial_nets;
-    stats.wirelength = routes
-        .iter()
-        .flatten()
-        .map(|r| r.tiles.len() as u64)
-        .sum();
+    stats.wirelength = routes.iter().flatten().map(|r| r.tiles.len() as u64).sum();
     (routes, stats)
 }
 
@@ -379,6 +404,19 @@ pub fn route_module(
     device: &Device,
     opts: &RouteOptions,
 ) -> Result<(RouteStats, CongestionMap), PnrError> {
+    route_module_obs(module, device, opts, &Obs::null())
+}
+
+/// [`route_module`] with telemetry: one `pathfinder_iter` point per
+/// negotiation iteration (overused tiles, rip-ups, history-cost growth)
+/// under the `pnr::route` scope.
+pub fn route_module_obs(
+    module: &mut Module,
+    device: &Device,
+    opts: &RouteOptions,
+    obs: &Obs,
+) -> Result<(RouteStats, CongestionMap), PnrError> {
+    let obs = obs.scoped("pnr::route");
     let mut grid = Grid::new(device);
     // Seed occupancy with whatever is already routed (locked or not).
     let mut tasks = Vec::new();
@@ -399,7 +437,7 @@ pub fn route_module(
             }),
         }
     }
-    let (routes, stats) = run(&mut grid, &mut tasks, opts);
+    let (routes, stats) = run(&mut grid, &mut tasks, opts, &obs);
     let nets = module.nets_mut()?;
     for (task, route) in tasks.iter().zip(routes) {
         let Slot::Intra { net, .. } = task.slot else {
@@ -424,6 +462,17 @@ pub fn route_design(
     device: &Device,
     opts: &RouteOptions,
 ) -> Result<(RouteStats, CongestionMap), PnrError> {
+    route_design_obs(design, device, opts, &Obs::null())
+}
+
+/// [`route_design`] with telemetry (see [`route_module_obs`]).
+pub fn route_design_obs(
+    design: &mut Design,
+    device: &Device,
+    opts: &RouteOptions,
+    obs: &Obs,
+) -> Result<(RouteStats, CongestionMap), PnrError> {
+    let obs = obs.scoped("pnr::route");
     let mut grid = Grid::new(device);
     let mut tasks = Vec::new();
     for (ii, inst) in design.instances().iter().enumerate() {
@@ -463,7 +512,7 @@ pub fn route_design(
         });
     }
 
-    let (routes, stats) = run(&mut grid, &mut tasks, opts);
+    let (routes, stats) = run(&mut grid, &mut tasks, opts, &obs);
     for (task, route) in tasks.iter().zip(routes) {
         match task.slot {
             Slot::Intra { inst, net } => {
@@ -604,7 +653,8 @@ mod tests {
             m.set_placement(id, TileCoord::new(1, (i % 20) as u16)).ok();
         }
         for (i, &id) in right.iter().enumerate() {
-            m.set_placement(id, TileCoord::new(24, (i % 20) as u16)).ok();
+            m.set_placement(id, TileCoord::new(24, (i % 20) as u16))
+                .ok();
         }
         // Fill remaining placements for validity (cells may share tiles in
         // this synthetic stress test; the router only cares about coords).

@@ -244,7 +244,9 @@ fn analyze(
         // outputs): charge setup at the boundary.
         if !graph.nodes[i].registered && !has_fanout[i] {
             let path = out_arr + f64::from(delay::SETUP_PS);
-            let slot = worst_at.entry(node).or_insert((f64::NEG_INFINITY, u32::MAX));
+            let slot = worst_at
+                .entry(node)
+                .or_insert((f64::NEG_INFINITY, u32::MAX));
             if path > slot.0 {
                 *slot = (path, pred[i]);
             }
@@ -417,8 +419,7 @@ mod tests {
         for w in r.top_paths.windows(2) {
             assert!(w[0].path_ps >= w[1].path_ps);
         }
-        let mut endpoints: Vec<&str> =
-            r.top_paths.iter().map(|p| p.endpoint.as_str()).collect();
+        let mut endpoints: Vec<&str> = r.top_paths.iter().map(|p| p.endpoint.as_str()).collect();
         endpoints.sort_unstable();
         endpoints.dedup();
         assert_eq!(endpoints.len(), r.top_paths.len());
@@ -500,7 +501,8 @@ mod tests {
             b.connect("i", Endpoint::Port(din), [Endpoint::Cell(c)]);
             b.connect("o", Endpoint::Cell(c), [Endpoint::Port(dout)]);
             let mut m = b.finish().unwrap();
-            m.set_placement(pi_netlist::CellId(0), TileCoord::new(col, 1)).unwrap();
+            m.set_placement(pi_netlist::CellId(0), TileCoord::new(col, 1))
+                .unwrap();
             m.ports_mut().unwrap()[din.index()].partpin = Some(pp);
             m.ports_mut().unwrap()[dout.index()].partpin = Some(pp);
             m

@@ -8,12 +8,13 @@
 //! routing.
 
 use crate::db::ComponentDb;
-use crate::placer::{place_components, ComponentPlacerOptions, PlacementOutcome};
+use crate::placer::{place_components_obs, ComponentPlacerOptions, PlacementOutcome};
 use crate::relocate::relocate_to;
 use crate::StitchError;
 use pi_cnn::graph::{Granularity, Network};
 use pi_fabric::Device;
 use pi_netlist::{Design, DesignKind};
+use pi_obs::Obs;
 
 /// Options for composition.
 #[derive(Debug, Clone, Copy)]
@@ -47,13 +48,22 @@ pub fn compose(
     device: &Device,
     opts: &ComposeOptions,
 ) -> Result<(Design, ComposeReport), StitchError> {
+    compose_obs(network, db, device, opts, &Obs::null())
+}
+
+/// [`compose`] with telemetry: threads the handle into the component placer
+/// (`stitch::placer` events) and reports the stitched-net count.
+pub fn compose_obs(
+    network: &Network,
+    db: &ComponentDb,
+    device: &Device,
+    opts: &ComposeOptions,
+    obs: &Obs,
+) -> Result<(Design, ComposeReport), StitchError> {
     // Component extraction (components() walks the DFG in BFS order, so the
     // queue-based discovery of Algorithm 1 is the iteration order here).
     let components = network.components(opts.granularity)?;
-    let signatures: Vec<String> = components
-        .iter()
-        .map(|c| c.signature(network))
-        .collect();
+    let signatures: Vec<String> = components.iter().map(|c| c.signature(network)).collect();
 
     // Component matching: every node of the graph must resolve to a
     // pre-built checkpoint.
@@ -72,16 +82,15 @@ pub fn compose(
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for (a, b) in network.edges() {
         match (node_to_comp.get(a), node_to_comp.get(b)) {
-            (Some(&ca), Some(&cb)) if ca != cb
-                && !edges.contains(&(ca, cb)) => {
-                    edges.push((ca, cb));
-                }
+            (Some(&ca), Some(&cb)) if ca != cb && !edges.contains(&(ca, cb)) => {
+                edges.push((ca, cb));
+            }
             _ => {}
         }
     }
 
     // Component placement (Eq. 1–3 with unplace-and-retry).
-    let placement = place_components(&checkpoints, &edges, device, &opts.placer)?;
+    let placement = place_components_obs(&checkpoints, &edges, device, &opts.placer, obs)?;
 
     // Relocation + instantiation.
     let mut design = Design::new(
@@ -89,11 +98,7 @@ pub fn compose(
         device.name(),
         DesignKind::Assembled,
     );
-    for ((comp, cp), anchor) in components
-        .iter()
-        .zip(&checkpoints)
-        .zip(&placement.anchors)
-    {
+    for ((comp, cp), anchor) in components.iter().zip(&checkpoints).zip(&placement.anchors) {
         let module = relocate_to(cp, device, *anchor)?;
         design.add_instance(comp.name.clone(), module);
     }
@@ -109,20 +114,18 @@ pub fn compose(
                 .instance(src_inst)
                 .module
                 .port_by_name("dout")
-                .ok_or_else(|| StitchError::MissingComponent(format!(
-                    "{}: no dout port",
-                    components[ca].name
-                )))?;
+                .ok_or_else(|| {
+                    StitchError::MissingComponent(format!("{}: no dout port", components[ca].name))
+                })?;
             (pid, p.width)
         };
         let (dst_port, _) = design
             .instance(dst_inst)
             .module
             .port_by_name("din")
-            .ok_or_else(|| StitchError::MissingComponent(format!(
-                "{}: no din port",
-                components[cb].name
-            )))?;
+            .ok_or_else(|| {
+                StitchError::MissingComponent(format!("{}: no din port", components[cb].name))
+            })?;
         design.connect_top(
             format!("link_{}_{}", components[ca].name, components[cb].name),
             (src_inst, src_port),
@@ -130,6 +133,10 @@ pub fn compose(
             sw,
         )?;
         stitched += 1;
+    }
+    if obs.enabled() {
+        obs.scoped("stitch::compose")
+            .counter("stitched_nets", stitched as u64);
     }
 
     Ok((
@@ -185,8 +192,7 @@ mod tests {
                     ));
                 }
             }
-            let _ = pi_pnr::route_module(&mut m, device, &pi_pnr::RouteOptions::default())
-                .unwrap();
+            let _ = pi_pnr::route_module(&mut m, device, &pi_pnr::RouteOptions::default()).unwrap();
             m.lock();
             db.insert(pi_netlist::Checkpoint {
                 meta: CheckpointMeta {
@@ -208,13 +214,7 @@ mod tests {
         let device = Device::xcku5p_like();
         let network = models::toy();
         let db = toy_db(&device, &network);
-        let (design, report) = compose(
-            &network,
-            &db,
-            &device,
-            &ComposeOptions::default(),
-        )
-        .unwrap();
+        let (design, report) = compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
         // toy: conv / pool+relu / fc -> 3 instances, 2 stitched links.
         assert_eq!(design.instances().len(), 3);
         assert_eq!(report.stitched_nets, 2);
@@ -245,8 +245,7 @@ mod tests {
         let device = Device::xcku5p_like();
         let network = models::toy();
         let db = toy_db(&device, &network);
-        let (mut design, _) = compose(&network, &db, &device, &ComposeOptions::default())
-            .unwrap();
+        let (mut design, _) = compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
         let report =
             pi_pnr::route_assembled(&mut design, &device, &pi_pnr::RouteOptions::default())
                 .unwrap();

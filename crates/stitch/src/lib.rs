@@ -18,9 +18,11 @@ pub mod placer;
 pub mod relocate;
 pub mod verify;
 
-pub use compose::{compose, ComposeOptions, ComposeReport};
+pub use compose::{compose, compose_obs, ComposeOptions, ComposeReport};
 pub use db::ComponentDb;
-pub use placer::{place_components, ComponentPlacerOptions, PlacementOutcome};
+pub use placer::{
+    place_components, place_components_obs, ComponentPlacerOptions, PlacementOutcome,
+};
 pub use relocate::{relocate_to, valid_anchor_columns};
 pub use verify::{check_design, Violation};
 
@@ -30,11 +32,20 @@ pub enum StitchError {
     /// The database has no checkpoint for a required component signature.
     MissingComponent(String),
     /// No legal, threshold-satisfying location for a component.
-    NoValidLocation { component: String, tried: usize },
+    NoValidLocation {
+        component: String,
+        tried: usize,
+    },
     /// The requested relocation target violates columnar compatibility.
-    IncompatibleRelocation { component: String, dcol: i32 },
+    IncompatibleRelocation {
+        component: String,
+        dcol: i32,
+    },
     /// A checkpoint targets a different device than the composition.
-    DeviceMismatch { checkpoint: String, want: String },
+    DeviceMismatch {
+        checkpoint: String,
+        want: String,
+    },
     Netlist(pi_netlist::NetlistError),
     Fabric(pi_fabric::FabricError),
     Cnn(pi_cnn::CnnError),

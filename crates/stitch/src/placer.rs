@@ -17,6 +17,7 @@ use crate::relocate::valid_anchor_columns;
 use crate::StitchError;
 use pi_fabric::{Device, Pblock, TileCoord};
 use pi_netlist::Checkpoint;
+use pi_obs::Obs;
 
 /// Options for component placement.
 #[derive(Debug, Clone, Copy)]
@@ -101,12 +102,7 @@ fn expanded(pb: &Pblock, margin: u16, device: &Device) -> Pblock {
 
 /// Eq. 2–3: crowding of a candidate against already-placed pblocks,
 /// normalized by the candidate's area.
-fn congestion_cost(
-    candidate: &Pblock,
-    placed: &[Pblock],
-    margin: u16,
-    device: &Device,
-) -> f64 {
+fn congestion_cost(candidate: &Pblock, placed: &[Pblock], margin: u16, device: &Device) -> f64 {
     let grown = expanded(candidate, margin, device);
     let overlap: u64 = placed
         .iter()
@@ -175,6 +171,20 @@ pub fn place_components(
     device: &Device,
     opts: &ComponentPlacerOptions,
 ) -> Result<PlacementOutcome, StitchError> {
+    place_components_obs(checkpoints, edges, device, opts, &Obs::null())
+}
+
+/// [`place_components`] with telemetry under the `stitch::placer` scope:
+/// the Eq. 1–3 cost of every chosen candidate, each threshold-retry of the
+/// unplace-and-retry loop, and the final placement costs.
+pub fn place_components_obs(
+    checkpoints: &[&Checkpoint],
+    edges: &[(usize, usize)],
+    device: &Device,
+    opts: &ComponentPlacerOptions,
+    obs: &Obs,
+) -> Result<PlacementOutcome, StitchError> {
+    let obs = obs.scoped("stitch::placer");
     let n = checkpoints.len();
     let mut skips = vec![0usize; n];
     let mut retries = 0usize;
@@ -248,14 +258,49 @@ pub fn place_components(
             // Threshold check with the paper's unplace-and-retry loop: move
             // the previously placed component to its next-best spot and
             // restart.
-            let per_edge_threshold =
-                opts.timing_threshold * degree_of(i, &anchors).max(1) as f64;
+            let per_edge_threshold = opts.timing_threshold * degree_of(i, &anchors).max(1) as f64;
             if score > per_edge_threshold && retries < opts.max_retries && step > 0 {
                 retries += 1;
                 skips[order[step - 1]] += 1;
+                if obs.enabled() {
+                    obs.point(
+                        "threshold_retry",
+                        &[
+                            ("component", cp.meta.signature.as_str().into()),
+                            ("step", step.into()),
+                            ("score", score.into()),
+                            ("threshold", per_edge_threshold.into()),
+                            ("retries", retries.into()),
+                        ],
+                    );
+                }
                 continue 'attempt;
             }
 
+            if obs.enabled() {
+                // Eq. 1 / Eq. 3 split of the chosen candidate's cost.
+                let t = timing_of(i, anchor, &anchors);
+                let g = congestion_cost(
+                    &pblock_at(cp, anchor),
+                    &placed_pblocks,
+                    opts.crowding_margin,
+                    device,
+                );
+                obs.point(
+                    "candidate",
+                    &[
+                        ("component", cp.meta.signature.as_str().into()),
+                        ("step", step.into()),
+                        ("candidates", scored.len().into()),
+                        ("skip", pick.into()),
+                        ("timing_cost", t.into()),
+                        ("congestion_cost", g.into()),
+                        ("score", score.into()),
+                        ("anchor_col", anchor.col.into()),
+                        ("anchor_row", anchor.row.into()),
+                    ],
+                );
+            }
             anchors[i] = Some(anchor);
             placed_pblocks.push(pblock_at(cp, anchor));
         }
@@ -309,10 +354,7 @@ pub fn place_components(
     }
 
     // Final costs over the complete placement.
-    let final_anchors: Vec<TileCoord> = anchors
-        .iter()
-        .map(|a| a.expect("all placed"))
-        .collect();
+    let final_anchors: Vec<TileCoord> = anchors.iter().map(|a| a.expect("all placed")).collect();
     let mut total_t = 0.0;
     for &(a, b) in edges {
         total_t += edge_cost(final_anchors[a], &pins[a], final_anchors[b], &pins[b]);
@@ -327,6 +369,17 @@ pub fn place_components(
             .map(|(j, &a)| pblock_at(checkpoints[j], a))
             .collect();
         total_g += congestion_cost(&pb, &others, opts.crowding_margin, device);
+    }
+    if obs.enabled() {
+        obs.point(
+            "placement_done",
+            &[
+                ("components", n.into()),
+                ("timing_cost", total_t.into()),
+                ("congestion_cost", total_g.into()),
+                ("retries", retries.into()),
+            ],
+        );
     }
     Ok(PlacementOutcome {
         anchors: final_anchors,
@@ -375,13 +428,8 @@ mod tests {
             .collect();
         let refs: Vec<&Checkpoint> = cps.iter().collect();
         let edges = [(0, 1), (1, 2), (2, 3)];
-        let out = place_components(
-            &refs,
-            &edges,
-            &device,
-            &ComponentPlacerOptions::default(),
-        )
-        .unwrap();
+        let out =
+            place_components(&refs, &edges, &device, &ComponentPlacerOptions::default()).unwrap();
         assert_eq!(out.anchors.len(), 4);
         // Pairwise disjoint pblocks.
         for i in 0..4 {
@@ -456,12 +504,16 @@ mod tests {
             .collect();
         let refs: Vec<&Checkpoint> = cps.iter().collect();
         let edges = [(0, 1), (1, 2), (2, 3)];
-        let out = place_components(&refs, &edges, &device, &ComponentPlacerOptions::default())
-            .unwrap();
+        let out =
+            place_components(&refs, &edges, &device, &ComponentPlacerOptions::default()).unwrap();
         // Stacked vertically, center-to-center HPWL per edge = pblock
         // height (32); three edges -> 96. Refinement must land at or below
         // a loose multiple of that.
-        assert!(out.timing_cost <= 96.0 * 2.0, "timing cost {}", out.timing_cost);
+        assert!(
+            out.timing_cost <= 96.0 * 2.0,
+            "timing cost {}",
+            out.timing_cost
+        );
     }
 
     #[test]
@@ -473,10 +525,10 @@ mod tests {
             .collect();
         let refs: Vec<&Checkpoint> = cps.iter().collect();
         let edges = [(0, 1), (1, 2)];
-        let a = place_components(&refs, &edges, &device, &ComponentPlacerOptions::default())
-            .unwrap();
-        let b = place_components(&refs, &edges, &device, &ComponentPlacerOptions::default())
-            .unwrap();
+        let a =
+            place_components(&refs, &edges, &device, &ComponentPlacerOptions::default()).unwrap();
+        let b =
+            place_components(&refs, &edges, &device, &ComponentPlacerOptions::default()).unwrap();
         assert_eq!(a.anchors, b.anchors);
     }
 }

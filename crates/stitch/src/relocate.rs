@@ -40,20 +40,19 @@ pub fn relocate_to(
             dcol,
         });
     }
-    let new_pb = pb.translated(dcol, drow).ok_or_else(|| {
-        StitchError::IncompatibleRelocation {
-            component: checkpoint.meta.signature.clone(),
-            dcol,
-        }
-    })?;
-    new_pb.validate(device)?;
-    let module = checkpoint
-        .module
+    let new_pb = pb
         .translated(dcol, drow)
         .ok_or_else(|| StitchError::IncompatibleRelocation {
             component: checkpoint.meta.signature.clone(),
             dcol,
         })?;
+    new_pb.validate(device)?;
+    let module = checkpoint.module.translated(dcol, drow).ok_or_else(|| {
+        StitchError::IncompatibleRelocation {
+            component: checkpoint.meta.signature.clone(),
+            dcol,
+        }
+    })?;
     Ok(module)
 }
 

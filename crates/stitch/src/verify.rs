@@ -24,11 +24,7 @@ pub enum Violation {
         at: TileCoord,
     },
     /// Two cells (possibly from different instances) share a site.
-    SiteConflict {
-        a: String,
-        b: String,
-        at: TileCoord,
-    },
+    SiteConflict { a: String, b: String, at: TileCoord },
     /// A cell lies outside its instance's pblock.
     OutsidePblock {
         instance: String,
@@ -68,7 +64,10 @@ impl std::fmt::Display for Violation {
             }
             Violation::PblockOverlap { a, b } => write!(f, "pblocks of {a} and {b} overlap"),
             Violation::PartpinOffPblock { instance, port, at } => {
-                write!(f, "partpin {instance}/{port} at {at} off the pblock boundary")
+                write!(
+                    f,
+                    "partpin {instance}/{port} at {at} off the pblock boundary"
+                )
             }
             Violation::RouteOffGrid { net, at } => write!(f, "route of {net} off grid at {at}"),
             Violation::NotLocked { instance } => write!(f, "instance {instance} not locked"),
@@ -109,7 +108,11 @@ pub fn check_design(design: &Design, device: &Device) -> Result<Vec<Violation>, 
             // Exclusive occupancy across ALL instances.
             let tag = format!("{}/{}", inst.name, cell.name);
             if let Some(prev) = site_owner.insert(at, tag.clone()) {
-                violations.push(Violation::SiteConflict { a: prev, b: tag, at });
+                violations.push(Violation::SiteConflict {
+                    a: prev,
+                    b: tag,
+                    at,
+                });
             }
             // Pblock containment.
             if let Some(pb) = pblock {
@@ -244,8 +247,7 @@ mod tests {
                     ));
                 }
             }
-            let _ =
-                pi_pnr::route_module(&mut m, device, &pi_pnr::RouteOptions::default()).unwrap();
+            let _ = pi_pnr::route_module(&mut m, device, &pi_pnr::RouteOptions::default()).unwrap();
             m.lock();
             db.insert(pi_netlist::Checkpoint {
                 meta: CheckpointMeta {
@@ -267,10 +269,9 @@ mod tests {
         let device = Device::xcku5p_like();
         let network = models::toy();
         let db = toy_db(&device, &network);
-        let (mut design, _) =
-            compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
-        let _ = pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default())
-            .unwrap();
+        let (mut design, _) = compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        let _ =
+            pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default()).unwrap();
         let violations = check_design(&design, &device).unwrap();
         assert!(violations.is_empty(), "violations: {violations:?}");
     }
@@ -294,10 +295,9 @@ mod tests {
         let device = Device::xcku5p_like();
         let network = models::toy();
         let db = toy_db(&device, &network);
-        let (mut design, _) =
-            compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
-        let _ = pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default())
-            .unwrap();
+        let (mut design, _) = compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        let _ =
+            pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default()).unwrap();
         // Clone instance 0's module over instance 1: pblocks and sites now
         // collide.
         let clone = design.instances()[0].module.clone();
@@ -316,10 +316,9 @@ mod tests {
         let device = Device::xcku5p_like();
         let network = models::toy();
         let db = toy_db(&device, &network);
-        let (mut design, _) =
-            compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
-        let _ = pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default())
-            .unwrap();
+        let (mut design, _) = compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        let _ =
+            pi_pnr::route_design(&mut design, &device, &pi_pnr::RouteOptions::default()).unwrap();
         // Force one partpin into the pblock interior. The module is locked,
         // so build a modified copy.
         let mut m = design.instances()[0].module.clone();

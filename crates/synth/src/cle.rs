@@ -152,7 +152,11 @@ pub fn synth_cle(
     );
     let ctrl = b.cell(Cell::new("ctrl", crate::emit::out_slice()));
     for (i, wc) in wbufs.iter().enumerate() {
-        b.connect(format!("wfeed{i}"), Endpoint::Cell(*wc), [Endpoint::Cell(ctrl)]);
+        b.connect(
+            format!("wfeed{i}"),
+            Endpoint::Cell(*wc),
+            [Endpoint::Cell(ctrl)],
+        );
     }
 
     // The shared MAC array.

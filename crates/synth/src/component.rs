@@ -40,7 +40,14 @@ pub fn synth_component(
     // Control enable terminates in the source controller.
     b.net(Net::new("en_net", Endpoint::Port(en), vec![cursor]));
     // Clock: partially routed to the first cell (HD.CLK_SRC analog).
-    b.net(Net::new("clk_net", Endpoint::Port(clk), vec![Endpoint::Cell(src_out_cell)]).clock());
+    b.net(
+        Net::new(
+            "clk_net",
+            Endpoint::Port(clk),
+            vec![Endpoint::Cell(src_out_cell)],
+        )
+        .clock(),
+    );
 
     // Layer engines in schedule order.
     for (idx, node_id) in component.nodes.iter().enumerate() {
@@ -66,10 +73,7 @@ pub fn synth_component(
 /// Analytic DSP count of a component's engines — the same sizing rules the
 /// generators use, without building the netlist. The latency model divides
 /// MACs by this number.
-pub fn component_dsp_estimate(
-    network: &Network,
-    component: &Component,
-) -> Result<u64, SynthError> {
+pub fn component_dsp_estimate(network: &Network, component: &Component) -> Result<u64, SynthError> {
     let shapes = network.input_shapes()?;
     let mut dsps = crate::cost::MEMCTRL_DSPS + 1; // source + sink controllers
     for node_id in &component.nodes {

@@ -55,7 +55,10 @@ pub fn emit_conv_engine(
     );
 
     // Engine controller.
-    let ctrl = b.cell(Cell::new(format!("{prefix}_ctrl"), crate::emit::out_slice()));
+    let ctrl = b.cell(Cell::new(
+        format!("{prefix}_ctrl"),
+        crate::emit::out_slice(),
+    ));
     // Weight storage feeds the controller, which schedules the lanes.
     for (i, wc) in weight_cells.iter().enumerate() {
         b.connect(
@@ -80,7 +83,10 @@ pub fn emit_conv_engine(
     let mut lane_heads = Vec::with_capacity(lanes as usize);
     for l in 0..lanes {
         let lane_prefix = format!("{prefix}_l{l}");
-        let head = b.cell(Cell::new(format!("{lane_prefix}_head"), crate::emit::win_slice()));
+        let head = b.cell(Cell::new(
+            format!("{lane_prefix}_head"),
+            crate::emit::win_slice(),
+        ));
         b.connect(
             format!("{lane_prefix}_feed"),
             lb_out,

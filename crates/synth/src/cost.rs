@@ -47,7 +47,8 @@ pub const TARGET_FRAME_CYCLES: u64 = 8_000_000;
 /// to the layer's MAC load: heavy layers get wide arrays, light layers fold
 /// onto a single k×k lane.
 pub fn conv_lanes(macs: u64, taps: u64) -> u64 {
-    macs.div_ceil(taps.max(1) * TARGET_FRAME_CYCLES).clamp(1, 40)
+    macs.div_ceil(taps.max(1) * TARGET_FRAME_CYCLES)
+        .clamp(1, 40)
 }
 
 /// DSP MACs in the folded fully-connected engine, MAC-load proportional
@@ -78,7 +79,9 @@ pub const MAX_COMB_CHAIN: usize = 3;
 /// are pipelined. This single rule is what makes deep-input layers slower
 /// (the paper's conv2-vs-conv1 and VGG-component observations).
 pub fn comb_chain_len(taps: u64) -> usize {
-    (ceil_log2(taps).div_ceil(2)).max(1).min(MAX_COMB_CHAIN as u64) as usize
+    (ceil_log2(taps).div_ceil(2))
+        .max(1)
+        .min(MAX_COMB_CHAIN as u64) as usize
 }
 
 /// Ceiling log2 (0 and 1 map to 0).

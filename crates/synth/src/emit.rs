@@ -133,11 +133,7 @@ pub fn emit_mac_lane(
 
     // Output/requantization stage.
     let out = b.cell(Cell::new(format!("{prefix}_out"), out_slice()));
-    b.connect(
-        format!("{prefix}_treeout"),
-        tree_out,
-        [Endpoint::Cell(out)],
-    );
+    b.connect(format!("{prefix}_treeout"), tree_out, [Endpoint::Cell(out)]);
 
     // Extra registered tree slices: chains of 8 hanging between the MAC
     // output and the output stage. They carry area without adding
@@ -169,11 +165,7 @@ pub fn emit_mac_lane(
 
 /// Merge many lane outputs into one stream: a small registered tree of
 /// slices with fanin grouped by 8.
-pub fn emit_merge(
-    b: &mut ModuleBuilder,
-    prefix: &str,
-    inputs: &[Endpoint],
-) -> Endpoint {
+pub fn emit_merge(b: &mut ModuleBuilder, prefix: &str, inputs: &[Endpoint]) -> Endpoint {
     assert!(!inputs.is_empty(), "merge needs at least one input");
     if inputs.len() == 1 {
         return inputs[0];
@@ -183,10 +175,7 @@ pub fn emit_merge(
     while current.len() > 1 {
         let mut next = Vec::with_capacity(current.len().div_ceil(8));
         for (g, group) in current.chunks(8).enumerate() {
-            let m = b.cell(Cell::new(
-                format!("{prefix}_m{level}_{g}"),
-                tree_slice(),
-            ));
+            let m = b.cell(Cell::new(format!("{prefix}_m{level}_{g}"), tree_slice()));
             for (i, src) in group.iter().enumerate() {
                 b.connect(
                     format!("{prefix}_m{level}_{g}_{i}"),
@@ -282,7 +271,11 @@ mod tests {
         }
         let m = b.finish().unwrap();
         // 10 sinks at max fanout 4 -> 3 broadcast nets.
-        let bc_nets = m.nets().iter().filter(|n| n.name.starts_with("bc_f")).count();
+        let bc_nets = m
+            .nets()
+            .iter()
+            .filter(|n| n.name.starts_with("bc_f"))
+            .count();
         assert_eq!(bc_nets, 3);
     }
 }

@@ -45,7 +45,10 @@ pub fn emit_fc_engine(
         |i| Cell::new(format!("{prefix}_wrom{i}"), CellKind::Bram),
         None,
     );
-    let ctrl = b.cell(Cell::new(format!("{prefix}_ctrl"), crate::emit::out_slice()));
+    let ctrl = b.cell(Cell::new(
+        format!("{prefix}_ctrl"),
+        crate::emit::out_slice(),
+    ));
     for (i, wc) in wrom.iter().enumerate() {
         b.connect(
             format!("{prefix}_wfeed{i}"),

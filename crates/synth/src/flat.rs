@@ -79,29 +79,26 @@ pub fn synth_network_flat(
             (base.ffs * cost::MONOLITHIC_FF_OVERHEAD_PCT / 100).div_ceil(16) as usize;
         let extra_brams = (base.brams * cost::MONOLITHIC_BRAM_OVERHEAD_PCT / 100) as usize;
 
-        let add_overhead = |b: &mut ModuleBuilder,
-                                tag: &str,
-                                n: usize,
-                                kind: CellKind,
-                                feed: Endpoint| {
-            let mut remaining = n;
-            let mut g = 0usize;
-            while remaining > 0 {
-                let len = remaining.min(16);
-                let chain = crate::emit::emit_chain(
-                    b,
-                    &format!("ovh_{tag}{g}"),
-                    len,
-                    |i| Cell::new(format!("ovh_{tag}{g}_{i}"), kind),
-                    Some(feed),
-                );
-                // Tie the tail into the output path so the cells are live.
-                let tail = Endpoint::Cell(*chain.last().expect("len >= 1"));
-                b.connect(format!("ovh_{tag}{g}_out"), tail, [cursor]);
-                remaining -= len;
-                g += 1;
-            }
-        };
+        let add_overhead =
+            |b: &mut ModuleBuilder, tag: &str, n: usize, kind: CellKind, feed: Endpoint| {
+                let mut remaining = n;
+                let mut g = 0usize;
+                while remaining > 0 {
+                    let len = remaining.min(16);
+                    let chain = crate::emit::emit_chain(
+                        b,
+                        &format!("ovh_{tag}{g}"),
+                        len,
+                        |i| Cell::new(format!("ovh_{tag}{g}_{i}"), kind),
+                        Some(feed),
+                    );
+                    // Tie the tail into the output path so the cells are live.
+                    let tail = Endpoint::Cell(*chain.last().expect("len >= 1"));
+                    b.connect(format!("ovh_{tag}{g}_out"), tail, [cursor]);
+                    remaining -= len;
+                    g += 1;
+                }
+            };
         // Fanout-buffer logic (LUT-heavy) and pipeline registers (FF-heavy).
         add_overhead(
             &mut b,
@@ -174,17 +171,20 @@ mod tests {
     #[test]
     fn ooc_flat_has_no_iobufs() {
         let net = models::toy();
-        let flat = synth_network_flat(&net, Granularity::Layer, &SynthOptions::lenet_like())
-            .unwrap();
+        let flat =
+            synth_network_flat(&net, Granularity::Layer, &SynthOptions::lenet_like()).unwrap();
         assert_eq!(flat.resources().ios, 0);
     }
 
     #[test]
     fn flat_module_is_structurally_valid() {
         let net = models::lenet5();
-        let flat =
-            synth_network_flat(&net, Granularity::Layer, &SynthOptions::lenet_like().monolithic())
-                .unwrap();
+        let flat = synth_network_flat(
+            &net,
+            Granularity::Layer,
+            &SynthOptions::lenet_like().monolithic(),
+        )
+        .unwrap();
         assert!(flat.validate().is_ok());
         assert!(flat.cells().len() > 1000);
     }

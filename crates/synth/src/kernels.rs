@@ -100,13 +100,24 @@ pub fn synth_kernel(kind: KernelKind, rows: usize, cols: usize) -> Result<Module
         }
     }
     // Input feeds the top-left PE; output leaves the bottom-right PE.
-    b.connect("din_net", Endpoint::Port(din), [Endpoint::Cell(heads[0][0])]);
+    b.connect(
+        "din_net",
+        Endpoint::Port(din),
+        [Endpoint::Cell(heads[0][0])],
+    );
     b.net(Net::new(
         "en_net",
         Endpoint::Port(en),
         vec![Endpoint::Cell(heads[0][0])],
     ));
-    b.net(Net::new("clk_net", Endpoint::Port(clk), vec![Endpoint::Cell(heads[0][0])]).clock());
+    b.net(
+        Net::new(
+            "clk_net",
+            Endpoint::Port(clk),
+            vec![Endpoint::Cell(heads[0][0])],
+        )
+        .clock(),
+    );
     b.connect("dout_net", outs[rows - 1][cols - 1], [Endpoint::Port(dout)]);
 
     Ok(b.finish()?)
@@ -138,7 +149,11 @@ mod tests {
     #[test]
     fn mesh_nets_connect_neighbours() {
         let m = synth_kernel(KernelKind::Smoothing, 2, 2).unwrap();
-        let mesh = m.nets().iter().filter(|n| n.name.starts_with("mesh")).count();
+        let mesh = m
+            .nets()
+            .iter()
+            .filter(|n| n.name.starts_with("mesh"))
+            .count();
         // 2x2 mesh: PEs (0,0),(0,1),(1,0) have outgoing mesh nets.
         assert_eq!(mesh, 3);
     }

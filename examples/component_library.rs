@@ -12,11 +12,8 @@ use preimpl_cnn::stitch::{relocate_to, valid_anchor_columns};
 fn main() {
     let device = Device::xcku5p_like();
     let network = preimpl_cnn::cnn::models::lenet5();
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (db, _) = build_component_db(&network, &device, &fopts).expect("db builds");
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (db, _) = build_component_db(&network, &device, &cfg).expect("db builds");
 
     // The database is keyed by component signature: kind + parameters +
     // input shape, everything that determines the hardware.
@@ -52,17 +49,24 @@ fn main() {
     // (what `compose` automates).
     let a = relocate_to(cp, &device, TileCoord::new(pb.col_lo, 0)).expect("relocates");
     let drow = i32::from(pb.height()).max(8);
-    let b = relocate_to(
-        cp,
-        &device,
-        TileCoord::new(pb.col_lo, drow as u16),
-    )
-    .expect("relocates");
-    let mut design = Design::new("twin_conv", device.name(), preimpl_cnn::netlist::DesignKind::Assembled);
+    let b = relocate_to(cp, &device, TileCoord::new(pb.col_lo, drow as u16)).expect("relocates");
+    let mut design = Design::new(
+        "twin_conv",
+        device.name(),
+        preimpl_cnn::netlist::DesignKind::Assembled,
+    );
     let ia = design.add_instance("conv_a", a);
     let ib = design.add_instance("conv_b", b);
-    let (dout, _) = design.instance(ia).module.port_by_name("dout").expect("port");
-    let (din, _) = design.instance(ib).module.port_by_name("din").expect("port");
+    let (dout, _) = design
+        .instance(ia)
+        .module
+        .port_by_name("dout")
+        .expect("port");
+    let (din, _) = design
+        .instance(ib)
+        .module
+        .port_by_name("din")
+        .expect("port");
     design
         .connect_top("a_to_b", (ia, dout), vec![(ib, din)], 16)
         .expect("stitches");

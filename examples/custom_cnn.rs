@@ -39,26 +39,28 @@ fn main() {
         .expect("components extract");
     println!("components (fusion rule applied):");
     for c in &comps {
-        println!("  {:10} {} -> {}  [{}]", c.name, c.input_shape, c.output_shape, c.signature(&network));
+        println!(
+            "  {:10} {} -> {}  [{}]",
+            c.name,
+            c.input_shape,
+            c.output_shape,
+            c.signature(&network)
+        );
     }
 
     // Composing against an empty database reports exactly which component
     // is missing — the flow's component-matching step.
     let empty = ComponentDb::new();
-    match run_pre_implemented_flow(&network, &empty, &device, &ArchOptOptions::default()) {
+    let cfg = FlowConfig::new().with_seeds([1, 2]);
+    match run_pre_implemented_flow(&network, &empty, &device, &cfg) {
         Err(e) => println!("\nwith an empty database the flow reports: {e}"),
         Ok(_) => unreachable!("composition cannot succeed without checkpoints"),
     }
 
     // Build the database and generate for real.
-    let fopts = FunctionOptOptions {
-        seeds: vec![1, 2],
-        ..Default::default()
-    };
-    let (db, _) = build_component_db(&network, &device, &fopts).expect("db builds");
+    let (db, _) = build_component_db(&network, &device, &cfg).expect("db builds");
     let (design, report) =
-        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-            .expect("flow succeeds");
+        run_pre_implemented_flow(&network, &db, &device, &cfg).expect("flow succeeds");
     println!(
         "\nassembled '{}': {:.0} MHz, {} instances, {} inter-component nets, fully routed: {}",
         design.name,

@@ -19,13 +19,12 @@ fn main() {
     let network = preimpl_cnn::cnn::models::lenet5();
 
     // Function optimization with a seed sweep (the paper's performance
-    // exploration).
-    let fopts = FunctionOptOptions {
-        synth: SynthOptions::lenet_like(),
-        seeds: vec![1, 2, 3],
-        ..Default::default()
-    };
-    let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    // exploration). The same config later drives the architecture phase and
+    // the monolithic baseline (which derives its synthesis mode itself).
+    let cfg = FlowConfig::new()
+        .with_synth(SynthOptions::lenet_like())
+        .with_seeds([1, 2, 3]);
+    let (db, reports) = build_component_db(&network, &device, &cfg).expect("db builds");
     println!("pre-implemented components (Table III exploration):");
     for r in &reports {
         println!(
@@ -39,12 +38,15 @@ fn main() {
     let dir = std::env::temp_dir().join("preimpl_cnn_lenet_db");
     db.save_dir(&dir).expect("db saves");
     let db = ComponentDb::load_dir(&dir).expect("db reloads");
-    println!("\ndatabase persisted to {} ({} checkpoints)", dir.display(), db.len());
+    println!(
+        "\ndatabase persisted to {} ({} checkpoints)",
+        dir.display(),
+        db.len()
+    );
 
     // Generate the accelerator.
     let (design, pre) =
-        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-            .expect("pre-implemented flow");
+        run_pre_implemented_flow(&network, &db, &device, &cfg).expect("pre-implemented flow");
     println!(
         "\nassembled: Fmax {:.0} MHz, pipeline {:.0} ns, frame {:.3} ms, \
          stitching was {:.0}% of the {:.1} ms generation",
@@ -56,11 +58,7 @@ fn main() {
     );
 
     // Traditional baseline for the Fig. 6 / Table III comparison.
-    let bopts = BaselineOptions {
-        synth: SynthOptions::lenet_like().monolithic(),
-        ..Default::default()
-    };
-    let (_, base) = run_baseline_flow(&network, &device, &bopts).expect("baseline flow");
+    let (_, base) = run_baseline_flow(&network, &device, &cfg).expect("baseline flow");
     println!("\n{}", FlowComparison::new(&network.name, &base, &pre));
 
     // Model sanity: the accelerator's function is LeNet inference; check the
@@ -78,6 +76,12 @@ fn main() {
 
 fn checkerboard(n: u32) -> Vec<f32> {
     (0..n * n)
-        .map(|i| if (i / n + i % n).is_multiple_of(2) { 1.0 } else { -1.0 })
+        .map(|i| {
+            if (i / n + i % n).is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
         .collect()
 }

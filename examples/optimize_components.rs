@@ -16,12 +16,10 @@ fn main() {
     let network = preimpl_cnn::cnn::models::lenet5();
 
     // A deliberately shallow first pass: one placement seed per component.
-    let fopts = FunctionOptOptions {
-        synth: SynthOptions::lenet_like(),
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (mut db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    let cfg = FlowConfig::new()
+        .with_synth(SynthOptions::lenet_like())
+        .with_seeds([1]);
+    let (mut db, reports) = build_component_db(&network, &device, &cfg).expect("db builds");
     let floor = |db: &ComponentDb| {
         db.checkpoints()
             .map(|cp| cp.meta.fmax_mhz)
@@ -37,11 +35,16 @@ fn main() {
     // "We are planning to investigate optimization approaches to improve
     // the performance of components during the function optimization
     // stage" — three targeted rounds on whatever is slowest.
-    let improvements =
-        improve_slowest(&mut db, &network, &device, &fopts, 3).expect("rounds run");
-    println!("\ntargeted re-exploration made {} improvement(s):", improvements.len());
+    let improvements = improve_slowest(&mut db, &network, &device, &cfg, 3).expect("rounds run");
+    println!(
+        "\ntargeted re-exploration made {} improvement(s):",
+        improvements.len()
+    );
     for imp in &improvements {
-        println!("  {:14} -> {:6.0} MHz ({} seeds)", imp.name, imp.fmax_mhz, imp.seeds_tried);
+        println!(
+            "  {:14} -> {:6.0} MHz ({} seeds)",
+            imp.name, imp.fmax_mhz, imp.seeds_tried
+        );
     }
     let after = floor(&db);
     println!("slowest component: {before:.0} -> {after:.0} MHz");
@@ -49,8 +52,7 @@ fn main() {
 
     // Regenerate and verify.
     let (design, report) =
-        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-            .expect("flow succeeds");
+        run_pre_implemented_flow(&network, &db, &device, &cfg).expect("flow succeeds");
     let violations = check_design(&design, &device).expect("drc runs");
     println!(
         "\nassembled: {:.0} MHz, DRC violations: {}",

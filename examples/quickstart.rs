@@ -21,11 +21,9 @@ fn main() {
 
     // 2. Function optimization (done once): pre-implement every component
     //    out-of-context and store the locked checkpoints in a database.
-    let fopts = FunctionOptOptions {
-        seeds: vec![1, 2],
-        ..Default::default()
-    };
-    let (db, reports) = build_component_db(&network, &device, &fopts).expect("components build");
+    //    One FlowConfig drives both phases and the baseline.
+    let cfg = FlowConfig::new().with_seeds([1, 2]);
+    let (db, reports) = build_component_db(&network, &device, &cfg).expect("components build");
     println!("\ncomponent database ({} checkpoints):", db.len());
     for r in &reports {
         println!(
@@ -42,8 +40,7 @@ fn main() {
     // 3. Architecture optimization (automatic): compose the accelerator
     //    from the checkpoints and route the inter-component nets.
     let (design, report) =
-        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-            .expect("flow succeeds");
+        run_pre_implemented_flow(&network, &db, &device, &cfg).expect("flow succeeds");
     assert!(design.fully_routed());
     println!(
         "\nassembled '{}': Fmax {:.0} MHz, pipeline latency {:.0} ns, \
@@ -56,7 +53,6 @@ fn main() {
     );
 
     // 4. Compare with the traditional monolithic flow.
-    let (_, baseline) =
-        run_baseline_flow(&network, &device, &BaselineOptions::default()).expect("baseline");
+    let (_, baseline) = run_baseline_flow(&network, &device, &cfg).expect("baseline");
     println!("{}", FlowComparison::new(&network.name, &baseline, &report));
 }

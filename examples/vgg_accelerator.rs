@@ -28,14 +28,12 @@ fn main() {
 
     // Pre-implement the conv blocks / pools / FCs (block granularity — the
     // paper's VGG component split).
-    let fopts = FunctionOptOptions {
-        synth: SynthOptions::vgg_like(),
-        granularity: Granularity::Block,
-        seeds: vec![1, 2],
-        ..Default::default()
-    };
+    let cfg = FlowConfig::new()
+        .with_synth(SynthOptions::vgg_like())
+        .with_granularity(Granularity::Block)
+        .with_seeds([1, 2]);
     let t = std::time::Instant::now();
-    let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    let (db, reports) = build_component_db(&network, &device, &cfg).expect("db builds");
     println!(
         "\n{} components pre-implemented in {:.1} s:",
         db.len(),
@@ -51,12 +49,8 @@ fn main() {
         );
     }
 
-    let aopts = ArchOptOptions {
-        granularity: Granularity::Block,
-        ..Default::default()
-    };
     let (design, pre) =
-        run_pre_implemented_flow(&network, &db, &device, &aopts).expect("flow succeeds");
+        run_pre_implemented_flow(&network, &db, &device, &cfg).expect("flow succeeds");
     let util = design.utilization(&device);
     println!(
         "\nassembled VGG-16: Fmax {:.0} MHz, frame latency {:.2} ms, \
@@ -70,12 +64,7 @@ fn main() {
 
     if full {
         println!("\nrunning the monolithic baseline (~30 s)...");
-        let bopts = BaselineOptions {
-            synth: SynthOptions::vgg_like().monolithic(),
-            granularity: Granularity::Block,
-            ..Default::default()
-        };
-        let (_, base) = run_baseline_flow(&network, &device, &bopts).expect("baseline");
+        let (_, base) = run_baseline_flow(&network, &device, &cfg).expect("baseline");
         println!("{}", FlowComparison::new(&network.name, &base, &pre));
     } else {
         println!("\n(pass --full to also run the ~30 s monolithic baseline)");

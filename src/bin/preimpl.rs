@@ -9,13 +9,16 @@
 //! preimpl devices                                  list the device catalog
 //! ```
 //!
-//! All commands accept `--device <name>` (default `xcku5p-like`) and
-//! `--seeds N` (default 3). Run `cargo run --release --bin preimpl -- <cmd>`.
+//! All commands accept `--device <name>` (default `xcku5p-like`),
+//! `--seeds N` (default 3) and `--trace <path>` (write a JSON-Lines
+//! telemetry stream of the run). Run
+//! `cargo run --release --bin preimpl -- <cmd>`.
 
 use preimpl_cnn::cnn::graph::Granularity;
 use preimpl_cnn::prelude::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     command: String,
@@ -23,6 +26,7 @@ struct Args {
     device: String,
     seeds: u64,
     block: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         device: "xcku5p-like".to_string(),
         seeds: 3,
         block: false,
+        trace: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -48,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--seeds must be a number".to_string())?;
             }
             "--block" => args.block = true,
+            "--trace" => {
+                args.trace = Some(argv.next().ok_or("--trace needs a path")?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}\n{}", usage()));
             }
@@ -59,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> <archdef> \
-     [db-dir] [--device NAME] [--seeds N] [--block]"
+     [db-dir] [--device NAME] [--seeds N] [--block] [--trace PATH]"
         .to_string()
 }
 
@@ -116,7 +124,11 @@ fn run() -> Result<(), String> {
             println!("  fc layers   : {:>12}", stats.fc_layers);
             println!("  fc weights  : {:>12}", stats.fc_weights);
             println!("  fc MACs     : {:>12}", stats.fc_macs);
-            println!("  total       : {:>12} weights, {} MACs", stats.total_weights(), stats.total_macs());
+            println!(
+                "  total       : {:>12} weights, {} MACs",
+                stats.total_weights(),
+                stats.total_macs()
+            );
             println!("\ncomponents ({granularity:?} granularity):");
             for c in network.components(granularity).map_err(|e| e.to_string())? {
                 println!("  {:<40} {} -> {}", c.name, c.input_shape, c.output_shape);
@@ -125,10 +137,10 @@ fn run() -> Result<(), String> {
         }
         "build-db" => {
             let dir = db_dir(&args)?;
-            let fopts = fopts(&args, granularity);
+            let cfg = config(&args, granularity)?;
             let t = std::time::Instant::now();
             let (db, reports) =
-                build_component_db(&network, &device, &fopts).map_err(|e| e.to_string())?;
+                build_component_db(&network, &device, &cfg).map_err(|e| e.to_string())?;
             db.save_dir(&dir).map_err(|e| e.to_string())?;
             println!(
                 "built {} checkpoints in {:.1} s -> {}",
@@ -147,11 +159,8 @@ fn run() -> Result<(), String> {
         "compose" | "floorplan" => {
             let dir = db_dir(&args)?;
             let db = ComponentDb::load_dir(&dir).map_err(|e| e.to_string())?;
-            let aopts = preimpl_cnn::flow::ArchOptOptions {
-                granularity,
-                ..Default::default()
-            };
-            let (design, report) = run_pre_implemented_flow(&network, &db, &device, &aopts)
+            let cfg = config(&args, granularity)?;
+            let (design, report) = run_pre_implemented_flow(&network, &db, &device, &cfg)
                 .map_err(|e| e.to_string())?;
             if args.command == "floorplan" {
                 println!(
@@ -178,13 +187,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "baseline" => {
-            let bopts = BaselineOptions {
-                granularity,
-                seed: args.seeds,
-                ..Default::default()
-            };
+            let cfg = config(&args, granularity)?;
             let (design, report) =
-                run_baseline_flow(&network, &device, &bopts).map_err(|e| e.to_string())?;
+                run_baseline_flow(&network, &device, &cfg).map_err(|e| e.to_string())?;
             println!(
                 "baseline {}: Fmax {:.0} MHz, implemented in {:.2} s",
                 design.name,
@@ -208,10 +213,13 @@ fn db_dir(args: &Args) -> Result<PathBuf, String> {
         .ok_or_else(|| format!("missing <db-dir>\n{}", usage()))
 }
 
-fn fopts(args: &Args, granularity: Granularity) -> FunctionOptOptions {
-    FunctionOptOptions {
-        granularity,
-        seeds: (1..=args.seeds).collect(),
-        ..Default::default()
+fn config(args: &Args, granularity: Granularity) -> Result<FlowConfig, String> {
+    let mut cfg = FlowConfig::new()
+        .with_granularity(granularity)
+        .with_seeds(1..=args.seeds);
+    if let Some(path) = &args.trace {
+        let sink = FileSink::create(path).map_err(|e| format!("opening {path}: {e}"))?;
+        cfg = cfg.with_sink(Arc::new(sink));
     }
+    Ok(cfg)
 }

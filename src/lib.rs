@@ -17,13 +17,15 @@
 //! let device = Device::xcku5p_like();
 //! let network = models::toy();
 //!
+//! // One config drives both phases (and carries the telemetry sink, if
+//! // any — see [`pi_obs`] and `FlowConfig::with_sink`).
+//! let cfg = FlowConfig::new().with_seeds([1]);
+//!
 //! // Phase 1 (done once): pre-implement every component into a database.
-//! let fopts = FunctionOptOptions { seeds: vec![1], ..Default::default() };
-//! let (db, _reports) = build_component_db(&network, &device, &fopts).unwrap();
+//! let (db, _reports) = build_component_db(&network, &device, &cfg).unwrap();
 //!
 //! // Phase 2 (automatic): compose + inter-component routing.
-//! let (design, report) =
-//!     run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default()).unwrap();
+//! let (design, report) = run_pre_implemented_flow(&network, &db, &device, &cfg).unwrap();
 //! assert!(design.fully_routed());
 //! println!("accelerator Fmax: {:.0} MHz", report.compile.timing.fmax_mhz);
 //! ```
@@ -37,6 +39,7 @@ pub use pi_fabric as fabric;
 pub use pi_flow as flow;
 pub use pi_memalloc as memalloc;
 pub use pi_netlist as netlist;
+pub use pi_obs as obs;
 pub use pi_pnr as pnr;
 pub use pi_stitch as stitch;
 pub use pi_synth as synth;
@@ -47,10 +50,11 @@ pub mod prelude {
     pub use pi_cnn::{models, parse_archdef, Network};
     pub use pi_fabric::{Device, Pblock, ResourceCount, TileCoord};
     pub use pi_flow::{
-        build_component_db, run_baseline_flow, run_pre_implemented_flow, ArchOptOptions,
-        BaselineOptions, FlowComparison, FunctionOptOptions,
+        build_component_db, extend_component_db, improve_slowest, run_baseline_flow,
+        run_pre_implemented_flow, FlowComparison, FlowConfig,
     };
     pub use pi_netlist::{Checkpoint, Design, Module};
+    pub use pi_obs::{EventSink, FileSink, MemorySink, NullSink, Obs};
     pub use pi_pnr::{CompileReport, TimingReport};
     pub use pi_stitch::ComponentDb;
     pub use pi_synth::{SynthMode, SynthOptions};

@@ -7,20 +7,16 @@ use preimpl_cnn::prelude::*;
 fn toy_network_flows_on_the_ku060_part() {
     let device = Device::xcku060_like();
     let network = preimpl_cnn::cnn::models::toy();
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (db, reports) = build_component_db(&network, &device, &fopts).expect("db builds");
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (db, reports) = build_component_db(&network, &device, &cfg).expect("db builds");
     for cp in db.checkpoints() {
         assert_eq!(cp.meta.device, "xcku060-like");
     }
     for r in &reports {
         assert!(r.fmax_mhz > 100.0, "{} too slow: {}", r.name, r.fmax_mhz);
     }
-    let (design, report) =
-        run_pre_implemented_flow(&network, &db, &device, &ArchOptOptions::default())
-            .expect("flow succeeds on ku060");
+    let (design, report) = run_pre_implemented_flow(&network, &db, &device, &FlowConfig::new())
+        .expect("flow succeeds on ku060");
     assert!(design.fully_routed());
     assert!(report.compile.timing.fmax_mhz > 100.0);
 }
@@ -28,14 +24,9 @@ fn toy_network_flows_on_the_ku060_part() {
 #[test]
 fn per_device_databases_are_independent() {
     let network = preimpl_cnn::cnn::models::toy();
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (db_a, _) =
-        build_component_db(&network, &Device::xcku5p_like(), &fopts).expect("builds");
-    let (db_b, _) =
-        build_component_db(&network, &Device::xcku060_like(), &fopts).expect("builds");
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (db_a, _) = build_component_db(&network, &Device::xcku5p_like(), &cfg).expect("builds");
+    let (db_b, _) = build_component_db(&network, &Device::xcku060_like(), &cfg).expect("builds");
     // Same signatures, different physical implementations.
     let sigs_a: Vec<_> = db_a.signatures().collect();
     let sigs_b: Vec<_> = db_b.signatures().collect();

@@ -10,7 +10,7 @@ fn missing_component_names_the_signature() {
     let device = Device::xcku5p_like();
     let network = preimpl_cnn::cnn::models::toy();
     let empty = ComponentDb::new();
-    match run_pre_implemented_flow(&network, &empty, &device, &ArchOptOptions::default()) {
+    match run_pre_implemented_flow(&network, &empty, &device, &FlowConfig::new()) {
         Err(FlowError::Stitch(StitchError::MissingComponent(sig))) => {
             assert!(sig.starts_with("conv_k3"), "unexpected signature {sig}");
         }
@@ -22,11 +22,8 @@ fn missing_component_names_the_signature() {
 fn partial_database_reports_the_first_unmatched_component() {
     let device = Device::xcku5p_like();
     let network = preimpl_cnn::cnn::models::toy();
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (full_db, _) = build_component_db(&network, &device, &fopts).expect("builds");
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (full_db, _) = build_component_db(&network, &device, &cfg).expect("builds");
     // Rebuild a database missing exactly the pool component.
     let mut partial = ComponentDb::new();
     for cp in full_db.checkpoints() {
@@ -34,7 +31,7 @@ fn partial_database_reports_the_first_unmatched_component() {
             partial.insert(cp.clone());
         }
     }
-    match run_pre_implemented_flow(&network, &partial, &device, &ArchOptOptions::default()) {
+    match run_pre_implemented_flow(&network, &partial, &device, &FlowConfig::new()) {
         Err(FlowError::Stitch(StitchError::MissingComponent(sig))) => {
             assert!(sig.starts_with("pool"), "should miss the pool, got {sig}");
         }
@@ -60,12 +57,9 @@ fn device_mismatch_is_rejected_at_relocation() {
     let device = Device::xcku5p_like();
     let other = Device::xcku060_like();
     let network = preimpl_cnn::cnn::models::toy();
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (db, _) = build_component_db(&network, &device, &fopts).expect("builds");
-    match run_pre_implemented_flow(&network, &db, &other, &ArchOptOptions::default()) {
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (db, _) = build_component_db(&network, &device, &cfg).expect("builds");
+    match run_pre_implemented_flow(&network, &db, &other, &FlowConfig::new()) {
         Err(FlowError::Stitch(StitchError::DeviceMismatch { .. })) => {}
         other => panic!("expected DeviceMismatch, got {other:?}"),
     }
@@ -118,14 +112,13 @@ fn router_reports_congestion_when_capacity_is_starved() {
 fn locked_modules_reject_mutation_everywhere() {
     let device = Device::xcku5p_like();
     let network = preimpl_cnn::cnn::models::toy();
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (db, _) = build_component_db(&network, &device, &fopts).expect("builds");
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (db, _) = build_component_db(&network, &device, &cfg).expect("builds");
     let cp = db.checkpoints().next().expect("non-empty");
     let mut module = cp.module.clone();
-    assert!(module.set_placement(preimpl_cnn::netlist::CellId(0), TileCoord::new(1, 1)).is_err());
+    assert!(module
+        .set_placement(preimpl_cnn::netlist::CellId(0), TileCoord::new(1, 1))
+        .is_err());
     assert!(module.cells_mut().is_err());
     assert!(module.nets_mut().is_err());
     assert!(module.ports_mut().is_err());

@@ -17,13 +17,10 @@ fn lenet() -> &'static LenetArtifacts {
     CELL.get_or_init(|| {
         let device = Device::xcku5p_like();
         let network = preimpl_cnn::cnn::models::lenet5();
-        let fopts = FunctionOptOptions {
-            synth: SynthOptions::lenet_like(),
-            seeds: vec![1],
-            ..Default::default()
-        };
-        let (db, reports) =
-            build_component_db(&network, &device, &fopts).expect("lenet db builds");
+        let cfg = FlowConfig::new()
+            .with_synth(SynthOptions::lenet_like())
+            .with_seeds([1]);
+        let (db, reports) = build_component_db(&network, &device, &cfg).expect("lenet db builds");
         LenetArtifacts {
             device,
             network,
@@ -37,7 +34,7 @@ fn lenet() -> &'static LenetArtifacts {
 fn lenet_preimplemented_flow_end_to_end() {
     let a = lenet();
     let (design, report) =
-        run_pre_implemented_flow(&a.network, &a.db, &a.device, &ArchOptOptions::default())
+        run_pre_implemented_flow(&a.network, &a.db, &a.device, &FlowConfig::new())
             .expect("flow succeeds");
 
     // Fully implemented: every component routed at build time, every
@@ -78,7 +75,7 @@ fn lenet_preimplemented_flow_end_to_end() {
 fn lenet_flow_is_deterministic() {
     let a = lenet();
     let run = || {
-        run_pre_implemented_flow(&a.network, &a.db, &a.device, &ArchOptOptions::default())
+        run_pre_implemented_flow(&a.network, &a.db, &a.device, &FlowConfig::new())
             .expect("flow succeeds")
     };
     let (d1, r1) = run();
@@ -96,16 +93,13 @@ fn lenet_flow_is_deterministic() {
 #[test]
 fn preimplemented_beats_baseline_where_the_paper_says_it_does() {
     let a = lenet();
-    let (_, pre) =
-        run_pre_implemented_flow(&a.network, &a.db, &a.device, &ArchOptOptions::default())
-            .expect("flow succeeds");
-    let bopts = BaselineOptions {
-        synth: SynthOptions::lenet_like().monolithic(),
-        effort: 1.0, // keep the test quick; even the full-effort baseline loses
-        ..Default::default()
-    };
+    let (_, pre) = run_pre_implemented_flow(&a.network, &a.db, &a.device, &FlowConfig::new())
+        .expect("flow succeeds");
+    let bcfg = FlowConfig::new()
+        .with_synth(SynthOptions::lenet_like())
+        .with_baseline_effort(1.0); // keep the test quick; even the full-effort baseline loses
     let (bdesign, base) =
-        run_baseline_flow(&a.network, &a.device, &bopts).expect("baseline succeeds");
+        run_baseline_flow(&a.network, &a.device, &bcfg).expect("baseline succeeds");
 
     // Fmax: the paper's headline.
     assert!(
@@ -137,12 +131,10 @@ fn checkpoint_database_round_trips_through_disk() {
     let reloaded = ComponentDb::load_dir(&dir).expect("loads");
     assert_eq!(reloaded.len(), a.db.len());
     // The reloaded database composes identically.
-    let (_, r1) =
-        run_pre_implemented_flow(&a.network, &a.db, &a.device, &ArchOptOptions::default())
-            .expect("original db composes");
-    let (_, r2) =
-        run_pre_implemented_flow(&a.network, &reloaded, &a.device, &ArchOptOptions::default())
-            .expect("reloaded db composes");
+    let (_, r1) = run_pre_implemented_flow(&a.network, &a.db, &a.device, &FlowConfig::new())
+        .expect("original db composes");
+    let (_, r2) = run_pre_implemented_flow(&a.network, &reloaded, &a.device, &FlowConfig::new())
+        .expect("reloaded db composes");
     assert_eq!(r1.compile.timing.fmax_mhz, r2.compile.timing.fmax_mhz);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -163,9 +155,8 @@ fn archdef_input_drives_the_same_flow() {
     };
     assert_eq!(sig(&a.network, &comps_a), sig(&parsed, &comps_b));
     // Therefore the database built for one matches the other.
-    let (_, report) =
-        run_pre_implemented_flow(&parsed, &a.db, &a.device, &ArchOptOptions::default())
-            .expect("parsed network reuses the database");
+    let (_, report) = run_pre_implemented_flow(&parsed, &a.db, &a.device, &FlowConfig::new())
+        .expect("parsed network reuses the database");
     assert!(report.compile.timing.fmax_mhz > 100.0);
 }
 
@@ -174,23 +165,17 @@ fn component_reuse_across_designs() {
     // Two different networks sharing a layer configuration reuse the same
     // checkpoint — the paper's reuse claim.
     let device = Device::xcku5p_like();
-    let net_a = parse_archdef(
-        "network a\ninput 1x16x16\nconv c kernel=3 out=4\nfc f out=8\n",
-    )
-    .expect("parses");
+    let net_a = parse_archdef("network a\ninput 1x16x16\nconv c kernel=3 out=4\nfc f out=8\n")
+        .expect("parses");
     let net_b = parse_archdef(
         "network b\ninput 1x16x16\nconv c kernel=3 out=4\npool p window=2\nfc f out=8\n",
     )
     .expect("parses");
-    let fopts = FunctionOptOptions {
-        seeds: vec![1],
-        ..Default::default()
-    };
-    let (db_a, _) = build_component_db(&net_a, &device, &fopts).expect("a builds");
-    let (db_b, _) = build_component_db(&net_b, &device, &fopts).expect("b builds");
+    let cfg = FlowConfig::new().with_seeds([1]);
+    let (db_a, _) = build_component_db(&net_a, &device, &cfg).expect("a builds");
+    let (db_b, _) = build_component_db(&net_b, &device, &cfg).expect("b builds");
     // The shared conv signature exists in both databases...
-    let conv_sig = net_a.components(Granularity::Layer).expect("components")[0]
-        .signature(&net_a);
+    let conv_sig = net_a.components(Granularity::Layer).expect("components")[0].signature(&net_a);
     assert!(db_a.get(&conv_sig).is_some());
     assert!(db_b.get(&conv_sig).is_some());
     // ...and a merged database serves both networks.
@@ -198,10 +183,6 @@ fn component_reuse_across_designs() {
     for cp in db_b.checkpoints() {
         merged.insert(cp.clone());
     }
-    assert!(
-        run_pre_implemented_flow(&net_a, &merged, &device, &ArchOptOptions::default()).is_ok()
-    );
-    assert!(
-        run_pre_implemented_flow(&net_b, &merged, &device, &ArchOptOptions::default()).is_ok()
-    );
+    assert!(run_pre_implemented_flow(&net_a, &merged, &device, &FlowConfig::new()).is_ok());
+    assert!(run_pre_implemented_flow(&net_b, &merged, &device, &FlowConfig::new()).is_ok());
 }

@@ -13,8 +13,16 @@ fn synthesized_dsps_match_the_analytic_estimate() {
     // The latency model divides MACs by the analytic DSP estimate; the
     // netlist generators must instantiate exactly that many.
     for (network, gran, opts) in [
-        (models::lenet5(), Granularity::Layer, SynthOptions::lenet_like()),
-        (models::vgg16(), Granularity::Block, SynthOptions::vgg_like()),
+        (
+            models::lenet5(),
+            Granularity::Layer,
+            SynthOptions::lenet_like(),
+        ),
+        (
+            models::vgg16(),
+            Granularity::Block,
+            SynthOptions::vgg_like(),
+        ),
     ] {
         for comp in network.components(gran).expect("components") {
             let module = synth_component(&network, &comp, &opts).expect("synthesizes");
@@ -120,9 +128,7 @@ fn pipeline_depth_orders_components_like_the_paper() {
     // between.
     let network = models::lenet5();
     let comps = network.components(Granularity::Layer).expect("components");
-    let depth = |i: usize| {
-        cycles::component_pipeline_depth(&network, &comps[i]).expect("depth")
-    };
+    let depth = |i: usize| cycles::component_pipeline_depth(&network, &comps[i]).expect("depth");
     let (conv1, pool1, conv2, fc1) = (depth(0), depth(1), depth(2), depth(4));
     assert!(conv2 > conv1, "conv2 {conv2} <= conv1 {conv1}");
     assert!(pool1 < conv1);

@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking API surface the workspace's `benches/` use —
+//! `Criterion::bench_function`, `benchmark_group` + `sample_size`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! mean-of-N wall-clock timer instead of criterion's statistical engine.
+//! Good enough to keep `cargo bench` compiling and producing comparable
+//! numbers in an environment without registry access.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched in `iter_batched`; the stand-in
+/// always runs one setup per routine call, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; measures the routine.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing every call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            let out = routine();
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+
+    /// Run `routine` over fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+fn run_one(name: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!(
+            "{name:<50} {:>12.3} µs/iter ({} iters)",
+            mean * 1e6,
+            b.iters
+        );
+    } else {
+        println!("{name:<50} (no iterations)");
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Opaque black box: best-effort optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 20);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("t", |b| {
+                b.iter_batched(|| 1u64, |x| calls += x, BatchSize::LargeInput)
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the handful of `rand 0.8` APIs the workspace actually uses
+//! are reimplemented here: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and the `Rng` extension methods `gen::<T>()` / `gen_range(..)` for the
+//! numeric types that appear in the codebase. The generator is a
+//! xoshiro256++ seeded through SplitMix64 — high-quality, deterministic,
+//! and stable across platforms, which is all the workspace requires (every
+//! caller seeds explicitly; statistical equivalence with upstream `rand`
+//! streams is *not* promised).
+
+/// A random number generator core: the only primitive everything else
+/// builds on is a uniform `u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw output
+/// (the subset of `rand`'s `Standard` distribution this workspace uses).
+pub trait StandardSample {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        // 53 random bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    fn sample_from(&self, rng: &mut dyn RngCore) -> T;
+}
+
+// Unbiased-enough uniform integer in [0, n): Lemire-style widening
+// multiply without the rejection loop (the modulo bias over a 64-bit
+// space is negligible for the small ranges used here, and skipping the
+// loop keeps sampling O(1) and deterministic).
+fn uniform_u64_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(&self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(&self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_u64_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(&self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// Extension methods on any RNG core, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator seeded via SplitMix64, standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&x));
+            let y: usize = rng.gen_range(0..17);
+            assert!(y < 17);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let h: i16 = rng.gen_range(-128..=127);
+            assert!((-128..=127).contains(&h));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

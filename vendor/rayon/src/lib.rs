@@ -1,0 +1,85 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crate registry, so this crate provides the
+//! parallel-iterator *API surface* the workspace uses (`par_iter`,
+//! `into_par_iter`) backed by ordinary sequential iterators. Semantics are
+//! identical — rayon's contract is that parallel iterators behave like
+//! their sequential counterparts — only the speedup is absent. A welcome
+//! side effect for this repository: telemetry event ordering is fully
+//! deterministic, which the `pi-obs` same-seed stream guarantee relies on.
+
+pub mod prelude {
+    /// `into_par_iter()` on anything iterable (ranges, vectors, ...).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` on anything whose reference is iterable (slices,
+    /// vectors, maps, ...).
+    pub trait IntoParallelRefIterator {
+        type Iter<'a>: Iterator
+        where
+            Self: 'a;
+        fn par_iter(&self) -> Self::Iter<'_>;
+    }
+
+    impl<C: ?Sized> IntoParallelRefIterator for C
+    where
+        for<'a> &'a C: IntoIterator,
+    {
+        type Iter<'a>
+            = <&'a C as IntoIterator>::IntoIter
+        where
+            C: 'a;
+        fn par_iter(&self) -> Self::Iter<'_> {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in reports a single "thread".
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let total: u32 = (0u32..10).into_par_iter().sum();
+        assert_eq!(total, 45);
+        let n = (0usize..5).into_par_iter().count();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn collect_result_short_circuits() {
+        let r: Result<Vec<u32>, &str> = (0u32..10)
+            .into_par_iter()
+            .map(|x| if x < 99 { Ok(x) } else { Err("no") })
+            .collect();
+        assert_eq!(r.unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crate registry, so this crate provides the
+//! subset of serde's data model the workspace uses, reimplemented around a
+//! simple owned tree ([`Content`]) instead of serde's zero-copy visitor
+//! machinery. `serde_json` (the vendored stand-in next door) reuses
+//! [`Content`] as its `Value` type, so `to_value`/`from_value` are free.
+//!
+//! Encoding conventions match real serde's JSON behavior where the
+//! workspace depends on it:
+//! * structs serialize as maps in field order;
+//! * newtype structs serialize transparently as their inner value;
+//! * enums are externally tagged (`"Variant"` for unit variants,
+//!   `{"Variant": ...}` for data variants);
+//! * `#[serde(default = "path")]` supplies missing fields on deserialize.
+
+use std::fmt;
+
+/// The serialization data model: an owned JSON-like tree.
+///
+/// Variant names follow `serde_json::Value` so the vendored `serde_json`
+/// can re-export this type directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key-ordered map (insertion order preserved — field order for
+    /// structs, which keeps output deterministic).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map` content.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        static NULL: Content = Content::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Content {
+    /// Mutable map indexing; inserts `Null` for missing keys (matching
+    /// `serde_json::Value` semantics). Panics on non-map content.
+    fn index_mut(&mut self, key: &str) -> &mut Content {
+        match self {
+            Content::Map(m) => {
+                if let Some(pos) = m.iter().position(|(k, _)| k == key) {
+                    &mut m[pos].1
+                } else {
+                    m.push((key.to_string(), Content::Null));
+                    &mut m.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index into {} with a string key", other.kind()),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialize from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---- primitive impls ---------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::U64(v) => i128::from(*v),
+                    Content::I64(v) => i128::from(*v),
+                    other => return Err(DeError(format!(
+                        "expected integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("integer {v} out of range for {}",
+                        stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::U64(v) => i128::from(*v),
+                    Content::I64(v) => i128::from(*v),
+                    other => return Err(DeError(format!(
+                        "expected integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("integer {v} out of range for {}",
+                        stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError(format!("expected float, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError(format!("expected single character, found {s:?}"))),
+        }
+    }
+}
+
+// ---- container impls ---------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(xs) => xs.iter().map(T::from_content).collect(),
+            other => Err(DeError(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(xs) if xs.len() == $n => {
+                        Ok(($($t::from_content(&xs[$idx])?,)+))
+                    }
+                    other => Err(DeError(format!(
+                        "expected {}-tuple, found {}", $n, other.kind()))),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+// ---- derive-macro runtime support --------------------------------------
+
+/// Support routines used by the generated code of the vendored
+/// `serde_derive`. Not part of the public API contract.
+pub mod __private {
+    use super::{Content, DeError, Deserialize};
+
+    /// View content as a struct map.
+    pub fn as_map<'c>(c: &'c Content, ty: &str) -> Result<&'c [(String, Content)], DeError> {
+        match c {
+            Content::Map(m) => Ok(m),
+            other => Err(DeError(format!(
+                "expected map for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Deserialize one named field, falling back to `default` when absent.
+    pub fn field<T: Deserialize>(
+        map: &[(String, Content)],
+        ty: &str,
+        name: &str,
+        default: Option<fn() -> T>,
+    ) -> Result<T, DeError> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_content(v).map_err(|e| DeError(format!("{ty}.{name}: {}", e.0)))
+            }
+            None => match default {
+                Some(f) => Ok(f()),
+                None => Err(DeError(format!("missing field {ty}.{name}"))),
+            },
+        }
+    }
+
+    /// View content as a sequence of exactly `n` elements (tuple
+    /// structs/variants with more than one field).
+    pub fn as_seq<'c>(c: &'c Content, n: usize, ty: &str) -> Result<&'c [Content], DeError> {
+        match c {
+            Content::Seq(xs) if xs.len() == n => Ok(xs),
+            Content::Seq(xs) => Err(DeError(format!(
+                "expected {n} elements for {ty}, found {}",
+                xs.len()
+            ))),
+            other => Err(DeError(format!(
+                "expected sequence for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i16::from_content(&(-7i16).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_content(&Content::Null).unwrap(),
+            None::<u8>
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let v: Vec<(u32, i32)> = vec![(1, -1), (2, -2)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(u32, i32)>::from_content(&c).unwrap(), v);
+    }
+}

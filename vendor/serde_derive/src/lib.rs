@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's tree data model, parsing the item with the bare
+//! `proc_macro` API (no `syn`/`quote` — the registry is unreachable in this
+//! build environment).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! * structs with named fields (including private fields),
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit / tuple / struct variants (externally tagged),
+//! * the field attribute `#[serde(default = "path")]`.
+//!
+//! Generics, lifetimes, and other serde attributes are rejected with a
+//! compile-time panic so unsupported uses fail loudly instead of silently
+//! misencoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- item model --------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// Path from `#[serde(default = "path")]`, if present.
+    default: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i, false);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde stand-in: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde stand-in: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde stand-in: cannot derive for item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Skip attributes; return a `#[serde(default = "path")]` payload if one is
+/// present. Any other serde attribute panics (unless `allow_serde` is
+/// false, in which case every serde attribute panics — container and
+/// variant positions).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize, allow_serde: bool) -> Option<String> {
+    let mut default = None;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = toks.get(*i + 1) else {
+            panic!("serde stand-in: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if !allow_serde {
+                    panic!("serde stand-in: serde attributes are only supported on fields");
+                }
+                default = Some(parse_serde_default(&inner));
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+/// Parse the inside of `#[serde(...)]`, accepting only `default = "path"`.
+fn parse_serde_default(attr: &[TokenTree]) -> String {
+    let Some(TokenTree::Group(args)) = attr.get(1) else {
+        panic!("serde stand-in: unsupported serde attribute shape");
+    };
+    let parts: Vec<TokenTree> = args.stream().into_iter().collect();
+    match (parts.first(), parts.get(1), parts.get(2)) {
+        (Some(TokenTree::Ident(kw)), Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+            if kw.to_string() == "default" && eq.as_char() == '=' && parts.len() == 3 =>
+        {
+            let s = lit.to_string();
+            s.trim_matches('"').to_string()
+        }
+        _ => panic!(
+            "serde stand-in: only #[serde(default = \"path\")] is supported, found #[serde({})]",
+            args.stream()
+        ),
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stand-in: expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past a type (or discriminant expression) up to a top-level `,`,
+/// consuming the comma. Tracks `<`/`>` nesting; `()`/`[]`/`{}` nesting is
+/// already handled by the token tree.
+fn skip_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(ts: TokenStream, ty: &str) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i, true);
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde stand-in: expected `:` after field {ty}.{name}, found {other:?}")
+            }
+        }
+        skip_until_comma(&toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        let _ = skip_attrs(&toks, &mut i, false);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        skip_until_comma(&toks, &mut i);
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream, ty: &str) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i, false);
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream(), &format!("{ty}::{name}")))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible `= discriminant` and the trailing comma.
+        skip_until_comma(&toks, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- code generation ---------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_content(&self.{0})),",
+                    f.name
+                );
+            }
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let mut entries = String::new();
+            for idx in 0..*n {
+                let _ = write!(entries, "::serde::Serialize::to_content(&self.{idx}),");
+            }
+            format!("::serde::Content::Seq(::std::vec![{entries}])")
+        }
+        ItemKind::UnitStruct => "::serde::Content::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_content(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Seq(::std::vec![{elems}]))]),",
+                            binders.join(", ")
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_content({0})),",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Map(::std::vec![{entries}]))]),",
+                            binders.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_de(ty_path: &str, ty_label: &str, fields: &[Field], map_var: &str) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let default = match &f.default {
+                Some(path) => format!("::std::option::Option::Some({path})"),
+                None => "::std::option::Option::None".to_string(),
+            };
+            format!(
+                "{0}: ::serde::__private::field({map_var}, \"{ty_label}\", \"{0}\", {default})?,",
+                f.name
+            )
+        })
+        .collect();
+    format!("::std::result::Result::Ok({ty_path} {{ {inits} }})")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inner = named_fields_de(name, name, fields, "__m");
+            format!("let __m = ::serde::__private::as_map(content, \"{name}\")?;\n{inner}")
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let elems: String = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__xs[{k}])?,"))
+                .collect();
+            format!(
+                "let __xs = ::serde::__private::as_seq(content, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(__v)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: String = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&__xs[{k}])?,"))
+                            .collect();
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {{\
+                             let __xs = ::serde::__private::as_seq(__v, {n}, \"{name}::{vname}\")?;\
+                             ::std::result::Result::Ok({name}::{vname}({elems})) }},"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let inner = named_fields_de(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "__m2",
+                        );
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {{\
+                             let __m2 = ::serde::__private::as_map(__v, \"{name}::{vname}\")?;\
+                             {inner} }},"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::string::String::from(\"expected a variant of {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
