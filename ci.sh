@@ -13,7 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+# Tier-1 runs under both scheduler regimes: the forced-sequential path
+# (PI_THREADS=1) and the real worker pool (PI_THREADS=4). Results must be
+# identical either way — only the execution schedule differs.
+echo "==> tier-1: PI_THREADS=1 cargo test -q"
+PI_THREADS=1 cargo test -q
+
+echo "==> tier-1: PI_THREADS=4 cargo test -q"
+PI_THREADS=4 cargo test -q
 
 echo "==> ci.sh: all gates passed"

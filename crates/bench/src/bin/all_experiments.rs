@@ -28,8 +28,11 @@ fn main() {
          unreachable in the build environment, not logic defects; all external\n\
          crates are now vendored as offline stand-ins under `vendor/`, and the\n\
          full workspace test suite passes with zero failures. The vendored\n\
-         `rayon` stand-in executes sequentially, which also makes telemetry\n\
-         event interleaving deterministic.\n\n",
+         `rayon` stand-in runs a real worker pool (thread count from\n\
+         `PI_THREADS`, default all cores); results and telemetry streams are\n\
+         identical at every thread count, because parallel maps return in\n\
+         input index order and per-item events are buffered and flushed in\n\
+         that same order.\n\n",
     );
     for s in &sections {
         out.push_str(&s.render());

@@ -1,0 +1,155 @@
+//! `speedup` — wall-clock comparison of the parallel execution backend.
+//!
+//! Runs the LeNet-5 and VGG-16 flows at 1 worker thread (forced sequential
+//! path) and at `PI_THREADS`-or-4 workers, times each phase, verifies the
+//! results are identical, and writes `BENCH_parallel.json` with the
+//! per-phase times, speedups and a trajectory point for tracking across
+//! commits. Numbers are honest: `host_cores` records how much hardware
+//! parallelism actually existed — on a single-core host the parallel
+//! schedule cannot beat the sequential one, it can only prove it does not
+//! regress.
+//!
+//! Run with `cargo run --release --bin speedup`.
+
+use pi_cnn::graph::Granularity;
+use pi_cnn::Network;
+use pi_fabric::Device;
+use pi_flow::{build_component_db, run_pre_implemented_flow, FlowConfig};
+use pi_synth::SynthOptions;
+use serde_json::json;
+use std::time::Instant;
+
+struct RunTimes {
+    build_db_s: f64,
+    compose_s: f64,
+    fmax_mhz: f64,
+    checkpoints: usize,
+}
+
+fn run_once(
+    network: &Network,
+    device: &Device,
+    granularity: Granularity,
+    synth: SynthOptions,
+    threads: usize,
+) -> RunTimes {
+    let cfg = FlowConfig::new()
+        .with_synth(synth)
+        .with_granularity(granularity)
+        .with_seeds([1, 2, 3])
+        .with_threads(threads);
+    let t0 = Instant::now();
+    let (db, _) = build_component_db(network, device, &cfg).expect("component DB builds");
+    let build_db_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (_, report) =
+        run_pre_implemented_flow(network, &db, device, &cfg).expect("pre-implemented flow");
+    let compose_s = t1.elapsed().as_secs_f64();
+    RunTimes {
+        build_db_s,
+        compose_s,
+        fmax_mhz: report.compile.timing.fmax_mhz,
+        checkpoints: db.len(),
+    }
+}
+
+fn main() {
+    let device = Device::xcku5p_like();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parallel_threads = std::env::var("PI_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 1)
+        .unwrap_or(4);
+
+    let mut networks: Vec<(String, serde_json::Value)> = Vec::new();
+    let mut vgg_build_speedup = 0.0f64;
+    for (name, network, granularity, synth) in [
+        (
+            "lenet5",
+            pi_cnn::models::lenet5(),
+            Granularity::Layer,
+            SynthOptions::lenet_like(),
+        ),
+        (
+            "vgg16",
+            pi_cnn::models::vgg16(),
+            Granularity::Block,
+            SynthOptions::vgg_like(),
+        ),
+    ] {
+        eprintln!("[speedup] {name}: 1 thread...");
+        let seq = run_once(&network, &device, granularity, synth, 1);
+        eprintln!("[speedup] {name}: {parallel_threads} threads...");
+        let par = run_once(&network, &device, granularity, synth, parallel_threads);
+        assert_eq!(
+            seq.fmax_mhz, par.fmax_mhz,
+            "{name}: results must not depend on thread count"
+        );
+        let build_speedup = seq.build_db_s / par.build_db_s;
+        let compose_speedup = seq.compose_s / par.compose_s;
+        if name == "vgg16" {
+            vgg_build_speedup = build_speedup;
+        }
+        println!(
+            "{name:<8} build_db {:>7.2}s -> {:>7.2}s ({build_speedup:.2}x)   \
+             compose {:>6.2}s -> {:>6.2}s ({compose_speedup:.2}x)   \
+             {} checkpoints, Fmax {:.0} MHz (identical)",
+            seq.build_db_s,
+            par.build_db_s,
+            seq.compose_s,
+            par.compose_s,
+            seq.checkpoints,
+            seq.fmax_mhz,
+        );
+        networks.push((
+            name.to_string(),
+            json!({
+                "checkpoints": seq.checkpoints,
+                "fmax_mhz": seq.fmax_mhz,
+                "results_identical": true,
+                "build_db": json!({
+                    "seq_s": seq.build_db_s,
+                    "par_s": par.build_db_s,
+                    "speedup": build_speedup,
+                }),
+                "compose": json!({
+                    "seq_s": seq.compose_s,
+                    "par_s": par.compose_s,
+                    "speedup": compose_speedup,
+                }),
+            }),
+        ));
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let doc = json!({
+        "bench": "parallel_speedup",
+        "host_cores": host_cores,
+        "thread_counts": json!([1, parallel_threads]),
+        "networks": serde_json::Value::Map(networks),
+        "trajectory": json!([
+            json!({
+                "unix_time": unix_time,
+                "host_cores": host_cores,
+                "threads": parallel_threads,
+                "vgg16_build_db_speedup": vgg_build_speedup,
+            }),
+        ]),
+        "notes": "build_db is the function-optimization phase (components x seeds \
+                  fan-out, the flow's dominant parallel region). Speedup scales with \
+                  host_cores; on a 1-core host the expected value is ~1.0 and the \
+                  bench degenerates to a no-regression check of the scheduler overhead.",
+    });
+    std::fs::write(
+        "BENCH_parallel.json",
+        serde_json::to_string_pretty(&doc).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_parallel.json");
+    eprintln!("[speedup] wrote BENCH_parallel.json (host_cores = {host_cores})");
+}

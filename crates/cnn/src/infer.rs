@@ -4,6 +4,15 @@
 //! compute; the integration tests check the cycle-level architecture against
 //! them. Convolution parallelizes over output channels with rayon — the
 //! reference model is itself an honest parallel workload.
+//!
+//! Determinism audit: the three parallel regions here (`conv2d` output
+//! planes, the `conv2d_im2col` GEMM rows, `fully_connected` outputs) are
+//! pure integer arithmetic over disjoint output slices and emit no
+//! telemetry, and the parallel iterators return results in input index
+//! order at every thread count — so inference is byte-identical regardless
+//! of `PI_THREADS`. Any telemetry added inside these closures must go
+//! through `pi_obs::BufferedObs` (buffer per item, flush in index order),
+//! like the parallel regions in `pi-flow`.
 
 use crate::graph::{Network, NodeId};
 use crate::layer::{ConvParams, FcParams, Layer, PoolParams};

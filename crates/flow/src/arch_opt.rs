@@ -107,6 +107,7 @@ pub fn run_pre_implemented_flow(
     device: &Device,
     cfg: &FlowConfig,
 ) -> Result<(Design, PreImplReport), FlowError> {
+    cfg.apply_parallelism();
     let opts = cfg.arch_opt_options();
     let obs = cfg.obs();
     let arch = obs.scoped("flow::arch_opt");

@@ -62,6 +62,7 @@ pub fn run_baseline_flow(
     device: &Device,
     cfg: &FlowConfig,
 ) -> Result<(Design, BaselineReport), FlowError> {
+    cfg.apply_parallelism();
     let opts = cfg.baseline_options();
     let base = cfg.obs().scoped("flow::baseline");
     let mut module: Module = synth_network_flat(network, opts.granularity, &opts.synth)?;

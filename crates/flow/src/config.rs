@@ -58,6 +58,13 @@ pub struct FlowConfig {
     /// effort; higher than the per-component effort because the whole
     /// design is placed at once).
     pub baseline_effort: f64,
+    /// Worker threads for the parallel regions (component builds, seed
+    /// sweeps, reference inference). `None` defers to the process default:
+    /// the `PI_THREADS` environment variable if set, else
+    /// `std::thread::available_parallelism()`. `Some(1)` forces the
+    /// sequential path. Results and telemetry streams are identical at
+    /// every value — only wall-clock time changes.
+    pub threads: Option<usize>,
     obs: Obs,
 }
 
@@ -75,6 +82,7 @@ impl Default for FlowConfig {
             placer: ComponentPlacerOptions::default(),
             phys_opt_passes: 4,
             baseline_effort: 6.0,
+            threads: None,
             obs: Obs::null(),
         }
     }
@@ -138,6 +146,24 @@ impl FlowConfig {
     pub fn with_baseline_effort(mut self, effort: f64) -> Self {
         self.baseline_effort = effort;
         self
+    }
+
+    /// Pin the number of worker threads the parallel regions use.
+    /// `with_threads(1)` forces fully sequential execution. Never changes
+    /// results or telemetry content — determinism is by construction.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Apply the `threads` knob to the process-global scheduler. A `None`
+    /// knob leaves the ambient default (the `PI_THREADS` environment
+    /// variable, else `available_parallelism()`) untouched. Flow entry
+    /// points call this before their first parallel region.
+    pub fn apply_parallelism(&self) {
+        if let Some(threads) = self.threads {
+            rayon::set_num_threads(threads);
+        }
     }
 
     /// Route telemetry into `sink`. Every engine the flow calls (annealer,
@@ -221,6 +247,17 @@ mod tests {
         assert_eq!(b.seed, 7);
         assert_eq!(b.effort, 9.0);
         assert_eq!(b.phys_opt_passes, 2);
+    }
+
+    #[test]
+    fn threads_knob_defaults_to_ambient() {
+        // `None` must leave the process default alone; `apply_parallelism`
+        // on the default config is therefore a no-op (important: flow entry
+        // points call it unconditionally).
+        let cfg = FlowConfig::new();
+        assert_eq!(cfg.threads, None);
+        cfg.apply_parallelism();
+        assert_eq!(FlowConfig::new().with_threads(3).threads, Some(3));
     }
 
     #[test]

@@ -29,6 +29,9 @@ use pi_synth::{synth_component, SynthOptions};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
+/// One seed's evaluation result paired with the telemetry it buffered.
+type BufferedEval = (Result<(f64, Module), FlowError>, pi_obs::BufferedObs);
+
 /// Options for the function-optimization phase.
 #[derive(Debug, Clone)]
 pub struct FunctionOptOptions {
@@ -255,8 +258,11 @@ pub fn build_component_obs(
     let pblock = size_pblock(&need, device, opts.pblock_utilization)?;
 
     // Performance exploration: independent placements per seed, best Fmax
-    // wins. Each evaluation is deterministic in its seed.
-    let evaluate = |s: u64| -> Result<(f64, Module), FlowError> {
+    // wins. Each evaluation is deterministic in its seed. The closure only
+    // emits through the telemetry handle it is *given* — in the parallel
+    // sweep that is a per-seed buffer, so the stream stays deterministic
+    // at every thread count.
+    let evaluate = |s: u64, obs: &Obs| -> Result<(f64, Module), FlowError> {
         let mut m = proto.clone();
         m.pblock = Some(pblock);
         // Partition pins act as fixed anchors during placement: planning
@@ -284,6 +290,7 @@ pub fn build_component_obs(
         }
         let (_, congestion) = route_module_obs(&mut m, device, &opts.route, &obs.with_seed(s))?;
         let timing = sta_module(&m, device, Some(&congestion))?;
+        let dse = obs.scoped("flow::function_opt");
         if dse.enabled() {
             dse.with_seed(s).point(
                 "dse_seed",
@@ -300,12 +307,25 @@ pub fn build_component_obs(
     let mut best: Option<(f64, Module)> = None;
     let mut seeds_tried = 0usize;
     if opts.target_fmax_mhz.is_none() {
-        // No target: sweep every seed, embarrassingly parallel.
-        let candidates: Vec<(f64, Module)> = opts
-            .seeds
-            .par_iter()
-            .map(|&s| evaluate(s))
-            .collect::<Result<_, _>>()?;
+        // No target: sweep every seed, embarrassingly parallel. Each seed
+        // buffers its telemetry; the buffers flush in seed index order
+        // after the join, so the stream is identical at any PI_THREADS.
+        let items: Vec<(u64, pi_obs::BufferedObs)> =
+            opts.seeds.iter().map(|&s| (s, obs.buffered())).collect();
+        let evaluated: Vec<BufferedEval> = items
+            .into_par_iter()
+            .map(|(s, buf)| {
+                let r = evaluate(s, buf.obs());
+                (r, buf)
+            })
+            .collect();
+        let mut candidates: Vec<Result<(f64, Module), FlowError>> =
+            Vec::with_capacity(evaluated.len());
+        for (r, buf) in evaluated {
+            buf.flush_into(obs);
+            candidates.push(r);
+        }
+        let candidates: Vec<(f64, Module)> = candidates.into_iter().collect::<Result<_, _>>()?;
         seeds_tried = opts.seeds.len();
         for (fmax, m) in candidates {
             if best.as_ref().map(|(b, _)| fmax > *b).unwrap_or(true) {
@@ -316,7 +336,7 @@ pub fn build_component_obs(
         // Targeted: evaluate sequentially and stop as soon as it is met.
         for &seed in &opts.seeds {
             seeds_tried += 1;
-            let (fmax, m) = evaluate(seed)?;
+            let (fmax, m) = evaluate(seed, obs)?;
             if best.as_ref().map(|(b, _)| fmax > *b).unwrap_or(true) {
                 best = Some((fmax, m));
             }
@@ -385,6 +405,7 @@ pub fn extend_component_db(
     device: &Device,
     cfg: &FlowConfig,
 ) -> Result<Vec<ComponentBuildReport>, FlowError> {
+    cfg.apply_parallelism();
     let opts = cfg.function_opt_options();
     let obs = cfg.obs();
     let dse = obs.scoped("flow::function_opt");
@@ -410,16 +431,42 @@ pub fn extend_component_db(
         dse.counter("db_hits", hits);
         dse.counter("db_misses", missing.len() as u64);
     }
-    let results: Vec<(Checkpoint, ComponentBuildReport)> = missing
-        .par_iter()
-        .map(|c| build_component_obs(network, c, device, &opts, obs))
-        .collect::<Result<_, _>>()?;
+    let results = build_components_parallel(&missing, network, device, &opts, obs)?;
     let mut reports = Vec::with_capacity(results.len());
     for (cp, report) in results {
         db.insert(cp);
         reports.push(report);
     }
     Ok(reports)
+}
+
+/// Build a set of components in parallel, buffering each component's
+/// telemetry and flushing the buffers in component index order — the
+/// pi-obs determinism contract for parallel regions (see
+/// [`pi_obs::BufferedObs`]).
+fn build_components_parallel(
+    components: &[&Component],
+    network: &Network,
+    device: &Device,
+    opts: &FunctionOptOptions,
+    obs: &Obs,
+) -> Result<Vec<(Checkpoint, ComponentBuildReport)>, FlowError> {
+    type Built = Result<(Checkpoint, ComponentBuildReport), FlowError>;
+    let items: Vec<(&Component, pi_obs::BufferedObs)> =
+        components.iter().map(|&c| (c, obs.buffered())).collect();
+    let built: Vec<(Built, pi_obs::BufferedObs)> = items
+        .into_par_iter()
+        .map(|(c, buf)| {
+            let r = build_component_obs(network, c, device, opts, buf.obs());
+            (r, buf)
+        })
+        .collect();
+    let mut results: Vec<Built> = Vec::with_capacity(built.len());
+    for (r, buf) in built {
+        buf.flush_into(obs);
+        results.push(r);
+    }
+    results.into_iter().collect()
 }
 
 /// The paper's stated future work: "the frequency of the pre-implemented
@@ -439,6 +486,7 @@ pub fn improve_slowest(
     cfg: &FlowConfig,
     rounds: usize,
 ) -> Result<Vec<ComponentBuildReport>, FlowError> {
+    cfg.apply_parallelism();
     let opts = cfg.function_opt_options();
     let dse = cfg.obs().scoped("flow::function_opt");
     let components = network.components(opts.granularity)?;
@@ -503,6 +551,7 @@ pub fn build_component_db(
     device: &Device,
     cfg: &FlowConfig,
 ) -> Result<(ComponentDb, Vec<ComponentBuildReport>), FlowError> {
+    cfg.apply_parallelism();
     let opts = cfg.function_opt_options();
     let obs = cfg.obs();
     let components = network.components(opts.granularity)?;
@@ -510,10 +559,8 @@ pub fn build_component_db(
         "build_component_db",
         &[("components", components.len().into())],
     );
-    let results: Vec<(Checkpoint, ComponentBuildReport)> = components
-        .par_iter()
-        .map(|c| build_component_obs(network, c, device, &opts, obs))
-        .collect::<Result<_, _>>()?;
+    let refs: Vec<&Component> = components.iter().collect();
+    let results = build_components_parallel(&refs, network, device, &opts, obs)?;
     span.end();
     let mut db = ComponentDb::new();
     let mut reports = Vec::with_capacity(results.len());

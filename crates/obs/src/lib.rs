@@ -448,6 +448,84 @@ impl Obs {
     pub fn flush(&self) {
         self.inner.sink.flush();
     }
+
+    /// Re-emit `events` through this handle's sink, assigning fresh
+    /// sequence numbers and timestamps from this handle's root. Scope,
+    /// seed, name, kind and fields are preserved. This is the flush half
+    /// of the [`BufferedObs`] pattern.
+    pub fn replay<I: IntoIterator<Item = Event>>(&self, events: I) {
+        if !self.inner.enabled {
+            return;
+        }
+        for e in events {
+            let event = Event {
+                seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+                ts_us: self.inner.epoch.elapsed().as_micros() as u64,
+                ..e
+            };
+            self.inner.sink.record(&event);
+        }
+    }
+
+    /// A buffering handle for one task of a parallel region (see
+    /// [`BufferedObs`]). Cheap no-op when this handle is disabled.
+    pub fn buffered(&self) -> BufferedObs {
+        BufferedObs::new(self)
+    }
+}
+
+/// Telemetry buffering for parallel regions.
+///
+/// **The rule:** worker closures must never emit through a shared handle —
+/// the global sequence counter would interleave events in thread-schedule
+/// order and break the same-seed determinism contract. Instead, each
+/// parallel *item* gets a `BufferedObs`: a private handle recording into a
+/// per-task [`MemorySink`]. After the parallel region joins, the
+/// coordinator calls [`BufferedObs::flush_into`] on each buffer **in input
+/// index order**, which replays the events through the real handle with
+/// freshly assigned sequence numbers. The resulting stream is byte-
+/// identical (in [`MemorySink::stripped_jsonl`] form) at every thread
+/// count, including the `PI_THREADS=1` sequential path.
+///
+/// When the parent handle is disabled this is a no-op wrapper around the
+/// same disabled handle: nothing is buffered and flushing does nothing.
+pub struct BufferedObs {
+    obs: Obs,
+    sink: Option<Arc<MemorySink>>,
+}
+
+impl BufferedObs {
+    /// A buffer whose handle inherits `parent`'s scope and seed.
+    pub fn new(parent: &Obs) -> BufferedObs {
+        if !parent.enabled() {
+            return BufferedObs {
+                obs: parent.clone(),
+                sink: None,
+            };
+        }
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone())
+            .scoped(parent.scope().to_string())
+            .with_seed(parent.seed);
+        BufferedObs {
+            obs,
+            sink: Some(sink),
+        }
+    }
+
+    /// The handle to hand to the worker closure.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Replay everything buffered through `target`, in buffered order,
+    /// with fresh sequence numbers. Call once per buffer, in input index
+    /// order, from the coordinating thread.
+    pub fn flush_into(self, target: &Obs) {
+        if let Some(sink) = self.sink {
+            target.replay(sink.snapshot());
+        }
+    }
 }
 
 /// Emits the `SpanEnd` for [`Obs::span`] on drop.
@@ -584,6 +662,66 @@ mod tests {
         let sink = Arc::new(MemorySink::new());
         Obs::new(sink.clone()).point("p", &[]);
         assert!(sink.snapshot()[0].to_json_line().contains("ts_us"));
+    }
+
+    #[test]
+    fn buffered_obs_replays_in_flush_order_with_fresh_seqs() {
+        let sink = Arc::new(MemorySink::new());
+        let root = Obs::new(sink.clone()).scoped("flow").with_seed(9);
+        root.point("before", &[]);
+        // Two buffers, flushed in index order regardless of emit order.
+        let b0 = root.buffered();
+        let b1 = root.buffered();
+        b1.obs().point("item1", &[("i", 1u64.into())]);
+        b0.obs().point("item0a", &[("i", 0u64.into())]);
+        b0.obs().point("item0b", &[]);
+        b0.flush_into(&root);
+        b1.flush_into(&root);
+        root.point("after", &[]);
+        let events = sink.snapshot();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["before", "item0a", "item0b", "item1", "after"]);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4], "replay must renumber");
+        // Scope and seed survive the replay.
+        assert!(events.iter().all(|e| e.scope == "flow" && e.seed == 9));
+    }
+
+    #[test]
+    fn buffered_obs_preserves_scoped_and_seeded_children() {
+        let sink = Arc::new(MemorySink::new());
+        let root = Obs::new(sink.clone()).scoped("flow");
+        let buf = root.buffered();
+        buf.obs().scoped("pnr::place").with_seed(3).point("p", &[]);
+        buf.flush_into(&root);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].scope, "pnr::place");
+        assert_eq!(events[0].seed, 3);
+    }
+
+    #[test]
+    fn buffered_obs_is_free_when_disabled() {
+        let root = Obs::null();
+        let buf = root.buffered();
+        assert!(!buf.obs().enabled());
+        buf.obs().point("dropped", &[]);
+        buf.flush_into(&root); // no-op, must not panic
+    }
+
+    #[test]
+    fn nested_buffers_flatten_into_one_ordered_stream() {
+        let sink = Arc::new(MemorySink::new());
+        let root = Obs::new(sink.clone());
+        let outer = root.buffered();
+        outer.obs().point("outer_pre", &[]);
+        let inner = outer.obs().buffered();
+        inner.obs().point("inner", &[]);
+        inner.flush_into(outer.obs());
+        outer.obs().point("outer_post", &[]);
+        outer.flush_into(&root);
+        let names: Vec<String> = sink.snapshot().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["outer_pre", "inner", "outer_post"]);
     }
 
     #[test]

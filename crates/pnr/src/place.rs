@@ -57,6 +57,121 @@ pub struct PlaceStats {
 /// critical path, so the annealer works harder on them.
 const COMB_NET_WEIGHT: f64 = 2.5;
 
+/// Cached bounding box of one net, with the number of endpoints lying on
+/// each boundary. A move updates it in O(1): removing an endpoint from a
+/// boundary whose count stays positive cannot shrink the box, and adding
+/// one either extends a boundary or bumps its count. Only when the *last*
+/// endpoint leaves a boundary does the box need a full endpoint rescan —
+/// VPR's classic incremental-HPWL trick. The cost computed from the cache
+/// is bit-identical to a rescan (pure u16 min/max), so placements do not
+/// depend on which path ran.
+#[derive(Clone, Copy)]
+struct NetBox {
+    cmin: u16,
+    cmax: u16,
+    rmin: u16,
+    rmax: u16,
+    n_cmin: u32,
+    n_cmax: u32,
+    n_rmin: u32,
+    n_rmax: u32,
+    empty: bool,
+}
+
+impl NetBox {
+    fn compute(cells: &[usize], fixed: &[TileCoord], positions: &[Option<TileCoord>]) -> NetBox {
+        let mut bb = NetBox {
+            cmin: u16::MAX,
+            cmax: 0,
+            rmin: u16::MAX,
+            rmax: 0,
+            n_cmin: 0,
+            n_cmax: 0,
+            n_rmin: 0,
+            n_rmax: 0,
+            empty: true,
+        };
+        for &c in cells {
+            bb.add(positions[c].expect("movable cells placed at init"));
+        }
+        for f in fixed {
+            bb.add(*f);
+        }
+        bb
+    }
+
+    fn add(&mut self, at: TileCoord) {
+        if self.empty {
+            *self = NetBox {
+                cmin: at.col,
+                cmax: at.col,
+                rmin: at.row,
+                rmax: at.row,
+                n_cmin: 1,
+                n_cmax: 1,
+                n_rmin: 1,
+                n_rmax: 1,
+                empty: false,
+            };
+            return;
+        }
+        if at.col < self.cmin {
+            self.cmin = at.col;
+            self.n_cmin = 1;
+        } else if at.col == self.cmin {
+            self.n_cmin += 1;
+        }
+        if at.col > self.cmax {
+            self.cmax = at.col;
+            self.n_cmax = 1;
+        } else if at.col == self.cmax {
+            self.n_cmax += 1;
+        }
+        if at.row < self.rmin {
+            self.rmin = at.row;
+            self.n_rmin = 1;
+        } else if at.row == self.rmin {
+            self.n_rmin += 1;
+        }
+        if at.row > self.rmax {
+            self.rmax = at.row;
+            self.n_rmax = 1;
+        } else if at.row == self.rmax {
+            self.n_rmax += 1;
+        }
+    }
+
+    /// Remove an endpoint; returns true when a boundary lost its last
+    /// endpoint, i.e. the box may shrink and must be recomputed.
+    fn remove(&mut self, at: TileCoord) -> bool {
+        let mut rescan = false;
+        if at.col == self.cmin {
+            self.n_cmin -= 1;
+            rescan |= self.n_cmin == 0;
+        }
+        if at.col == self.cmax {
+            self.n_cmax -= 1;
+            rescan |= self.n_cmax == 0;
+        }
+        if at.row == self.rmin {
+            self.n_rmin -= 1;
+            rescan |= self.n_rmin == 0;
+        }
+        if at.row == self.rmax {
+            self.n_rmax -= 1;
+            rescan |= self.n_rmax == 0;
+        }
+        rescan
+    }
+
+    fn cost(&self, weight: f64) -> f64 {
+        if self.empty {
+            return 0.0;
+        }
+        weight * f64::from(self.cmax - self.cmin) + weight * f64::from(self.rmax - self.rmin)
+    }
+}
+
 /// Base number of moves per cell; total budget is
 /// `effort × MOVES_PER_CELL × n × ln(n)`.
 const MOVES_PER_CELL: f64 = 24.0;
@@ -229,38 +344,18 @@ pub fn place_module_obs(
         pnets.push(p);
     }
 
-    let net_cost = |p: &PNet, positions: &[Option<TileCoord>]| -> f64 {
-        let mut cmin = u16::MAX;
-        let mut cmax = 0u16;
-        let mut rmin = u16::MAX;
-        let mut rmax = 0u16;
-        let mut any = false;
-        for &c in &p.cells {
-            let at = positions[c].expect("movable cells placed at init");
-            cmin = cmin.min(at.col);
-            cmax = cmax.max(at.col);
-            rmin = rmin.min(at.row);
-            rmax = rmax.max(at.row);
-            any = true;
-        }
-        for f in &p.fixed {
-            cmin = cmin.min(f.col);
-            cmax = cmax.max(f.col);
-            rmin = rmin.min(f.row);
-            rmax = rmax.max(f.row);
-            any = true;
-        }
-        if !any {
-            return 0.0;
-        }
-        p.weight * f64::from(cmax - cmin) + p.weight * f64::from(rmax - rmin)
-    };
-
-    let total_cost = |positions: &[Option<TileCoord>]| -> f64 {
-        pnets.iter().map(|p| net_cost(p, positions)).sum()
-    };
-
-    let initial_cost = total_cost(&positions);
+    // Cached per-net bounding boxes: cost after a move is an incremental
+    // update of the affected nets' boxes instead of a rescan of all their
+    // endpoints (see [`NetBox`]).
+    let mut boxes: Vec<NetBox> = pnets
+        .iter()
+        .map(|p| NetBox::compute(&p.cells, &p.fixed, &positions))
+        .collect();
+    let initial_cost: f64 = pnets
+        .iter()
+        .zip(&boxes)
+        .map(|(p, bb)| bb.cost(p.weight))
+        .sum();
     let mut stats = PlaceStats {
         initial_cost,
         final_cost: initial_cost,
@@ -276,6 +371,9 @@ pub fn place_module_obs(
         let mut cost = initial_cost;
         let mut temp = (initial_cost / pnets.len() as f64).max(1.0);
         let span = u32::from(region.width()).max(u32::from(region.height()));
+        // Move-loop scratch, reused so the hot path allocates nothing.
+        let mut affected: Vec<u32> = Vec::new();
+        let mut saved_boxes: Vec<NetBox> = Vec::new();
 
         for round in 0..rounds {
             // Range limit shrinks geometrically with the round index.
@@ -324,8 +422,9 @@ pub fn place_module_obs(
                     }
                 }
 
-                // Cost of affected nets before.
-                let mut affected: Vec<u32> = cell_nets[cell].clone();
+                // Cost of affected nets before, from the cached boxes.
+                affected.clear();
+                affected.extend_from_slice(&cell_nets[cell]);
                 if let Some(o) = swap_with {
                     affected.extend_from_slice(&cell_nets[o]);
                 }
@@ -333,17 +432,45 @@ pub fn place_module_obs(
                 affected.dedup();
                 let before: f64 = affected
                     .iter()
-                    .map(|&ni| net_cost(&pnets[ni as usize], &positions))
+                    .map(|&ni| boxes[ni as usize].cost(pnets[ni as usize].weight))
                     .sum();
+                saved_boxes.clear();
+                saved_boxes.extend(affected.iter().map(|&ni| boxes[ni as usize]));
 
-                // Apply.
+                // Apply, updating each affected box incrementally (rescan
+                // only when a shrinking boundary loses its last endpoint).
                 positions[cell] = Some(target);
                 if let Some(o) = swap_with {
                     positions[o] = Some(cur);
                 }
+                for &ni in &affected {
+                    let p = &pnets[ni as usize];
+                    let bb = &mut boxes[ni as usize];
+                    let mut stale = false;
+                    for &c in &p.cells {
+                        let (old, new) = if c == cell {
+                            (cur, target)
+                        } else if swap_with == Some(c) {
+                            (target, cur)
+                        } else {
+                            continue;
+                        };
+                        if stale {
+                            continue;
+                        }
+                        if bb.remove(old) {
+                            stale = true;
+                        } else {
+                            bb.add(new);
+                        }
+                    }
+                    if stale {
+                        *bb = NetBox::compute(&p.cells, &p.fixed, &positions);
+                    }
+                }
                 let after: f64 = affected
                     .iter()
-                    .map(|&ni| net_cost(&pnets[ni as usize], &positions))
+                    .map(|&ni| boxes[ni as usize].cost(pnets[ni as usize].weight))
                     .sum();
                 let delta = after - before;
                 let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
@@ -357,10 +484,13 @@ pub fn place_module_obs(
                         occupied.insert(cur, o);
                     }
                 } else {
-                    // Revert.
+                    // Revert positions and the cached boxes.
                     positions[cell] = Some(cur);
                     if let Some(o) = swap_with {
                         positions[o] = Some(target);
+                    }
+                    for (saved, &ni) in saved_boxes.iter().zip(&affected) {
+                        boxes[ni as usize] = *saved;
                     }
                 }
             }
@@ -498,6 +628,64 @@ mod tests {
         // A 60-cell chain placed well should have near-minimal wirelength:
         // each hop a few tiles at most on average.
         assert!(m.wirelength() < 60 * 6);
+    }
+
+    #[test]
+    fn cached_cost_matches_rescan_after_annealing() {
+        // `final_cost` is accumulated from incremental bbox deltas over
+        // millions of moves; it must equal the HPWL cost recomputed from
+        // the final placement. Any difference means the cached boxes
+        // diverged from the positions (a stale-count or revert bug).
+        let device = Device::test_part();
+        let mut m = chain_module(50);
+        let opts = PlaceOptions {
+            seed: 23,
+            effort: 1.5,
+            region: None,
+        };
+        let stats = place_module(&mut m, &device, &opts).unwrap();
+        let mut total = 0.0f64;
+        for net in m.nets() {
+            if net.is_clock {
+                continue;
+            }
+            let mut pts: Vec<TileCoord> = Vec::new();
+            let mut comb = false;
+            let mut movable = false;
+            for e in net.endpoints() {
+                match e {
+                    Endpoint::Cell(c) => {
+                        let cell = &m.cells()[c.index()];
+                        comb |= !cell.registered;
+                        movable |= !cell.fixed;
+                        pts.push(cell.placement.unwrap());
+                    }
+                    Endpoint::Port(p) => {
+                        if let Some(pp) = m.ports()[p.index()].partpin {
+                            pts.push(pp);
+                        }
+                    }
+                }
+            }
+            if !movable || pts.is_empty() {
+                continue;
+            }
+            let w = if comb { COMB_NET_WEIGHT } else { 1.0 };
+            let (mut cmin, mut cmax, mut rmin, mut rmax) = (u16::MAX, 0u16, u16::MAX, 0u16);
+            for p in &pts {
+                cmin = cmin.min(p.col);
+                cmax = cmax.max(p.col);
+                rmin = rmin.min(p.row);
+                rmax = rmax.max(p.row);
+            }
+            total += w * f64::from(cmax - cmin) + w * f64::from(rmax - rmin);
+        }
+        assert!(
+            (stats.final_cost - total).abs() < 1e-6,
+            "cached cost {} diverged from rescan {}",
+            stats.final_cost,
+            total
+        );
     }
 
     #[test]

@@ -111,6 +111,9 @@ struct Grid {
     gscore: Vec<f32>,
     came: Vec<u32>,
     generation: u32,
+    /// Open-set heap, kept here so one allocation serves the thousands of
+    /// A* calls a routing run makes (cleared, not dropped, between calls).
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl Grid {
@@ -142,6 +145,7 @@ impl Grid {
             gscore: vec![0.0; n],
             came: vec![u32::MAX; n],
             generation: 0,
+            heap: BinaryHeap::new(),
         }
     }
 
@@ -170,18 +174,25 @@ impl Grid {
     }
 
     /// A* from any of `sources` to `sink`, restricted to a bounding box.
-    /// Returns the path sink→source-tree (inclusive) or None.
+    /// On success fills `path` with the tiles sink→source-tree (inclusive)
+    /// and returns `true`; on failure returns `false` with `path` empty.
+    /// Both the open heap and the path vector are reused allocations — the
+    /// router's inner loop runs allocation-free after warm-up.
     fn astar(
         &mut self,
         sources: &[usize],
         sink: usize,
         bbox: (u16, u16, u16, u16),
         capacity: u16,
-    ) -> Option<Vec<usize>> {
+        path: &mut Vec<usize>,
+    ) -> bool {
+        path.clear();
         self.generation += 1;
         let gen = self.generation;
         let sink_at = self.coord(sink);
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // Take the heap out so pushing/popping does not alias the borrows
+        // of the scratch arrays below; returned (cleared) on every exit.
+        let mut heap = std::mem::take(&mut self.heap);
         for &s in sources {
             self.gen[s] = gen;
             self.gscore[s] = 0.0;
@@ -190,16 +201,18 @@ impl Grid {
             heap.push(Reverse((to_key(h), s)));
         }
         let (c0, c1, r0, r1) = bbox;
+        let mut found = false;
         while let Some(Reverse((_, node))) = heap.pop() {
             if node == sink {
                 // Reconstruct.
-                let mut path = vec![node];
+                path.push(node);
                 let mut cur = node;
                 while self.came[cur] != u32::MAX {
                     cur = self.came[cur] as usize;
                     path.push(cur);
                 }
-                return Some(path);
+                found = true;
+                break;
             }
             let at = self.coord(node);
             let g = self.gscore[node];
@@ -220,11 +233,26 @@ impl Grid {
                 }
             }
         }
-        None
+        heap.clear();
+        self.heap = heap;
+        found
     }
 }
 
 /// Order-preserving f32 → u64 key for the binary heap.
+///
+/// Invariant: for finite costs `a <= b`, `to_key(a) <= to_key(b)`. The
+/// `max(0.0)` clamps negatives — and NaN, whose `max` is the other operand
+/// — to zero; the ×1024 scale and the saturating `as` cast are both
+/// monotone. Resolution is 1/1024: costs closer than that may tie, which
+/// only reorders equal-key pops, never best-first order. Above
+/// 2^24/1024 = 16384 the f32 mantissa step exceeds the quantization step,
+/// so distinct f32 costs still map to distinct-or-ordered keys; history
+/// costs (+1.5 per overused tile per iteration) therefore cannot break
+/// heap order no matter how long negotiation runs, and saturation would
+/// need costs near 1.8e16 — far beyond any run. Infinity saturates to
+/// `u64::MAX`, i.e. sorts last, which is the right behaviour for an
+/// unreachable-cost sentinel.
 #[inline]
 fn to_key(f: f32) -> u64 {
     (f.max(0.0) * 1024.0) as u64
@@ -253,6 +281,11 @@ fn run(
 ) -> (Vec<Option<Route>>, RouteStats) {
     let mut stats = RouteStats::default();
     let mut routes: Vec<Option<Route>> = (0..tasks.len()).map(|_| None).collect();
+    // Per-net scratch, reused across every net and iteration so the inner
+    // loop allocates only for the `Route` it actually keeps.
+    let mut tree: Vec<usize> = Vec::new();
+    let mut sinks: Vec<TileCoord> = Vec::new();
+    let mut path: Vec<usize> = Vec::new();
 
     // Margin grows with negotiation iterations so desperate nets may detour.
     for iter in 0..opts.max_iters.max(1) {
@@ -269,36 +302,34 @@ fn run(
                 continue;
             }
             let bbox = bbox_of(&task.endpoints, margin, grid.cols, grid.rows);
-            let mut tree: Vec<usize> = vec![grid.idx(task.endpoints[0])];
-            let mut tiles: Vec<TileCoord> = vec![task.endpoints[0]];
+            tree.clear();
+            tree.push(grid.idx(task.endpoints[0]));
             let mut ok = true;
-            let mut sinks: Vec<TileCoord> = task.endpoints[1..].to_vec();
+            sinks.clear();
+            sinks.extend_from_slice(&task.endpoints[1..]);
             sinks.sort_by_key(|s| s.manhattan(&task.endpoints[0]));
-            for sink in sinks {
+            for &sink in &sinks {
                 let sidx = grid.idx(sink);
                 if tree.contains(&sidx) {
                     continue;
                 }
-                match grid.astar(&tree, sidx, bbox, opts.capacity) {
-                    Some(mut path) => {
-                        // A* reconstructs sink→tree; store tree→sink so the
-                        // route tiles read as a forward path.
-                        path.reverse();
-                        for &p in &path {
-                            if !tree.contains(&p) {
-                                tree.push(p);
-                                tiles.push(grid.coord(p));
-                                grid.occ[p] += 1;
-                            }
+                if grid.astar(&tree, sidx, bbox, opts.capacity, &mut path) {
+                    // A* reconstructs sink→tree; append in reverse so the
+                    // route tiles read as a forward (tree→sink) path.
+                    for &p in path.iter().rev() {
+                        if !tree.contains(&p) {
+                            tree.push(p);
+                            grid.occ[p] += 1;
                         }
                     }
-                    None => {
-                        ok = false;
-                        break;
-                    }
+                } else {
+                    ok = false;
+                    break;
                 }
             }
             if ok {
+                // The tile list mirrors `tree` (pushed in lockstep above).
+                let tiles: Vec<TileCoord> = tree.iter().map(|&p| grid.coord(p)).collect();
                 routes[ti] = Some(Route { tiles });
             } else {
                 // Rip partial usage and retry next iteration with a wider box.
@@ -622,6 +653,66 @@ mod tests {
             assert_eq!(net.route, old);
         }
         assert!(map.overused() == 0);
+    }
+
+    #[test]
+    fn to_key_is_monotone_up_to_saturation() {
+        // Heap order must survive costs far beyond the base-cost scale:
+        // negotiation adds +1.5 history per overused tile per iteration,
+        // and path costs accumulate over long detours.
+        let samples: [f32; 11] = [
+            0.0, 0.25, 0.5, 1.0, 7.5, 100.0, 1000.0, 16384.0, 1.0e6, 3.4e7, 1.0e10,
+        ];
+        for w in samples.windows(2) {
+            assert!(
+                to_key(w[0]) < to_key(w[1]),
+                "to_key({}) = {} !< to_key({}) = {}",
+                w[0],
+                to_key(w[0]),
+                w[1],
+                to_key(w[1])
+            );
+        }
+        // NaN and negatives clamp to zero instead of poisoning the heap.
+        assert_eq!(to_key(f32::NAN), 0);
+        assert_eq!(to_key(-3.0), 0);
+        // Infinity saturates to the largest key (sorts last).
+        assert_eq!(to_key(f32::INFINITY), u64::MAX);
+        // Sub-resolution differences may tie but never invert.
+        assert!(to_key(1.0) <= to_key(1.0 + 1.0 / 2048.0));
+    }
+
+    #[test]
+    fn astar_detours_around_huge_history_costs() {
+        // A wall of enormous history cost must still leave A* best-first:
+        // the router funnels through the single cheap gap rather than
+        // paying the wall (a broken key quantization would pop wall tiles
+        // as if they were cheap).
+        let device = Device::test_part();
+        let mut grid = Grid::new(&device);
+        let wall_col = 5u16;
+        for r in 1..grid.rows {
+            let i = grid.idx(TileCoord::new(wall_col, r));
+            grid.hist[i] = 1.0e6;
+        }
+        let src = grid.idx(TileCoord::new(2, 3));
+        let sink = grid.idx(TileCoord::new(8, 3));
+        let bbox = (0, grid.cols - 1, 0, grid.rows - 1);
+        let mut path = Vec::new();
+        assert!(grid.astar(&[src], sink, bbox, 64, &mut path));
+        let crossings: Vec<TileCoord> = path
+            .iter()
+            .map(|&p| grid.coord(p))
+            .filter(|c| c.col == wall_col)
+            .collect();
+        assert_eq!(
+            crossings,
+            vec![TileCoord::new(wall_col, 0)],
+            "path must cross the wall exactly once, through the gap"
+        );
+        // The reused path buffer serves a second query unchanged.
+        assert!(grid.astar(&[src], sink, bbox, 64, &mut path));
+        assert!(!path.is_empty());
     }
 
     #[test]

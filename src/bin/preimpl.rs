@@ -10,9 +10,10 @@
 //! ```
 //!
 //! All commands accept `--device <name>` (default `xcku5p-like`),
-//! `--seeds N` (default 3) and `--trace <path>` (write a JSON-Lines
-//! telemetry stream of the run). Run
-//! `cargo run --release --bin preimpl -- <cmd>`.
+//! `--seeds N` (default 3), `--threads N` (worker threads for the
+//! parallel regions; default: `PI_THREADS` env, else all cores) and
+//! `--trace <path>` (write a JSON-Lines telemetry stream of the run).
+//! Run `cargo run --release --bin preimpl -- <cmd>`.
 
 use preimpl_cnn::cnn::graph::Granularity;
 use preimpl_cnn::prelude::*;
@@ -25,6 +26,7 @@ struct Args {
     positional: Vec<String>,
     device: String,
     seeds: u64,
+    threads: Option<usize>,
     block: bool,
     trace: Option<String>,
 }
@@ -37,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         positional: Vec::new(),
         device: "xcku5p-like".to_string(),
         seeds: 3,
+        threads: None,
         block: false,
         trace: None,
     };
@@ -51,6 +54,17 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seeds needs a value")?
                     .parse()
                     .map_err(|_| "--seeds must be a number".to_string())?;
+            }
+            "--threads" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be a number".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(n);
             }
             "--block" => args.block = true,
             "--trace" => {
@@ -67,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> <archdef> \
-     [db-dir] [--device NAME] [--seeds N] [--block] [--trace PATH]"
+     [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] [--trace PATH]"
         .to_string()
 }
 
@@ -217,6 +231,9 @@ fn config(args: &Args, granularity: Granularity) -> Result<FlowConfig, String> {
     let mut cfg = FlowConfig::new()
         .with_granularity(granularity)
         .with_seeds(1..=args.seeds);
+    if let Some(threads) = args.threads {
+        cfg = cfg.with_threads(threads);
+    }
     if let Some(path) = &args.trace {
         let sink = FileSink::create(path).map_err(|e| format!("opening {path}: {e}"))?;
         cfg = cfg.with_sink(Arc::new(sink));

@@ -1,0 +1,117 @@
+//! Contract tests for the vendored rayon stand-in's parallel backend:
+//! parallel iteration must be indistinguishable from sequential iteration
+//! in content and order at every thread count, and worker panics must
+//! propagate to the caller instead of hanging the pool.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+/// The parallelism level is process-global; tests that change it must not
+/// interleave. Restores a multi-threaded level afterwards so the rest of
+/// the binary keeps exercising the parallel path.
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_level<R>(level: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::set_num_threads(level);
+    let out = f();
+    rayon::set_num_threads(4);
+    out
+}
+
+proptest! {
+    /// `into_par_iter().map().collect()` equals the sequential map — same
+    /// elements, same order — for every thread count, including counts far
+    /// above the item count and the forced-sequential count of 1.
+    #[test]
+    fn par_map_equals_sequential_map(
+        items in proptest::collection::vec(-1_000i64..1_000, 0..200),
+        threads in 1usize..9,
+    ) {
+        let expected: Vec<i64> = items.iter().map(|&x| x * 3 - 7).collect();
+        let got: Vec<i64> = with_level(threads, || {
+            items.clone().into_par_iter().map(|x| x * 3 - 7).collect()
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Borrowing iteration (`par_iter`) preserves order and content too.
+    #[test]
+    fn par_iter_ref_equals_sequential(
+        items in proptest::collection::vec(0u32..u32::MAX, 0..200),
+        threads in 1usize..9,
+    ) {
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) + 1).collect();
+        let got: Vec<u64> = with_level(threads, || {
+            items.par_iter().map(|&x| u64::from(x) + 1).collect()
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Fallible collects short-circuit to the first error in *input index
+    /// order*, matching what a sequential `collect::<Result<_, _>>()` over
+    /// already-computed values reports.
+    #[test]
+    fn par_collect_result_reports_first_error_in_index_order(
+        items in proptest::collection::vec(0i64..100, 1..100),
+        threads in 1usize..9,
+    ) {
+        let check = |x: i64| if x % 7 == 3 { Err(x) } else { Ok(x * 2) };
+        let expected: Result<Vec<i64>, i64> = items.iter().map(|&x| check(x)).collect();
+        let got: Result<Vec<i64>, i64> = with_level(threads, || {
+            items.clone().into_par_iter().map(check).collect()
+        });
+        prop_assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn panic_in_worker_propagates_to_caller() {
+    let result = with_level(4, || {
+        catch_unwind(AssertUnwindSafe(|| {
+            let _: Vec<i32> = (0..64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|i| {
+                    if i == 17 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .collect();
+        }))
+    });
+    let payload = result.expect_err("panic must cross the pool boundary");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("boom at 17"), "payload lost: {msg:?}");
+}
+
+#[test]
+fn pool_survives_a_panicked_batch() {
+    // A panic must not wedge the workers: the very next parallel call on
+    // the same pool still completes.
+    with_level(4, || {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            (0..32).collect::<Vec<_>>().into_par_iter().for_each(|i| {
+                if i == 5 {
+                    panic!("first batch dies");
+                }
+            });
+        }));
+        let sum: i64 = (1..=100i64).collect::<Vec<_>>().into_par_iter().sum();
+        assert_eq!(sum, 5050);
+    });
+}
+
+#[test]
+fn join_runs_both_closures_and_returns_in_order() {
+    let (a, b) = with_level(2, || rayon::join(|| 21 * 2, || "right".len()));
+    assert_eq!(a, 42);
+    assert_eq!(b, 5);
+}

@@ -1,6 +1,9 @@
 //! Same-seed determinism of the telemetry stream: two identical flow runs
 //! must emit byte-identical event streams once timestamps (and the
-//! wallclock-derived measurement fields that ride with them) are stripped.
+//! wallclock-derived measurement fields that ride with them) are stripped —
+//! at *any* worker-thread count. Parallel regions buffer per-item events
+//! and flush them in input index order, so the interleaving never depends
+//! on scheduling.
 
 use preimpl_cnn::prelude::*;
 use std::sync::Arc;
@@ -8,16 +11,39 @@ use std::sync::Arc;
 /// Run the full pre-implemented flow on LeNet-5 with a fresh in-memory
 /// sink and return the comparison form of the stream.
 fn traced_run() -> (String, Vec<preimpl_cnn::obs::Event>) {
+    traced_run_threads(None)
+}
+
+/// [`traced_run`] pinned to a worker-thread count (`None` = ambient).
+fn traced_run_threads(threads: Option<usize>) -> (String, Vec<preimpl_cnn::obs::Event>) {
     let device = Device::xcku5p_like();
     let network = preimpl_cnn::cnn::models::lenet5();
     let sink = Arc::new(MemorySink::new());
-    let cfg = FlowConfig::new()
+    let mut cfg = FlowConfig::new()
         .with_synth(SynthOptions::lenet_like())
         .with_seeds([1])
         .with_sink(sink.clone());
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
     let (db, _) = build_component_db(&network, &device, &cfg).expect("db builds");
     run_pre_implemented_flow(&network, &db, &device, &cfg).expect("flow succeeds");
     (sink.stripped_jsonl(), sink.snapshot())
+}
+
+#[test]
+fn streams_are_identical_across_thread_counts() {
+    // The scheduler must be invisible: 1, 2 and 8 workers produce the very
+    // same stream the sequential path does, byte for byte.
+    let (sequential, _) = traced_run_threads(Some(1));
+    assert!(!sequential.is_empty());
+    for threads in [2, 8] {
+        let (parallel, _) = traced_run_threads(Some(threads));
+        assert_eq!(
+            sequential, parallel,
+            "telemetry stream changed between 1 and {threads} worker threads"
+        );
+    }
 }
 
 #[test]

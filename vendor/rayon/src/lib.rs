@@ -1,18 +1,240 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, with a real parallel backend.
 //!
 //! The build environment has no crate registry, so this crate provides the
 //! parallel-iterator *API surface* the workspace uses (`par_iter`,
-//! `into_par_iter`) backed by ordinary sequential iterators. Semantics are
-//! identical — rayon's contract is that parallel iterators behave like
-//! their sequential counterparts — only the speedup is absent. A welcome
-//! side effect for this repository: telemetry event ordering is fully
-//! deterministic, which the `pi-obs` same-seed stream guarantee relies on.
+//! `into_par_iter`, `join`) backed by a shared [`mod@pool`] of worker
+//! threads. The contract mirrors rayon's: parallel combinators behave
+//! exactly like their sequential counterparts. Two properties are load-
+//! bearing for this repository and are stronger than what upstream rayon
+//! promises:
+//!
+//! * **Index order.** `collect()` (and `sum`/`count`/`for_each` fold
+//!   order) always observes results in input index order, at every thread
+//!   count. Items are split into contiguous chunks, each chunk's results
+//!   are written into its own slot, and the slots are concatenated in
+//!   chunk order — so `PI_THREADS=1` and `PI_THREADS=64` produce
+//!   byte-identical values.
+//! * **Panic propagation.** A panic inside a worker closure is caught,
+//!   carried to the calling thread, and resumed there after the batch
+//!   drains — a panicking parallel region unwinds like a sequential loop
+//!   instead of hanging the pool.
+//!
+//! The parallelism level comes from [`set_num_threads`], else the
+//! `PI_THREADS` environment variable, else
+//! `std::thread::available_parallelism()`; `PI_THREADS=1` forces the
+//! sequential in-thread path (no pool involvement at all). Telemetry
+//! emitted *inside* worker closures is the caller's concern: see
+//! `pi_obs::BufferedObs` for the buffer-per-item-and-replay-in-index-order
+//! pattern the flow crates use to keep event streams deterministic.
+
+pub mod pool;
+
+pub use pool::{current_num_threads, set_num_threads};
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+/// Panics in either closure propagate after both have finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    pool::run_batch(vec![
+        Box::new(|| ra = Some(a())),
+        Box::new(|| rb = Some(b())),
+    ]);
+    (
+        ra.expect("join closure a completed"),
+        rb.expect("join closure b completed"),
+    )
+}
+
+/// The core primitive: map `f` over `items` on the pool and return the
+/// results in input index order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let level = current_num_threads();
+    if level <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks; a few per thread so heterogeneous items (e.g.
+    // components of very different sizes) still balance.
+    let chunk_count = n.min(level * 4);
+    let chunk_size = n.div_ceil(chunk_count);
+    let chunk_count = n.div_ceil(chunk_size);
+
+    let mut slots: Vec<std::sync::Mutex<Vec<R>>> = Vec::with_capacity(chunk_count);
+    for _ in 0..chunk_count {
+        slots.push(std::sync::Mutex::new(Vec::new()));
+    }
+    {
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunk_count);
+        let mut rest = items;
+        for slot in slots.iter() {
+            let take = rest.len().min(chunk_size);
+            let tail = rest.split_off(take);
+            let chunk = rest;
+            rest = tail;
+            tasks.push(Box::new(move || {
+                let out: Vec<R> = chunk.into_iter().map(f).collect();
+                *slot.lock().expect("chunk slot") = out;
+            }));
+        }
+        debug_assert!(rest.is_empty());
+        pool::run_batch(tasks);
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.into_inner().expect("chunk slot"));
+    }
+    out
+}
+
+/// A materialized parallel iterator over `T` items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parallel map; results keep input index order.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _result: std::marker::PhantomData,
+        }
+    }
+
+    /// Run `f` on every item (in parallel; observation order is the
+    /// caller's responsibility — `f` gets no index).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, &|item| f(item));
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Sum in input index order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Collect the (already materialized) items.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<T>,
+    {
+        C::from_ordered(self.items)
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _result: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T, R, F> ParMap<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map on the pool and collect in input index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered(parallel_map(self.items, &self.f))
+    }
+
+    /// Execute and sum in input index order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Execute, discarding results.
+    pub fn count(self) -> usize {
+        parallel_map(self.items, &self.f).len()
+    }
+}
+
+/// Collection types a parallel iterator can gather into. `from_ordered`
+/// receives the mapped results already in input index order.
+pub trait FromParallelIterator<T>: Sized {
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Like rayon, collecting `Result` items yields the first error in index
+/// order. Unlike a lazy sequential iterator, every item has already been
+/// evaluated by the time the fold runs — an error does not cancel the
+/// in-flight siblings (they were needed for deterministic telemetry
+/// anyway).
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl<T> FromParallelIterator<T> for String
+where
+    String: FromIterator<T>,
+{
+    fn from_ordered(items: Vec<T>) -> Self {
+        items.into_iter().collect()
+    }
+}
 
 pub mod prelude {
+    pub use crate::FromParallelIterator;
+
     /// `into_par_iter()` on anything iterable (ranges, vectors, ...).
     pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+        fn into_par_iter(self) -> crate::ParIter<Self::Item> {
+            crate::ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
@@ -20,44 +242,41 @@ pub mod prelude {
 
     /// `par_iter()` on anything whose reference is iterable (slices,
     /// vectors, maps, ...).
-    pub trait IntoParallelRefIterator {
-        type Iter<'a>: Iterator
-        where
-            Self: 'a;
-        fn par_iter(&self) -> Self::Iter<'_>;
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        fn par_iter(&'a self) -> crate::ParIter<Self::Item>;
     }
 
-    impl<C: ?Sized> IntoParallelRefIterator for C
+    impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
     where
-        for<'a> &'a C: IntoIterator,
+        &'a C: IntoIterator,
     {
-        type Iter<'a>
-            = <&'a C as IntoIterator>::IntoIter
-        where
-            C: 'a;
-        fn par_iter(&self) -> Self::Iter<'_> {
-            self.into_iter()
+        type Item = <&'a C as IntoIterator>::Item;
+        fn par_iter(&'a self) -> crate::ParIter<Self::Item> {
+            crate::ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
-}
-
-/// Sequential stand-in for `rayon::join`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Sequential stand-in reports a single "thread".
-pub fn current_num_threads() -> usize {
-    1
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// The parallelism level is process-global; tests that set it hold
+    /// this lock so concurrent test threads observe a stable level.
+    static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_level<T>(level: usize, f: impl FnOnce() -> T) -> T {
+        let _guard = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_num_threads(level);
+        let out = f();
+        crate::set_num_threads(4);
+        out
+    }
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -75,11 +294,101 @@ mod tests {
     }
 
     #[test]
-    fn collect_result_short_circuits() {
+    fn collect_result_takes_first_error_in_index_order() {
         let r: Result<Vec<u32>, &str> = (0u32..10)
             .into_par_iter()
             .map(|x| if x < 99 { Ok(x) } else { Err("no") })
             .collect();
         assert_eq!(r.unwrap().len(), 10);
+        let r: Result<Vec<u32>, String> = (0u32..10)
+            .into_par_iter()
+            .map(|x| {
+                if x % 2 == 0 {
+                    Ok(x)
+                } else {
+                    Err(format!("odd {x}"))
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "odd 1");
+    }
+
+    #[test]
+    fn results_keep_index_order_at_high_thread_counts() {
+        with_level(8, || {
+            let n = 1000usize;
+            let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * i).collect();
+            let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_in_order() {
+        with_level(4, || {
+            let (a, b) = crate::join(|| 1 + 1, || "two");
+            assert_eq!((a, b), (2, "two"));
+        });
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        with_level(4, || {
+            let hits = AtomicUsize::new(0);
+            (0..100usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 100);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        with_level(4, || {
+            let caught = std::panic::catch_unwind(|| {
+                let _: Vec<u32> = (0u32..64)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 33 {
+                            panic!("boom at {x}");
+                        }
+                        x
+                    })
+                    .collect();
+            });
+            assert!(caught.is_err(), "panic must propagate to the caller");
+            // The pool is still usable afterwards.
+            let v: Vec<u32> = (0u32..16).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v, (1..=16).collect::<Vec<u32>>());
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        with_level(4, || {
+            let out: Vec<u64> = (0u64..8)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: u64 = (0u64..16).into_par_iter().map(|j| i * 100 + j).sum();
+                    inner
+                })
+                .collect();
+            let expect: Vec<u64> = (0u64..8)
+                .map(|i| (0u64..16).map(|j| i * 100 + j).sum())
+                .collect();
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn sequential_level_stays_in_thread() {
+        with_level(1, || {
+            let here = std::thread::current().id();
+            let ids: Vec<std::thread::ThreadId> = (0..8usize)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect();
+            assert!(ids.iter().all(|&id| id == here));
+        });
     }
 }

@@ -1,0 +1,229 @@
+//! The worker pool behind the parallel iterators.
+//!
+//! A lazily-initialized set of daemon worker threads pulls jobs from one
+//! shared injector queue. Parallel calls submit a *batch* of jobs and then
+//! become workers themselves: the coordinator keeps claiming unstarted jobs
+//! from its own batch while it waits, so a batch always drains even when
+//! every pool worker is blocked coordinating a nested batch — nested
+//! parallelism (components × placement seeds) cannot deadlock.
+//!
+//! Safety model: jobs may borrow the coordinator's stack. The lifetime is
+//! erased when a job enters the queue, which is sound because
+//! [`run_batch`] does not return until every job of its batch has finished
+//! running (even when one of them panics) — the borrows outlive every use.
+//! Worker panics are caught, carried back to the coordinator, and resumed
+//! there after the batch has fully drained, so a panicking closure
+//! propagates instead of hanging the pool or poisoning unrelated batches.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased job. Only [`run_batch`] creates these, and only from
+/// closures proven to outlive the batch.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One submitted batch of jobs, shared between the coordinator and the
+/// workers that picked its tickets up.
+struct Batch {
+    /// Unstarted jobs; a worker (or the coordinator) claims index
+    /// `next.fetch_add(1)` and takes the job out of its slot.
+    jobs: Mutex<Vec<Option<Job>>>,
+    next: AtomicUsize,
+    total: usize,
+    /// Jobs that have finished running (successfully or by panic).
+    finished: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload observed, if any.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    /// Claim one unstarted job, if any remain.
+    fn claim(&self) -> Option<Job> {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return None;
+            }
+            // A slot can only be empty if a concurrent claim of the same
+            // index happened, which fetch_add rules out; still, skip
+            // defensively rather than unwrap.
+            if let Some(job) = self.jobs.lock().expect("batch queue").get_mut(i)?.take() {
+                return Some(job);
+            }
+        }
+    }
+
+    /// Run one claimed job, recording completion and any panic.
+    fn run(&self, job: Job) {
+        let result = catch_unwind(AssertUnwindSafe(job));
+        if let Err(payload) = result {
+            let mut slot = self.panic.lock().expect("panic slot");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut finished = self.finished.lock().expect("finished count");
+        *finished += 1;
+        if *finished == self.total {
+            self.done.notify_all();
+        }
+    }
+}
+
+struct Injector {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    available: Condvar,
+}
+
+struct Pool {
+    injector: Arc<Injector>,
+    /// Workers spawned so far; grows lazily up to the requested level.
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+/// Effective parallelism level (chunks per parallel call). 0 = not yet
+/// resolved from the environment.
+static LEVEL: AtomicUsize = AtomicUsize::new(0);
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        injector: Arc::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+fn worker_loop(injector: Arc<Injector>) {
+    loop {
+        let batch = {
+            let mut queue = injector.queue.lock().expect("injector queue");
+            loop {
+                if let Some(batch) = queue.pop_front() {
+                    break batch;
+                }
+                queue = injector.available.wait(queue).expect("injector wait");
+            }
+        };
+        if let Some(job) = batch.claim() {
+            batch.run(job);
+        }
+    }
+}
+
+/// Resolve the parallelism level: an explicit [`set_num_threads`] call
+/// wins, then the `PI_THREADS` environment variable, then
+/// `std::thread::available_parallelism()`. Always at least 1.
+pub fn current_num_threads() -> usize {
+    let level = LEVEL.load(Ordering::Relaxed);
+    if level != 0 {
+        return level;
+    }
+    let resolved = std::env::var("PI_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // Racing initializers resolve the same value; store is idempotent.
+    LEVEL.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Override the parallelism level for subsequent parallel calls (clamped
+/// to at least 1). `set_num_threads(1)` forces the sequential path.
+/// Results never depend on this value — only wall-clock time does.
+pub fn set_num_threads(threads: usize) {
+    LEVEL.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Ensure at least `want` pool workers exist.
+fn ensure_workers(want: usize) {
+    let pool = pool();
+    let mut spawned = pool.spawned.lock().expect("spawn count");
+    while *spawned < want {
+        let injector = Arc::clone(&pool.injector);
+        let name = format!("pi-worker-{}", *spawned);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(injector))
+            .expect("spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Run every job of `tasks` to completion, using the pool for whatever the
+/// coordinator does not get to first. Panics in any job are re-raised here
+/// after the whole batch has drained.
+pub(crate) fn run_batch<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 || current_num_threads() <= 1 {
+        // Sequential path: run in submission order on this thread.
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let total = tasks.len();
+    // SAFETY: the erased jobs borrow data owned by our caller's stack
+    // frame. This function blocks until `finished == total`, i.e. until
+    // every job has returned, before giving control back — no job can be
+    // run (or dropped) after the borrows expire. Unclaimed jobs cannot
+    // linger either: the batch Arc dies with this frame, and every ticket
+    // popped later finds `claim()` empty.
+    let jobs: Vec<Option<Job>> = tasks
+        .into_iter()
+        .map(|task| {
+            let job: Box<dyn FnOnce() + Send + 'scope> = task;
+            let job: Job = unsafe { std::mem::transmute(job) };
+            Some(job)
+        })
+        .collect();
+    let batch = Arc::new(Batch {
+        jobs: Mutex::new(jobs),
+        next: AtomicUsize::new(0),
+        total,
+        finished: Mutex::new(0),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    let level = current_num_threads();
+    // The coordinator claims jobs too, so `level - 1` helpers saturate the
+    // requested parallelism.
+    ensure_workers(level.saturating_sub(1));
+    {
+        let pool = pool();
+        let mut queue = pool.injector.queue.lock().expect("injector queue");
+        // One ticket per job beyond the one the coordinator starts with.
+        for _ in 1..total {
+            queue.push_back(Arc::clone(&batch));
+        }
+        pool.injector.available.notify_all();
+    }
+
+    // Help drain our own batch, then wait for stragglers.
+    while let Some(job) = batch.claim() {
+        batch.run(job);
+    }
+    let mut finished = batch.finished.lock().expect("finished count");
+    while *finished < total {
+        finished = batch.done.wait(finished).expect("batch wait");
+    }
+    drop(finished);
+
+    let payload = batch.panic.lock().expect("panic slot").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
