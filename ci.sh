@@ -22,4 +22,26 @@ PI_THREADS=1 cargo test -q
 echo "==> tier-1: PI_THREADS=4 cargo test -q"
 PI_THREADS=4 cargo test -q
 
+# Warm/cold smoke of the persistent component-database cache: the second
+# run against the same --db-dir must serve every checkpoint from disk
+# (zero pre-implementations) and assemble the identical accelerator.
+echo "==> db-cache smoke: cold vs warm compose"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+printf 'network smoke\ninput 1x16x16\nconv c kernel=3 out=4\nfc f out=8\n' \
+    > "$smoke_dir/arch.txt"
+cold_out="$(cargo run --release --quiet --bin preimpl -- \
+    compose "$smoke_dir/arch.txt" --db-dir "$smoke_dir/db" --seeds 2)"
+warm_out="$(cargo run --release --quiet --bin preimpl -- \
+    compose "$smoke_dir/arch.txt" --db-dir "$smoke_dir/db" --seeds 2)"
+echo "$cold_out" | grep -F 'db-cache: 0 hits, 2 misses' >/dev/null \
+    || { echo "cold run did not miss: $cold_out"; exit 1; }
+echo "$warm_out" | grep -F 'db-cache: 2 hits, 0 misses' >/dev/null \
+    || { echo "warm run did not hit: $warm_out"; exit 1; }
+cold_line="$(echo "$cold_out" | grep '^assembled ')"
+warm_line="$(echo "$warm_out" | grep '^assembled ')"
+[ "$cold_line" = "$warm_line" ] \
+    || { echo "warm result differs: '$cold_line' vs '$warm_line'"; exit 1; }
+echo "    cold missed, warm hit, identical result: $warm_line"
+
 echo "==> ci.sh: all gates passed"

@@ -1,0 +1,137 @@
+//! `dbcache` — warm-vs-cold cost of the persistent component-database
+//! cache (the productivity claim behind pre-implementation: build the
+//! checkpoints once, reuse them for every subsequent architecture run).
+//!
+//! Runs the LeNet-5 flow twice against the same `--db-dir`: a **cold** run
+//! on an empty cache (every component pre-implemented, then persisted) and
+//! a **warm** run that must serve every checkpoint from disk — zero
+//! pre-implementations, verified via the cache counters. Asserts the warm
+//! run assembles a byte-identical accelerator and is strictly faster than
+//! cold build + generation, then writes `BENCH_dbcache.json` with the
+//! times and a trajectory point for tracking across commits.
+//!
+//! Run with `cargo run --release --bin dbcache`.
+
+use pi_fabric::Device;
+use pi_flow::{build_component_db_cached, run_pre_implemented_flow, DbCacheStats, FlowConfig};
+use pi_synth::SynthOptions;
+use serde_json::json;
+use std::time::Instant;
+
+struct RunTimes {
+    build_db_s: f64,
+    compose_s: f64,
+    stats: DbCacheStats,
+    summary: String,
+}
+
+fn run_once(cfg: &FlowConfig) -> RunTimes {
+    let network = pi_cnn::models::lenet5();
+    let device = Device::xcku5p_like();
+    let t0 = Instant::now();
+    let (db, _, stats) =
+        build_component_db_cached(&network, &device, cfg).expect("component DB builds");
+    let build_db_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (_, report) =
+        run_pre_implemented_flow(&network, &db, &device, cfg).expect("pre-implemented flow");
+    let compose_s = t1.elapsed().as_secs_f64();
+    RunTimes {
+        build_db_s,
+        compose_s,
+        stats,
+        summary: report.deterministic_summary(),
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pi-bench-dbcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = FlowConfig::new()
+        .with_synth(SynthOptions::lenet_like())
+        .with_seeds([1, 2, 3])
+        .with_db_dir(&dir);
+
+    eprintln!("[dbcache] lenet5: cold (empty cache)...");
+    let cold = run_once(&cfg);
+    assert_eq!(
+        cold.stats.hits, 0,
+        "cold run must start from an empty cache"
+    );
+    assert!(cold.stats.misses > 0);
+
+    eprintln!("[dbcache] lenet5: warm (populated cache)...");
+    let warm = run_once(&cfg);
+    assert!(
+        warm.stats.all_hits(),
+        "warm run pre-implemented components: {:?}",
+        warm.stats
+    );
+    assert_eq!(warm.stats.hits, cold.stats.misses);
+    assert_eq!(
+        cold.summary, warm.summary,
+        "warm-cache run must assemble the identical accelerator"
+    );
+
+    let cold_total = cold.build_db_s + cold.compose_s;
+    let warm_total = warm.build_db_s + warm.compose_s;
+    assert!(
+        warm_total < cold_total,
+        "warm generation ({warm_total:.3}s) not below cold build+generation ({cold_total:.3}s)"
+    );
+    let speedup = cold_total / warm_total;
+    println!(
+        "lenet5   cold {:>7.3}s (build {:>6.3}s + compose {:>6.3}s)   \
+         warm {:>7.3}s ({} hits, {} bytes off disk)   {speedup:.2}x, identical result",
+        cold_total,
+        cold.build_db_s,
+        cold.compose_s,
+        warm_total,
+        warm.stats.hits,
+        warm.stats.bytes_loaded,
+    );
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let doc = json!({
+        "bench": "db_cache_warm_vs_cold",
+        "network": "lenet5",
+        "checkpoints": warm.stats.hits,
+        "results_identical": true,
+        "cold": json!({
+            "build_db_s": cold.build_db_s,
+            "compose_s": cold.compose_s,
+            "total_s": cold_total,
+            "cache_misses": cold.stats.misses,
+        }),
+        "warm": json!({
+            "build_db_s": warm.build_db_s,
+            "compose_s": warm.compose_s,
+            "total_s": warm_total,
+            "cache_hits": warm.stats.hits,
+            "bytes_loaded": warm.stats.bytes_loaded,
+        }),
+        "speedup": speedup,
+        "trajectory": json!([
+            json!({
+                "unix_time": unix_time,
+                "cold_total_s": cold_total,
+                "warm_total_s": warm_total,
+                "speedup": speedup,
+            }),
+        ]),
+        "notes": "cold = empty --db-dir (pre-implement everything, persist); warm = \
+                  same dir reopened (every checkpoint loaded + verified off disk, \
+                  zero pre-implementations). Warm time is the per-architecture cost \
+                  the paper's reuse story amortizes the build into.",
+    });
+    std::fs::write(
+        "BENCH_dbcache.json",
+        serde_json::to_string_pretty(&doc).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_dbcache.json");
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("[dbcache] wrote BENCH_dbcache.json (speedup = {speedup:.2}x)");
+}

@@ -95,6 +95,99 @@ impl PreImplReport {
             self.stitch_time.as_secs_f64() / total
         }
     }
+
+    /// Deterministic projection of this report as JSON: every field a
+    /// re-run with the same config must reproduce byte-for-byte, and
+    /// nothing wall-clock (stitch/route durations, phase times, and power —
+    /// which feeds off phase activity — are excluded). The cache
+    /// determinism tests and the warm/cold CI smoke compare these strings
+    /// to assert a warm-cache run assembles the identical accelerator.
+    pub fn deterministic_summary(&self) -> String {
+        use serde_json::Value;
+        let anchors: Vec<Value> = self
+            .compose
+            .placement
+            .anchors
+            .iter()
+            .map(|a| Value::Seq(vec![Value::U64(a.col as u64), Value::U64(a.row as u64)]))
+            .collect();
+        let signatures: Vec<Value> = self
+            .compose
+            .component_signatures
+            .iter()
+            .map(|s| Value::Str(s.clone()))
+            .collect();
+        let compose = Value::Map(vec![
+            ("component_signatures".into(), Value::Seq(signatures)),
+            ("anchors".into(), Value::Seq(anchors)),
+            (
+                "timing_cost".into(),
+                Value::F64(self.compose.placement.timing_cost),
+            ),
+            (
+                "congestion_cost".into(),
+                Value::F64(self.compose.placement.congestion_cost),
+            ),
+            (
+                "retries".into(),
+                Value::U64(self.compose.placement.retries as u64),
+            ),
+            (
+                "stitched_nets".into(),
+                Value::U64(self.compose.stitched_nets as u64),
+            ),
+        ]);
+        let c = &self.compile;
+        let compile = Value::Map(vec![
+            ("design_name".into(), Value::Str(c.design_name.clone())),
+            ("device_name".into(), Value::Str(c.device_name.clone())),
+            (
+                "critical_path_ps".into(),
+                Value::F64(c.timing.critical_path_ps),
+            ),
+            ("fmax_mhz".into(), Value::F64(c.timing.fmax_mhz)),
+            ("resources".into(), serde_json::to_value(&c.resources)),
+            (
+                "route_stats".into(),
+                Value::Map(vec![
+                    (
+                        "routed_nets".into(),
+                        Value::U64(c.route_stats.routed_nets as u64),
+                    ),
+                    (
+                        "trivial_nets".into(),
+                        Value::U64(c.route_stats.trivial_nets as u64),
+                    ),
+                    ("wirelength".into(), Value::U64(c.route_stats.wirelength)),
+                    (
+                        "overused_tiles".into(),
+                        Value::U64(c.route_stats.overused_tiles as u64),
+                    ),
+                    (
+                        "iterations".into(),
+                        Value::U64(c.route_stats.iterations as u64),
+                    ),
+                ]),
+            ),
+            ("total_wirelength".into(), Value::U64(c.total_wirelength)),
+        ]);
+        let latency = Value::Map(vec![
+            (
+                "pipeline_cycles".into(),
+                Value::U64(self.latency.pipeline_cycles),
+            ),
+            ("pipeline_ns".into(), Value::F64(self.latency.pipeline_ns)),
+            ("frame_cycles".into(), Value::U64(self.latency.frame_cycles)),
+            ("frame_ms".into(), Value::F64(self.latency.frame_ms)),
+            ("fmax_mhz".into(), Value::F64(self.latency.fmax_mhz)),
+        ]);
+        let root = Value::Map(vec![
+            ("compose".into(), compose),
+            ("compile".into(), compile),
+            ("latency".into(), latency),
+        ]);
+        serde_json::to_string_pretty(&root).expect("summary serializes")
+    }
 }
 
 /// Run the architecture-optimization phase: compose from the database, then

@@ -14,10 +14,12 @@ use crate::arch_opt::ArchOptOptions;
 use crate::baseline::BaselineOptions;
 use crate::function_opt::FunctionOptOptions;
 use pi_cnn::graph::Granularity;
+use pi_netlist::StableHasher;
 use pi_obs::{EventSink, Obs};
 use pi_pnr::RouteOptions;
 use pi_stitch::ComponentPlacerOptions;
-use pi_synth::SynthOptions;
+use pi_synth::{SynthMode, SynthOptions};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Configuration for the whole flow (both phases and the baseline), plus
@@ -65,6 +67,12 @@ pub struct FlowConfig {
     /// sequential path. Results and telemetry streams are identical at
     /// every value — only wall-clock time changes.
     pub threads: Option<usize>,
+    /// Root of the persistent component-database cache. When set,
+    /// [`crate::build_component_db_cached`] consults it before
+    /// pre-implementing anything and persists what it builds, making the
+    /// paper's "one-time" function optimization real across runs. `None`
+    /// keeps everything in memory.
+    pub db_dir: Option<PathBuf>,
     obs: Obs,
 }
 
@@ -83,6 +91,7 @@ impl Default for FlowConfig {
             phys_opt_passes: 4,
             baseline_effort: 6.0,
             threads: None,
+            db_dir: None,
             obs: Obs::null(),
         }
     }
@@ -164,6 +173,49 @@ impl FlowConfig {
         if let Some(threads) = self.threads {
             rayon::set_num_threads(threads);
         }
+    }
+
+    /// Root directory of the persistent component-database cache.
+    pub fn with_db_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.db_dir = Some(dir.into());
+        self
+    }
+
+    /// Stable fingerprint of every knob that affects what a pre-implemented
+    /// checkpoint *is*: synthesis options, granularity, the seed sweep, the
+    /// Fmax target, pblock utilization, placement effort, port planning and
+    /// routing options. Combined with the component signature and device
+    /// part by [`pi_stitch::cache_key`], it keys the persistent cache —
+    /// change any of these knobs and every lookup misses cleanly instead of
+    /// serving a checkpoint built under different rules.
+    ///
+    /// Deliberately excluded: `threads` (scheduling never changes results),
+    /// the telemetry sink, `db_dir` itself, and the architecture-phase /
+    /// baseline knobs (`placer`, `phys_opt_passes`, `baseline_effort`),
+    /// none of which influence the checkpoint artifact.
+    pub fn cache_fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(match self.synth.mode {
+            SynthMode::Ooc => "ooc",
+            SynthMode::Monolithic => "monolithic",
+        });
+        h.write_u16(self.synth.data_width);
+        h.write_bool(self.synth.weights_on_chip);
+        h.write_str(match self.granularity {
+            Granularity::Layer => "layer",
+            Granularity::Block => "block",
+        });
+        h.write_usize(self.seeds.len());
+        for &s in &self.seeds {
+            h.write_u64(s);
+        }
+        h.write_opt_f64(self.target_fmax_mhz);
+        h.write_f64(self.pblock_utilization);
+        h.write_f64(self.effort);
+        h.write_bool(self.plan_partpins);
+        h.write_usize(self.route.max_iters);
+        h.write_u16(self.route.capacity);
+        h.finish()
     }
 
     /// Route telemetry into `sink`. Every engine the flow calls (annealer,
@@ -258,6 +310,52 @@ mod tests {
         assert_eq!(cfg.threads, None);
         cfg.apply_parallelism();
         assert_eq!(FlowConfig::new().with_threads(3).threads, Some(3));
+    }
+
+    #[test]
+    fn fingerprint_tracks_implementation_knobs_only() {
+        let base = FlowConfig::new();
+        let fp = base.cache_fingerprint();
+        // Stable across calls and across equivalent configs.
+        assert_eq!(fp, FlowConfig::new().cache_fingerprint());
+        // Every implementation knob moves it.
+        assert_ne!(fp, base.clone().with_seeds([1, 2]).cache_fingerprint());
+        assert_ne!(fp, base.clone().with_target_fmax(400.0).cache_fingerprint());
+        assert_ne!(
+            fp,
+            base.clone()
+                .with_pblock_utilization(0.8)
+                .cache_fingerprint()
+        );
+        assert_ne!(fp, base.clone().with_effort(3.0).cache_fingerprint());
+        assert_ne!(
+            fp,
+            base.clone().with_plan_partpins(false).cache_fingerprint()
+        );
+        assert_ne!(
+            fp,
+            base.clone()
+                .with_granularity(Granularity::Block)
+                .cache_fingerprint()
+        );
+        assert_ne!(
+            fp,
+            base.clone()
+                .with_synth(pi_synth::SynthOptions::vgg_like())
+                .cache_fingerprint()
+        );
+        let mut route = base.route;
+        route.capacity += 1;
+        assert_ne!(fp, base.clone().with_route(route).cache_fingerprint());
+        // Scheduling, telemetry and the cache location itself do not.
+        assert_eq!(fp, base.clone().with_threads(4).cache_fingerprint());
+        assert_eq!(fp, base.clone().with_db_dir("/tmp/x").cache_fingerprint());
+        assert_eq!(
+            fp,
+            base.clone()
+                .with_sink(Arc::new(MemorySink::new()))
+                .cache_fingerprint()
+        );
     }
 
     #[test]

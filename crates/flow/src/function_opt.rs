@@ -24,7 +24,7 @@ use pi_fabric::{Device, Pblock, ResourceCount, TileCoord};
 use pi_netlist::{Checkpoint, CheckpointMeta, Endpoint, Module};
 use pi_obs::Obs;
 use pi_pnr::{place_module_obs, route_module_obs, sta_module, PlaceOptions, RouteOptions};
-use pi_stitch::ComponentDb;
+use pi_stitch::{cache_key, CacheLookup, ComponentDb, DbCache};
 use pi_synth::{synth_component, SynthOptions};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -571,6 +571,110 @@ pub fn build_component_db(
     Ok((db, reports))
 }
 
+/// Cache interaction summary from [`build_component_db_cached`]: how much
+/// of the database came off disk versus was pre-implemented this run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbCacheStats {
+    /// Components served from the persistent cache.
+    pub hits: usize,
+    /// Components absent from the cache (pre-implemented this run).
+    pub misses: usize,
+    /// Cached entries that failed verification (truncated, stale version,
+    /// hash mismatch, missing file) and were quarantined + rebuilt.
+    pub invalidations: usize,
+    /// Serialized checkpoint bytes loaded on hits.
+    pub bytes_loaded: u64,
+}
+
+impl DbCacheStats {
+    /// True when every component came off disk — the warm-cache guarantee
+    /// the productivity numbers depend on.
+    pub fn all_hits(&self) -> bool {
+        self.misses == 0 && self.invalidations == 0
+    }
+}
+
+/// [`build_component_db`] backed by the persistent content-addressed cache
+/// at `cfg.db_dir`: every component's cache key — a stable hash of
+/// (signature, device part, implementation knobs, see
+/// [`FlowConfig::cache_fingerprint`]) — is consulted *before*
+/// pre-implementing. A verified hit loads the checkpoint (relocation
+/// happens at composition, as always); a miss builds the component and
+/// persists it atomically, so the next run with the same knobs performs
+/// zero pre-implementations. Corrupted or stale entries are quarantined
+/// and rebuilt — never a crash (see [`pi_stitch::DbCache`]).
+///
+/// With no `db_dir` configured this degrades to [`build_component_db`]
+/// (every component a miss, nothing persisted).
+///
+/// Telemetry: per-entry events under `stitch::db_cache`, plus a `db_cache`
+/// span and `cache_hits` / `cache_misses` / `cache_invalidations` /
+/// `cache_bytes_loaded` counters under `flow::function_opt`.
+pub fn build_component_db_cached(
+    network: &Network,
+    device: &Device,
+    cfg: &FlowConfig,
+) -> Result<(ComponentDb, Vec<ComponentBuildReport>, DbCacheStats), FlowError> {
+    let Some(dir) = cfg.db_dir.clone() else {
+        let (db, reports) = build_component_db(network, device, cfg)?;
+        let stats = DbCacheStats {
+            misses: reports.len(),
+            ..DbCacheStats::default()
+        };
+        return Ok((db, reports, stats));
+    };
+    cfg.apply_parallelism();
+    let opts = cfg.function_opt_options();
+    let obs = cfg.obs();
+    let dse = obs.scoped("flow::function_opt");
+    let fingerprint = cfg.cache_fingerprint();
+    let components = network.components(opts.granularity)?;
+    let span = dse.span_with("db_cache", &[("components", components.len().into())]);
+
+    let mut cache = DbCache::open(dir, obs).map_err(FlowError::Stitch)?;
+    let mut db = ComponentDb::new();
+    let mut stats = DbCacheStats::default();
+    let mut missing: Vec<(&Component, String)> = Vec::new();
+    for c in &components {
+        let sig = c.signature(network);
+        let key = cache_key(&sig, device.name(), fingerprint);
+        match cache.lookup(&key, obs) {
+            CacheLookup::Hit { checkpoint, bytes } => {
+                stats.hits += 1;
+                stats.bytes_loaded += bytes;
+                db.insert(*checkpoint);
+            }
+            CacheLookup::Miss => {
+                stats.misses += 1;
+                missing.push((c, key));
+            }
+            CacheLookup::Invalidated { .. } => {
+                stats.misses += 1;
+                stats.invalidations += 1;
+                missing.push((c, key));
+            }
+        }
+    }
+
+    let refs: Vec<&Component> = missing.iter().map(|(c, _)| *c).collect();
+    let results = build_components_parallel(&refs, network, device, &opts, obs)?;
+    let mut reports = Vec::with_capacity(results.len());
+    for ((cp, report), (_, key)) in results.into_iter().zip(&missing) {
+        cache.insert(key, &cp, obs).map_err(FlowError::Stitch)?;
+        db.insert(cp);
+        reports.push(report);
+    }
+
+    if dse.enabled() {
+        dse.counter("cache_hits", stats.hits as u64);
+        dse.counter("cache_misses", stats.misses as u64);
+        dse.counter("cache_invalidations", stats.invalidations as u64);
+        dse.counter("cache_bytes_loaded", stats.bytes_loaded);
+    }
+    span.end();
+    Ok((db, reports, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -786,5 +890,54 @@ mod tests {
         };
         let (_, report) = build_component(&network, &comps[1], &device, &opts).unwrap();
         assert_eq!(report.seeds_tried, 1);
+    }
+
+    #[test]
+    fn cached_build_misses_cold_and_hits_warm() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let dir = std::env::temp_dir().join(format!(
+            "pi-flow-dbcache-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FlowConfig::new().with_seeds([1]).with_db_dir(&dir);
+        let n = network.components(Granularity::Layer).unwrap().len();
+
+        let (db_cold, reports, cold) = build_component_db_cached(&network, &device, &cfg).unwrap();
+        assert_eq!((cold.hits, cold.misses, cold.invalidations), (0, n, 0));
+        assert_eq!(reports.len(), n);
+
+        let (db_warm, reports, warm) = build_component_db_cached(&network, &device, &cfg).unwrap();
+        assert!(warm.all_hits(), "warm run not all hits: {warm:?}");
+        assert_eq!(warm.hits, n);
+        assert!(warm.bytes_loaded > 0);
+        assert!(reports.is_empty(), "warm run pre-implemented components");
+        for c in network.components(Granularity::Layer).unwrap() {
+            let sig = c.signature(&network);
+            assert_eq!(
+                db_cold.get(&sig).unwrap().to_json().unwrap(),
+                db_warm.get(&sig).unwrap().to_json().unwrap(),
+                "cached checkpoint for '{sig}' differs from the built one"
+            );
+        }
+
+        // Different implementation knobs must not reuse these entries.
+        let other = FlowConfig::new().with_seeds([2]).with_db_dir(&dir);
+        let (_, _, stats) = build_component_db_cached(&network, &device, &other).unwrap();
+        assert_eq!(stats.hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_build_without_db_dir_degrades_to_plain_build() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let cfg = FlowConfig::new().with_seeds([1]);
+        let (db, reports, stats) = build_component_db_cached(&network, &device, &cfg).unwrap();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, reports.len());
+        assert_eq!(db.len(), reports.len());
     }
 }

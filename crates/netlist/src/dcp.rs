@@ -4,10 +4,17 @@
 //! the way a directory of DCP files is — each file is a frozen, reusable,
 //! relocatable implementation of one component.
 
+use crate::hash::fnv1a64;
 use crate::module::Module;
 use pi_fabric::{Pblock, ResourceCount};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// On-disk checkpoint format version. Bump whenever the serialized shape
+/// of [`Checkpoint`] (or anything it contains) changes incompatibly; the
+/// component-database cache quarantines and rebuilds entries written by a
+/// different version instead of trying to reinterpret them.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
 
 /// Metadata recorded with a checkpoint at pre-implementation time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,7 +45,71 @@ pub struct Checkpoint {
     pub module: Module,
 }
 
+/// The versioned envelope the persistent component cache stores: the
+/// format version rides *outside* the checkpoint so stale entries are
+/// detectable before (and independent of) decoding the payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct VersionedCheckpoint {
+    format_version: u32,
+    checkpoint: Checkpoint,
+}
+
 impl Checkpoint {
+    /// Stable 64-bit content hash of this checkpoint: FNV-1a over the
+    /// canonical JSON serialization. Equal checkpoints hash equal across
+    /// runs and builds; the cache uses it for content addressing and
+    /// corruption detection.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(
+            self.to_json()
+                .expect("checkpoint serializes for hashing")
+                .as_bytes(),
+        )
+    }
+
+    /// [`Checkpoint::content_hash`] as the fixed-width hex form file names
+    /// and manifests use.
+    pub fn content_hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// Serialize wrapped in the versioned envelope (the persistent-cache
+    /// on-disk form).
+    pub fn to_versioned_json(&self) -> Result<String, crate::NetlistError> {
+        serde_json::to_string(&VersionedCheckpoint {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            checkpoint: self.clone(),
+        })
+        .map_err(|e| crate::NetlistError::Decode(e.to_string()))
+    }
+
+    /// Deserialize the versioned envelope. A missing or non-integer
+    /// version is a decode error; a *different* version is the distinct
+    /// [`crate::NetlistError::FormatVersion`] so callers can tell "stale"
+    /// from "corrupt".
+    pub fn from_versioned_json(s: &str) -> Result<Checkpoint, crate::NetlistError> {
+        let value: serde_json::Value =
+            serde_json::from_str(s).map_err(|e| crate::NetlistError::Decode(e.to_string()))?;
+        let found = match value.get("format_version") {
+            Some(serde_json::Value::U64(v)) => *v as u32,
+            Some(serde_json::Value::I64(v)) => *v as u32,
+            _ => {
+                return Err(crate::NetlistError::Decode(
+                    "checkpoint envelope has no format_version".to_string(),
+                ))
+            }
+        };
+        if found != CHECKPOINT_FORMAT_VERSION {
+            return Err(crate::NetlistError::FormatVersion {
+                found,
+                want: CHECKPOINT_FORMAT_VERSION,
+            });
+        }
+        let inner = value.get("checkpoint").cloned().ok_or_else(|| {
+            crate::NetlistError::Decode("checkpoint envelope has no payload".to_string())
+        })?;
+        serde_json::from_value(inner).map_err(|e| crate::NetlistError::Decode(e.to_string()))
+    }
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> Result<String, crate::NetlistError> {
         serde_json::to_string(self).map_err(|e| crate::NetlistError::Decode(e.to_string()))
@@ -128,5 +199,47 @@ mod tests {
     fn bad_json_is_an_error() {
         assert!(Checkpoint::from_json("{not json").is_err());
         assert!(Checkpoint::load(Path::new("/nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn versioned_round_trip() {
+        let cp = checkpoint();
+        let json = cp.to_versioned_json().unwrap();
+        assert!(json.contains("\"format_version\""));
+        let back = Checkpoint::from_versioned_json(&json).unwrap();
+        assert_eq!(back.meta.signature, cp.meta.signature);
+        assert_eq!(back.content_hash(), cp.content_hash());
+    }
+
+    #[test]
+    fn stale_format_version_is_its_own_error() {
+        let cp = checkpoint();
+        let json = cp.to_versioned_json().unwrap();
+        let stale = json.replacen(
+            &format!("\"format_version\":{CHECKPOINT_FORMAT_VERSION}"),
+            "\"format_version\":999",
+            1,
+        );
+        match Checkpoint::from_versioned_json(&stale) {
+            Err(crate::NetlistError::FormatVersion { found: 999, want }) => {
+                assert_eq!(want, CHECKPOINT_FORMAT_VERSION);
+            }
+            other => panic!("expected FormatVersion, got {other:?}"),
+        }
+        // A plain (unversioned) checkpoint is a decode error, not stale.
+        assert!(matches!(
+            Checkpoint::from_versioned_json(&cp.to_json().unwrap()),
+            Err(crate::NetlistError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let cp = checkpoint();
+        assert_eq!(cp.content_hash(), cp.content_hash());
+        assert_eq!(cp.content_hash_hex().len(), 16);
+        let mut other = cp.clone();
+        other.meta.fmax_mhz += 1.0;
+        assert_ne!(cp.content_hash(), other.content_hash());
     }
 }

@@ -21,14 +21,16 @@
 pub mod cell;
 pub mod dcp;
 pub mod design;
+pub mod hash;
 pub mod module;
 pub mod net;
 pub mod port;
 pub mod stats;
 
 pub use cell::{Cell, CellId, CellKind};
-pub use dcp::{Checkpoint, CheckpointMeta};
+pub use dcp::{Checkpoint, CheckpointMeta, CHECKPOINT_FORMAT_VERSION};
 pub use design::{Design, DesignKind, InstId, ModuleInst, TopNet};
+pub use hash::{fnv1a64, StableHasher};
 pub use module::{Module, ModuleBuilder};
 pub use net::{Endpoint, Net, NetId, Route};
 pub use port::{Direction, Port, PortId, StreamRole};
@@ -47,6 +49,9 @@ pub enum NetlistError {
     Io(std::io::Error),
     /// Checkpoint decode failure.
     Decode(String),
+    /// A persisted checkpoint carries a different format version than this
+    /// build writes — stale entries are rebuilt, never reinterpreted.
+    FormatVersion { found: u32, want: u32 },
 }
 
 impl std::fmt::Display for NetlistError {
@@ -57,6 +62,10 @@ impl std::fmt::Display for NetlistError {
             NetlistError::Locked(m) => write!(f, "module is locked: {m}"),
             NetlistError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             NetlistError::Decode(m) => write!(f, "checkpoint decode error: {m}"),
+            NetlistError::FormatVersion { found, want } => write!(
+                f,
+                "checkpoint format version {found} does not match this build's {want}"
+            ),
         }
     }
 }

@@ -1,0 +1,448 @@
+//! The persistent, content-addressed component-database cache.
+//!
+//! The paper's 61–69% productivity gain rests on function optimization
+//! being *one-time*: checkpoints are built once and reused across runs and
+//! designs. [`DbCache`] is the mechanism that makes that real. A cache
+//! directory holds:
+//!
+//! ```text
+//! <db-dir>/
+//!   manifest.json        versioned index: key -> file + content hash
+//!   objects/             one versioned checkpoint envelope per entry
+//!   quarantine/          corrupted / stale entries moved aside, never lost
+//! ```
+//!
+//! * **Keying** — [`cache_key`] hashes (component signature, device part,
+//!   implementation-affecting `FlowConfig` knobs) through the stable FNV
+//!   hasher, so any knob change that would alter a checkpoint changes the
+//!   key and misses cleanly instead of serving a stale artifact.
+//! * **Content addressing** — each object file name carries its key, and
+//!   the manifest records the checkpoint's content hash; a loaded entry is
+//!   verified against it before being served.
+//! * **Atomicity** — objects and the manifest are written to a temp file
+//!   and renamed into place, so a crash mid-write can at worst leave a
+//!   stray temp file, never a half-written entry behind a valid name.
+//! * **Self-healing** — truncated files, missing files, hash mismatches,
+//!   stale format versions and undecodable manifests are *quarantined*
+//!   (moved into `quarantine/`, dropped from the manifest) and reported as
+//!   misses; the flow then rebuilds them. Corruption is never a panic and
+//!   never an error the caller must handle.
+//!
+//! Every cache interaction emits telemetry under the `stitch::db_cache`
+//! scope (hits with bytes loaded, misses, invalidations with a reason,
+//! stores), so `--trace` output shows exactly what the cache did.
+
+use crate::db::sanitize;
+use crate::StitchError;
+use pi_netlist::{Checkpoint, StableHasher, CHECKPOINT_FORMAT_VERSION};
+use pi_obs::Obs;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// On-disk manifest format version; bumped when the manifest shape
+/// changes. A mismatched manifest is quarantined wholesale and the cache
+/// restarts empty (entries rebuild on demand).
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File names inside the cache root.
+pub const MANIFEST_FILE: &str = "manifest.json";
+const OBJECTS_DIR: &str = "objects";
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Telemetry scope every cache event is emitted under.
+pub const CACHE_SCOPE: &str = "stitch::db_cache";
+
+/// One manifest row: a cache key mapped to its verified object file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ManifestEntry {
+    /// [`cache_key`] hex — the content-addressed identity of the entry.
+    key: String,
+    /// The component signature the checkpoint implements.
+    signature: String,
+    /// Object file name, relative to `objects/`.
+    file: String,
+    /// Expected [`Checkpoint::content_hash_hex`] of the payload.
+    content_hash: String,
+    /// [`CHECKPOINT_FORMAT_VERSION`] the entry was written with.
+    format_version: u32,
+    /// Device part the checkpoint targets.
+    device: String,
+    /// Serialized size, for the bytes-loaded telemetry.
+    bytes: u64,
+}
+
+/// The serialized manifest: versions plus the sorted entry list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    manifest_version: u32,
+    format_version: u32,
+    entries: Vec<ManifestEntry>,
+}
+
+/// Result of a cache lookup. Invalidated entries have already been
+/// quarantined; both `Miss` and `Invalidated` mean "build it".
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// Entry present, verified, loaded.
+    Hit {
+        checkpoint: Box<Checkpoint>,
+        bytes: u64,
+    },
+    /// No entry under this key.
+    Miss,
+    /// Entry existed but failed verification and was quarantined.
+    Invalidated { reason: &'static str },
+}
+
+/// Compute the cache key for a component: a stable hash of everything that
+/// determines the pre-implemented artifact — the component signature, the
+/// device part, and the caller's implementation-knob fingerprint (see
+/// `FlowConfig::cache_fingerprint`). Hex, fixed width, filesystem-safe.
+pub fn cache_key(signature: &str, device: &str, knobs_fingerprint: u64) -> String {
+    let mut h = StableHasher::new();
+    h.write_str(signature);
+    h.write_str(device);
+    h.write_u64(knobs_fingerprint);
+    format!("{:016x}", h.finish())
+}
+
+/// A persistent component-checkpoint cache rooted at a directory.
+#[derive(Debug)]
+pub struct DbCache {
+    root: PathBuf,
+    entries: BTreeMap<String, ManifestEntry>,
+}
+
+impl DbCache {
+    /// Open (or create) a cache at `root`. An undecodable or
+    /// version-mismatched manifest is quarantined and the cache starts
+    /// empty — opening never fails on corruption, only on real I/O errors
+    /// such as an uncreatable directory.
+    pub fn open(root: impl Into<PathBuf>, obs: &Obs) -> Result<DbCache, StitchError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join(OBJECTS_DIR))?;
+        let cache_obs = obs.scoped(CACHE_SCOPE);
+        let manifest_path = root.join(MANIFEST_FILE);
+        let mut entries = BTreeMap::new();
+        if manifest_path.exists() {
+            match std::fs::read_to_string(&manifest_path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| serde_json::from_str::<Manifest>(&text).map_err(|e| e.to_string()))
+            {
+                Ok(manifest)
+                    if manifest.manifest_version == MANIFEST_VERSION
+                        && manifest.format_version == CHECKPOINT_FORMAT_VERSION =>
+                {
+                    for e in manifest.entries {
+                        entries.insert(e.key.clone(), e);
+                    }
+                }
+                Ok(_) => {
+                    quarantine_file(&root, &manifest_path, MANIFEST_FILE);
+                    if cache_obs.enabled() {
+                        cache_obs.point(
+                            "manifest_quarantined",
+                            &[("reason", "stale_version".into())],
+                        );
+                    }
+                }
+                Err(_) => {
+                    quarantine_file(&root, &manifest_path, MANIFEST_FILE);
+                    if cache_obs.enabled() {
+                        cache_obs.point("manifest_quarantined", &[("reason", "corrupt".into())]);
+                    }
+                }
+            }
+        }
+        Ok(DbCache { root, entries })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// All cached keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|k| k.as_str())
+    }
+
+    /// The signature recorded for a key, if cached.
+    pub fn signature_of(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|e| e.signature.as_str())
+    }
+
+    /// Look up a key: load, verify format version and content hash, and
+    /// serve the checkpoint. Any verification failure quarantines the
+    /// entry and reports `Invalidated` — corruption on disk can slow the
+    /// next run down (it rebuilds), but can never crash it or feed it a
+    /// wrong artifact.
+    pub fn lookup(&mut self, key: &str, obs: &Obs) -> CacheLookup {
+        let cache_obs = obs.scoped(CACHE_SCOPE);
+        let Some(entry) = self.entries.get(key) else {
+            if cache_obs.enabled() {
+                cache_obs.point("cache_miss", &[("key", key.into())]);
+            }
+            return CacheLookup::Miss;
+        };
+        let path = self.root.join(OBJECTS_DIR).join(&entry.file);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return self.invalidate(key, "missing_file", &cache_obs),
+        };
+        let checkpoint = match Checkpoint::from_versioned_json(&text) {
+            Ok(cp) => cp,
+            Err(pi_netlist::NetlistError::FormatVersion { .. }) => {
+                return self.invalidate(key, "stale_version", &cache_obs)
+            }
+            Err(_) => return self.invalidate(key, "corrupt", &cache_obs),
+        };
+        if checkpoint.content_hash_hex() != entry.content_hash {
+            return self.invalidate(key, "hash_mismatch", &cache_obs);
+        }
+        let bytes = text.len() as u64;
+        if cache_obs.enabled() {
+            cache_obs.point(
+                "cache_hit",
+                &[
+                    ("key", key.into()),
+                    ("signature", entry.signature.as_str().into()),
+                    ("bytes", bytes.into()),
+                ],
+            );
+        }
+        CacheLookup::Hit {
+            checkpoint: Box::new(checkpoint),
+            bytes,
+        }
+    }
+
+    /// Insert (or replace) a checkpoint under a key: atomic object write,
+    /// then atomic manifest rewrite. On success the entry survives process
+    /// death at any point.
+    pub fn insert(&mut self, key: &str, cp: &Checkpoint, obs: &Obs) -> Result<(), StitchError> {
+        let json = cp.to_versioned_json()?;
+        let mut prefix = sanitize(&cp.meta.signature);
+        prefix.truncate(64);
+        let file = format!("{prefix}-{key}.dcp.json");
+        let path = self.root.join(OBJECTS_DIR).join(&file);
+        write_atomic(&path, &json)?;
+        let bytes = json.len() as u64;
+        let entry = ManifestEntry {
+            key: key.to_string(),
+            signature: cp.meta.signature.clone(),
+            file,
+            content_hash: cp.content_hash_hex(),
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            device: cp.meta.device.clone(),
+            bytes,
+        };
+        // Replacing a key whose signature changed leaves the old object
+        // file orphaned; remove it so the objects dir mirrors the manifest.
+        if let Some(old) = self.entries.insert(key.to_string(), entry) {
+            if old.file != self.entries[key].file {
+                let _ = std::fs::remove_file(self.root.join(OBJECTS_DIR).join(&old.file));
+            }
+        }
+        self.persist_manifest()?;
+        let cache_obs = obs.scoped(CACHE_SCOPE);
+        if cache_obs.enabled() {
+            cache_obs.point(
+                "cache_store",
+                &[
+                    ("key", key.into()),
+                    ("signature", cp.meta.signature.as_str().into()),
+                    ("bytes", bytes.into()),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    /// Remove a key and its object file. Returns whether it existed.
+    pub fn evict(&mut self, key: &str, obs: &Obs) -> Result<bool, StitchError> {
+        let Some(entry) = self.entries.remove(key) else {
+            return Ok(false);
+        };
+        let _ = std::fs::remove_file(self.root.join(OBJECTS_DIR).join(&entry.file));
+        self.persist_manifest()?;
+        let cache_obs = obs.scoped(CACHE_SCOPE);
+        if cache_obs.enabled() {
+            cache_obs.point("cache_evict", &[("key", key.into())]);
+        }
+        Ok(true)
+    }
+
+    /// Drop the entry, move its object file into `quarantine/`, persist
+    /// the shrunken manifest, and report. Best-effort on the filesystem
+    /// side: a failing rename degrades to deletion, a failing manifest
+    /// write leaves a row the next lookup will re-invalidate — recovery
+    /// never introduces a new failure mode.
+    fn invalidate(&mut self, key: &str, reason: &'static str, cache_obs: &Obs) -> CacheLookup {
+        if let Some(entry) = self.entries.remove(key) {
+            let path = self.root.join(OBJECTS_DIR).join(&entry.file);
+            if path.exists() {
+                quarantine_file(&self.root, &path, &entry.file);
+            }
+            let _ = self.persist_manifest();
+        }
+        if cache_obs.enabled() {
+            cache_obs.point(
+                "cache_invalidate",
+                &[("key", key.into()), ("reason", reason.into())],
+            );
+        }
+        CacheLookup::Invalidated { reason }
+    }
+
+    /// Atomically rewrite `manifest.json` from the in-memory map. BTreeMap
+    /// order keeps the bytes deterministic for identical contents.
+    fn persist_manifest(&self) -> Result<(), StitchError> {
+        let manifest = Manifest {
+            manifest_version: MANIFEST_VERSION,
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            entries: self.entries.values().cloned().collect(),
+        };
+        let json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| pi_netlist::NetlistError::Decode(e.to_string()))?;
+        write_atomic(&self.root.join(MANIFEST_FILE), &json)?;
+        Ok(())
+    }
+}
+
+/// Write-then-rename: the contents land under a temp name first, so a
+/// crash can never leave a torn file behind the real name.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_file_name(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("x")
+    ));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Move a file into `<root>/quarantine/`, degrading to deletion if the
+/// rename fails (cross-device, permissions); both outcomes take the bad
+/// entry out of service.
+fn quarantine_file(root: &Path, path: &Path, name: &str) {
+    let qdir = root.join(QUARANTINE_DIR);
+    let _ = std::fs::create_dir_all(&qdir);
+    if std::fs::rename(path, qdir.join(name)).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_fabric::Pblock;
+    use pi_netlist::{Cell, CellKind, CheckpointMeta, Endpoint, ModuleBuilder, StreamRole};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn checkpoint(sig: &str) -> Checkpoint {
+        let mut b = ModuleBuilder::new(sig);
+        let din = b.input("din", StreamRole::Source, 16);
+        let dout = b.output("dout", StreamRole::Sink, 16);
+        let c = b.cell(Cell::new("c", CellKind::full_slice()));
+        b.connect("i", Endpoint::Port(din), [Endpoint::Cell(c)]);
+        b.connect("o", Endpoint::Cell(c), [Endpoint::Port(dout)]);
+        let m = b.finish().unwrap();
+        Checkpoint {
+            meta: CheckpointMeta {
+                signature: sig.to_string(),
+                fmax_mhz: 500.0,
+                resources: m.resources(),
+                pblock: Pblock::new(1, 4, 0, 4),
+                device: "test-part".to_string(),
+                latency_cycles: 10,
+            },
+            module: m,
+        }
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "pi_cache_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn insert_then_lookup_across_reopen() {
+        let root = tmp_root("reopen");
+        let obs = Obs::null();
+        let cp = checkpoint("conv_k3s1p0co4__in1x16x16");
+        let key = cache_key(&cp.meta.signature, "test-part", 7);
+        {
+            let mut cache = DbCache::open(&root, &obs).unwrap();
+            assert!(matches!(cache.lookup(&key, &obs), CacheLookup::Miss));
+            cache.insert(&key, &cp, &obs).unwrap();
+            assert!(cache.contains(&key));
+        }
+        let mut cache = DbCache::open(&root, &obs).unwrap();
+        assert_eq!(cache.len(), 1);
+        match cache.lookup(&key, &obs) {
+            CacheLookup::Hit { checkpoint, bytes } => {
+                assert_eq!(checkpoint.meta.signature, cp.meta.signature);
+                assert_eq!(checkpoint.content_hash(), cp.content_hash());
+                assert!(bytes > 0);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn keys_separate_by_fingerprint_and_device() {
+        let sig = "conv_k3s1p0co4__in1x16x16";
+        let base = cache_key(sig, "test-part", 7);
+        assert_eq!(base, cache_key(sig, "test-part", 7));
+        assert_ne!(base, cache_key(sig, "test-part", 8));
+        assert_ne!(base, cache_key(sig, "xcku5p-like", 7));
+        assert_ne!(base, cache_key("other_sig", "test-part", 7));
+    }
+
+    #[test]
+    fn corrupt_manifest_resets_empty_and_quarantines() {
+        let root = tmp_root("badmanifest");
+        let obs = Obs::null();
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join(MANIFEST_FILE), "{ not a manifest").unwrap();
+        let cache = DbCache::open(&root, &obs).unwrap();
+        assert!(cache.is_empty());
+        assert!(root.join(QUARANTINE_DIR).join(MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn eviction_removes_entry_and_file() {
+        let root = tmp_root("evict");
+        let obs = Obs::null();
+        let cp = checkpoint("fc_o10__in84");
+        let key = cache_key(&cp.meta.signature, "test-part", 1);
+        let mut cache = DbCache::open(&root, &obs).unwrap();
+        cache.insert(&key, &cp, &obs).unwrap();
+        assert!(cache.evict(&key, &obs).unwrap());
+        assert!(!cache.evict(&key, &obs).unwrap());
+        let reopened = DbCache::open(&root, &obs).unwrap();
+        assert!(reopened.is_empty());
+        let objects: Vec<_> = std::fs::read_dir(root.join(OBJECTS_DIR)).unwrap().collect();
+        assert!(objects.is_empty(), "object file must be deleted");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

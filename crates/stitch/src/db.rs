@@ -57,11 +57,14 @@ impl ComponentDb {
         self.by_signature.values()
     }
 
-    /// Persist every checkpoint as `<dir>/<sanitized signature>.dcp.json`.
+    /// Persist every checkpoint as `<dir>/<file stem>.dcp.json`, where the
+    /// stem is the collision-free form of [`file_stem`]: distinct
+    /// signatures always land in distinct files, even when sanitization
+    /// maps them to the same readable prefix.
     pub fn save_dir(&self, dir: &Path) -> Result<(), StitchError> {
         std::fs::create_dir_all(dir)?;
         for (sig, cp) in &self.by_signature {
-            let file = dir.join(format!("{}.dcp.json", sanitize(sig)));
+            let file = dir.join(format!("{}.dcp.json", file_stem(sig)));
             cp.save(&file)?;
         }
         Ok(())
@@ -85,7 +88,11 @@ impl ComponentDb {
     }
 }
 
-fn sanitize(sig: &str) -> String {
+/// Filesystem-safe rendering of a signature: ASCII alphanumerics, `_` and
+/// `-` pass through, everything else becomes `_`. Lossy — two signatures
+/// can sanitize identically, which is why file names never consist of the
+/// sanitized form alone (see [`file_stem`]).
+pub(crate) fn sanitize(sig: &str) -> String {
     sig.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
@@ -95,6 +102,18 @@ fn sanitize(sig: &str) -> String {
             }
         })
         .collect()
+}
+
+/// Collision-free file stem for a signature: a length-capped sanitized
+/// prefix for human readability plus the FNV-1a hash of the *raw*
+/// signature. Signatures like `pool_w2s2+relu` and `pool_w2s2_relu`
+/// sanitize identically but hash apart, so `save_dir` can never silently
+/// overwrite one with the other; the cap keeps arbitrarily long signatures
+/// under the filesystem's name-length limit.
+pub(crate) fn file_stem(sig: &str) -> String {
+    let mut prefix = sanitize(sig);
+    prefix.truncate(96); // sanitized text is pure ASCII, so this is safe
+    format!("{prefix}-{:016x}", pi_netlist::fnv1a64(sig.as_bytes()))
 }
 
 #[cfg(test)]
@@ -148,6 +167,34 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert!(back.get("pool_w2s2+relu__in6x28x28").is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sanitize_collisions_do_not_overwrite_on_save() {
+        // Both signatures sanitize to `pool_w2s2_relu__in6x28x28`; before
+        // the content-hash suffix the second save clobbered the first.
+        let sig_a = "pool_w2s2+relu__in6x28x28";
+        let sig_b = "pool_w2s2_relu__in6x28x28";
+        assert_eq!(sanitize(sig_a), sanitize(sig_b));
+        assert_ne!(file_stem(sig_a), file_stem(sig_b));
+        let mut db = ComponentDb::new();
+        db.insert(checkpoint(sig_a));
+        db.insert(checkpoint(sig_b));
+        let dir = std::env::temp_dir().join(format!("pi_db_collide_{}", std::process::id()));
+        db.save_dir(&dir).unwrap();
+        let back = ComponentDb::load_dir(&dir).unwrap();
+        assert_eq!(back.len(), 2, "colliding signatures must both persist");
+        assert!(back.get(sig_a).is_some());
+        assert!(back.get(sig_b).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_stems_stay_within_name_limits() {
+        let long = "x".repeat(4096);
+        let stem = file_stem(&long);
+        assert!(stem.len() <= 96 + 17, "stem too long: {}", stem.len());
+        assert_ne!(file_stem(&"x".repeat(4095)), stem);
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //!   checkpoints, place them, and stitch inter-component nets between
 //!   partition pins.
 
+pub mod cache;
 pub mod compose;
 pub mod db;
 pub mod placer;
 pub mod relocate;
 pub mod verify;
 
+pub use cache::{cache_key, CacheLookup, DbCache, CACHE_SCOPE, MANIFEST_FILE, MANIFEST_VERSION};
 pub use compose::{compose, compose_obs, ComposeOptions, ComposeReport};
 pub use db::ComponentDb;
 pub use placer::{

@@ -11,8 +11,12 @@
 //!
 //! All commands accept `--device <name>` (default `xcku5p-like`),
 //! `--seeds N` (default 3), `--threads N` (worker threads for the
-//! parallel regions; default: `PI_THREADS` env, else all cores) and
-//! `--trace <path>` (write a JSON-Lines telemetry stream of the run).
+//! parallel regions; default: `PI_THREADS` env, else all cores),
+//! `--trace <path>` (write a JSON-Lines telemetry stream of the run) and
+//! `--db-dir <path>` (persistent content-addressed component cache:
+//! checkpoints keyed by signature + device + implementation knobs are
+//! reused across runs instead of re-implemented; with it, `compose` and
+//! `floorplan` need no positional `<db-dir>` and build misses on demand).
 //! Run `cargo run --release --bin preimpl -- <cmd>`.
 
 use preimpl_cnn::cnn::graph::Granularity;
@@ -29,6 +33,7 @@ struct Args {
     threads: Option<usize>,
     block: bool,
     trace: Option<String>,
+    db_cache: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         block: false,
         trace: None,
+        db_cache: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -70,6 +76,9 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 args.trace = Some(argv.next().ok_or("--trace needs a path")?);
             }
+            "--db-dir" => {
+                args.db_cache = Some(argv.next().ok_or("--db-dir needs a path")?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}\n{}", usage()));
             }
@@ -81,7 +90,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> <archdef> \
-     [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] [--trace PATH]"
+     [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] [--trace PATH] \
+     [--db-dir PATH]"
         .to_string()
 }
 
@@ -153,8 +163,8 @@ fn run() -> Result<(), String> {
             let dir = db_dir(&args)?;
             let cfg = config(&args, granularity)?;
             let t = std::time::Instant::now();
-            let (db, reports) =
-                build_component_db(&network, &device, &cfg).map_err(|e| e.to_string())?;
+            let (db, reports, stats) =
+                build_component_db_cached(&network, &device, &cfg).map_err(|e| e.to_string())?;
             db.save_dir(&dir).map_err(|e| e.to_string())?;
             println!(
                 "built {} checkpoints in {:.1} s -> {}",
@@ -162,6 +172,12 @@ fn run() -> Result<(), String> {
                 t.elapsed().as_secs_f64(),
                 dir.display()
             );
+            if args.db_cache.is_some() {
+                println!(
+                    "db-cache: {} hits, {} misses, {} invalidated ({} bytes loaded)",
+                    stats.hits, stats.misses, stats.invalidations, stats.bytes_loaded
+                );
+            }
             for r in &reports {
                 println!(
                     "  {:<40} {:6.0} MHz  {:6} LUTs {:4} DSPs",
@@ -171,9 +187,21 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "compose" | "floorplan" => {
-            let dir = db_dir(&args)?;
-            let db = ComponentDb::load_dir(&dir).map_err(|e| e.to_string())?;
             let cfg = config(&args, granularity)?;
+            // With a persistent cache, the positional checkpoint directory
+            // is optional: misses are built on demand and persisted. The
+            // plain form still loads a directory produced by `build-db`.
+            let (db, stats) = if args.db_cache.is_some() {
+                let (db, _, stats) = build_component_db_cached(&network, &device, &cfg)
+                    .map_err(|e| e.to_string())?;
+                (db, Some(stats))
+            } else {
+                let dir = db_dir(&args)?;
+                (
+                    ComponentDb::load_dir(&dir).map_err(|e| e.to_string())?,
+                    None,
+                )
+            };
             let (design, report) = run_pre_implemented_flow(&network, &db, &device, &cfg)
                 .map_err(|e| e.to_string())?;
             if args.command == "floorplan" {
@@ -182,15 +210,26 @@ fn run() -> Result<(), String> {
                     preimpl_cnn::pnr::report::floorplan_sketch(&design, &device, 96)
                 );
             } else {
+                // Deterministic line first (the warm/cold CI smoke compares
+                // these byte-for-byte), wall-clock on its own line after.
                 println!(
                     "assembled {}: Fmax {:.0} MHz, pipeline {:.0} ns, frame {:.3} ms, \
-                     generated in {:.1} ms ({} stitched nets, stitch share {:.0}%)",
+                     {} stitched nets",
                     design.name,
                     report.compile.timing.fmax_mhz,
                     report.latency.pipeline_ns,
                     report.latency.frame_ms,
-                    report.total_time().as_secs_f64() * 1000.0,
                     report.compose.stitched_nets,
+                );
+                if let Some(stats) = &stats {
+                    println!(
+                        "db-cache: {} hits, {} misses, {} invalidated ({} bytes loaded)",
+                        stats.hits, stats.misses, stats.invalidations, stats.bytes_loaded
+                    );
+                }
+                println!(
+                    "timing: generated in {:.1} ms (stitch share {:.0}%)",
+                    report.total_time().as_secs_f64() * 1000.0,
                     report.stitch_share() * 100.0
                 );
                 print!(
@@ -237,6 +276,9 @@ fn config(args: &Args, granularity: Granularity) -> Result<FlowConfig, String> {
     if let Some(path) = &args.trace {
         let sink = FileSink::create(path).map_err(|e| format!("opening {path}: {e}"))?;
         cfg = cfg.with_sink(Arc::new(sink));
+    }
+    if let Some(dir) = &args.db_cache {
+        cfg = cfg.with_db_dir(dir);
     }
     Ok(cfg)
 }

@@ -50,13 +50,13 @@ pub mod prelude {
     pub use pi_cnn::{models, parse_archdef, Network};
     pub use pi_fabric::{Device, Pblock, ResourceCount, TileCoord};
     pub use pi_flow::{
-        build_component_db, extend_component_db, improve_slowest, run_baseline_flow,
-        run_pre_implemented_flow, FlowComparison, FlowConfig,
+        build_component_db, build_component_db_cached, extend_component_db, improve_slowest,
+        run_baseline_flow, run_pre_implemented_flow, DbCacheStats, FlowComparison, FlowConfig,
     };
     pub use pi_netlist::{Checkpoint, Design, Module};
     pub use pi_obs::{EventSink, FileSink, MemorySink, NullSink, Obs};
     pub use pi_pnr::{CompileReport, TimingReport};
-    pub use pi_stitch::ComponentDb;
+    pub use pi_stitch::{ComponentDb, DbCache};
     pub use pi_synth::{SynthMode, SynthOptions};
 }
 

@@ -1,0 +1,98 @@
+//! Determinism of the persistent component-database cache: warm-cache and
+//! cold-cache LeNet-5 runs must assemble byte-identical accelerators, and
+//! the telemetry streams must not depend on the worker-thread count —
+//! loading checkpoints off disk is as reproducible as building them.
+
+use preimpl_cnn::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Run {
+    summary: String,
+    stream: String,
+    stats: DbCacheStats,
+    built: usize,
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "pi_dbcache_det_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One LeNet-5 cached-flow run against `dir` at a worker-thread count.
+/// Returns the deterministic report projection and the stripped telemetry
+/// stream.
+fn cached_run(dir: &Path, threads: usize) -> Run {
+    let device = Device::xcku5p_like();
+    let network = preimpl_cnn::cnn::models::lenet5();
+    let sink = Arc::new(MemorySink::new());
+    let cfg = FlowConfig::new()
+        .with_synth(SynthOptions::lenet_like())
+        .with_seeds([1])
+        .with_threads(threads)
+        .with_db_dir(dir)
+        .with_sink(sink.clone());
+    let (db, reports, stats) =
+        build_component_db_cached(&network, &device, &cfg).expect("db builds");
+    let (_, report) =
+        run_pre_implemented_flow(&network, &db, &device, &cfg).expect("flow succeeds");
+    Run {
+        summary: report.deterministic_summary(),
+        stream: sink.stripped_jsonl(),
+        stats,
+        built: reports.len(),
+    }
+}
+
+#[test]
+fn warm_and_cold_runs_agree_at_any_thread_count() {
+    // Cold runs: fresh cache directory each, at 1 and 4 workers.
+    let dir1 = tmp_root("cold1");
+    let cold1 = cached_run(&dir1, 1);
+    assert_eq!(cold1.stats.hits, 0, "cold cache must not hit");
+    assert!(cold1.built > 0);
+
+    let dir4 = tmp_root("cold4");
+    let cold4 = cached_run(&dir4, 4);
+    assert_eq!(
+        cold1.stream, cold4.stream,
+        "cold-run telemetry changed between 1 and 4 worker threads"
+    );
+
+    // Warm runs against the populated caches: zero pre-implementations.
+    let warm1 = cached_run(&dir1, 1);
+    assert!(
+        warm1.stats.all_hits() && warm1.built == 0,
+        "warm run pre-implemented components: {:?}",
+        warm1.stats
+    );
+    let warm4 = cached_run(&dir4, 4);
+    assert!(warm4.stats.all_hits() && warm4.built == 0);
+    assert_eq!(
+        warm1.stream, warm4.stream,
+        "warm-run telemetry changed between 1 and 4 worker threads"
+    );
+
+    // The assembled accelerator is the same in all four runs, byte for
+    // byte — loading checkpoints is indistinguishable from building them.
+    assert!(!warm1.summary.is_empty());
+    assert_eq!(cold1.summary, cold4.summary);
+    assert_eq!(
+        cold1.summary, warm1.summary,
+        "warm result drifted from cold"
+    );
+    assert_eq!(warm1.summary, warm4.summary);
+
+    // Warm streams do record the cache traffic.
+    assert!(
+        warm1.stream.contains("cache_hit"),
+        "warm stream missing cache_hit events"
+    );
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir4).ok();
+}

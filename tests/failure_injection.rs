@@ -133,6 +133,175 @@ fn locked_modules_reject_mutation_everywhere() {
     assert_eq!(placed_before, placed_after);
 }
 
+// ---- persistent db-cache faults ---------------------------------------
+//
+// Every way the on-disk cache can rot — truncated objects, dangling
+// manifest entries, stale format versions, a corrupted manifest — must
+// quarantine the bad entry and fall back to rebuilding, never panic, and
+// the recovery must be visible in telemetry.
+
+mod db_cache_faults {
+    use super::*;
+    use preimpl_cnn::obs::MemorySink;
+    use preimpl_cnn::stitch::{cache_key, CacheLookup, DbCache};
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pi_cache_fault_{tag}_{}", std::process::id()))
+    }
+
+    /// The object file backing `key` (filenames embed the cache key).
+    fn object_path(root: &Path, key: &str) -> PathBuf {
+        std::fs::read_dir(root.join("objects"))
+            .expect("objects dir")
+            .map(|e| e.expect("dir entry").path())
+            .find(|p| p.to_string_lossy().contains(key))
+            .expect("object file for key")
+    }
+
+    fn quarantined_names(root: &Path) -> Vec<String> {
+        match std::fs::read_dir(root.join("quarantine")) {
+            Ok(rd) => rd
+                .map(|e| e.expect("dir entry").file_name().into_string().unwrap())
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Populate a cache for the toy network and return (root, cfg, key of
+    /// the first component, component count).
+    fn populated(tag: &str) -> (PathBuf, FlowConfig, String, usize) {
+        let root = tmp_root(tag);
+        std::fs::remove_dir_all(&root).ok();
+        let device = Device::xcku5p_like();
+        let network = preimpl_cnn::cnn::models::toy();
+        let cfg = FlowConfig::new().with_seeds([1]).with_db_dir(&root);
+        let (_, reports, stats) =
+            build_component_db_cached(&network, &device, &cfg).expect("cold build");
+        assert_eq!(stats.invalidations, 0);
+        let comps = network
+            .components(preimpl_cnn::cnn::graph::Granularity::Layer)
+            .unwrap();
+        let sig = comps[0].signature(&network);
+        let key = cache_key(&sig, device.name(), cfg.cache_fingerprint());
+        (root, cfg, key, reports.len())
+    }
+
+    /// Corrupt one entry via `mutate`, then verify: lookup quarantines it
+    /// with `reason`, a cached flow rebuild recovers (right stats, telemetry
+    /// trail), and a final run is all hits again.
+    fn assert_recovers(tag: &str, reason: &str, mutate: impl Fn(&Path, &str)) {
+        let (root, cfg, key, n) = populated(tag);
+        mutate(&root, &key);
+
+        // The cached build rebuilds exactly the poisoned component and says
+        // so in telemetry.
+        let sink = Arc::new(MemorySink::new());
+        let device = Device::xcku5p_like();
+        let network = preimpl_cnn::cnn::models::toy();
+        let traced = cfg.clone().with_sink(sink.clone());
+        let (db, reports, stats) =
+            build_component_db_cached(&network, &device, &traced).expect("recovery build");
+        assert_eq!(db.len(), n);
+        assert_eq!(reports.len(), 1, "only the poisoned component rebuilds");
+        assert_eq!(
+            (stats.hits, stats.misses, stats.invalidations),
+            (n - 1, 1, 1),
+            "for {reason}"
+        );
+        let events = sink.snapshot();
+        assert!(
+            events.iter().any(|e| e.name == "cache_invalidate"
+                && e.fields
+                    .iter()
+                    .any(|(k, v)| k == "reason" && format!("{v:?}").contains(reason))),
+            "no cache_invalidate({reason}) event in telemetry"
+        );
+
+        // And the rebuild re-persisted the entry: next run is clean.
+        let (_, _, stats) = build_component_db_cached(&network, &device, &cfg).expect("warm build");
+        assert!(stats.all_hits(), "after recovery: {stats:?}");
+
+        // Poison again and probe the cache directly: the entry is
+        // invalidated with the exact reason and its file lands in
+        // quarantine rather than being reinterpreted.
+        mutate(&root, &key);
+        let obs = preimpl_cnn::obs::Obs::null();
+        let mut cache = DbCache::open(&root, &obs).expect("open never fails on entry rot");
+        match cache.lookup(&key, &obs) {
+            CacheLookup::Invalidated { reason: got } => assert_eq!(got, reason),
+            other => panic!("expected Invalidated({reason}), got {other:?}"),
+        }
+        if reason != "missing_file" {
+            assert!(
+                !quarantined_names(&root).is_empty(),
+                "nothing quarantined for {reason}"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_quarantined_and_rebuilt() {
+        assert_recovers("truncated", "corrupt", |root, key| {
+            let path = object_path(root, key);
+            let bytes = std::fs::read(&path).expect("read object");
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate object");
+        });
+    }
+
+    #[test]
+    fn manifest_entry_with_missing_file_is_dropped_and_rebuilt() {
+        assert_recovers("missing", "missing_file", |root, key| {
+            std::fs::remove_file(object_path(root, key)).expect("delete object");
+        });
+    }
+
+    #[test]
+    fn stale_format_version_is_quarantined_and_rebuilt() {
+        assert_recovers("stale", "stale_version", |root, key| {
+            let path = object_path(root, key);
+            let text = std::fs::read_to_string(&path).expect("read object");
+            assert!(text.contains("\"format_version\""));
+            let stale = text.replacen(
+                &format!(
+                    "\"format_version\":{}",
+                    preimpl_cnn::netlist::CHECKPOINT_FORMAT_VERSION
+                ),
+                "\"format_version\":999",
+                1,
+            );
+            assert_ne!(stale, text, "fault injection failed to rewrite the version");
+            std::fs::write(&path, stale).expect("write stale object");
+        });
+    }
+
+    #[test]
+    fn corrupted_manifest_resets_the_cache_instead_of_crashing() {
+        let (root, cfg, _, n) = populated("manifest");
+        std::fs::write(root.join("manifest.json"), "{ not json").expect("corrupt manifest");
+        let obs = preimpl_cnn::obs::Obs::null();
+        let cache = DbCache::open(&root, &obs).expect("open survives manifest rot");
+        assert!(cache.is_empty(), "rotten manifest must reset the index");
+        assert!(
+            quarantined_names(&root)
+                .iter()
+                .any(|f| f.contains("manifest")),
+            "manifest not quarantined"
+        );
+        // Everything rebuilds (objects without manifest entries are dead
+        // weight, not hits) and the cache is serviceable again.
+        let device = Device::xcku5p_like();
+        let network = preimpl_cnn::cnn::models::toy();
+        let (_, _, stats) = build_component_db_cached(&network, &device, &cfg).expect("rebuild");
+        assert_eq!((stats.hits, stats.misses), (0, n));
+        let (_, _, stats) = build_component_db_cached(&network, &device, &cfg).expect("warm");
+        assert!(stats.all_hits());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
 #[test]
 fn corrupt_checkpoint_files_are_decode_errors() {
     let dir = std::env::temp_dir().join(format!("pi_corrupt_{}", std::process::id()));
