@@ -44,4 +44,47 @@ warm_line="$(echo "$warm_out" | grep '^assembled ')"
     || { echo "warm result differs: '$cold_line' vs '$warm_line'"; exit 1; }
 echo "    cold missed, warm hit, identical result: $warm_line"
 
+# flowstat determinism gate: two LeNet-5 runs with the same seed (each
+# against a FRESH --db-dir — a warm cache changes the event stream) must
+# produce traces whose aggregated reports diff to zero deltas, and a
+# perturbed run (different seed) must produce a non-empty diff that trips
+# the --fail-on-regression gate with a non-zero exit.
+echo "==> flowstat gate: same-seed LeNet runs diff to zero deltas"
+fs_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fs_dir"' EXIT
+printf 'network lenet5\ninput 1x32x32\nconv c1 kernel=5 out=6\npool p1 window=2\nconv c2 kernel=5 out=16\npool p2 window=2\nfc f1 out=120\nfc f2 out=84\nfc f3 out=10\n' \
+    > "$fs_dir/lenet.txt"
+cargo run --release --quiet --bin preimpl -- \
+    compose "$fs_dir/lenet.txt" --db-dir "$fs_dir/db1" --seeds 1 \
+    --trace "$fs_dir/t1.jsonl" >/dev/null
+cargo run --release --quiet --bin preimpl -- \
+    compose "$fs_dir/lenet.txt" --db-dir "$fs_dir/db2" --seeds 1 \
+    --trace "$fs_dir/t2.jsonl" >/dev/null
+diff_out="$(cargo run --release --quiet --bin flowstat -- \
+    diff "$fs_dir/t1.jsonl" "$fs_dir/t2.jsonl")"
+echo "$diff_out" | grep -F 'identical' >/dev/null \
+    || { echo "same-seed flowstat diff not empty: $diff_out"; exit 1; }
+cargo run --release --quiet --bin flowstat -- summarize "$fs_dir/t1.jsonl" \
+    > "$fs_dir/s1.txt"
+cargo run --release --quiet --bin flowstat -- summarize "$fs_dir/t2.jsonl" \
+    > "$fs_dir/s2.txt"
+cmp -s "$fs_dir/s1.txt" "$fs_dir/s2.txt" \
+    || { echo "same-seed flowstat summaries not byte-identical"; exit 1; }
+echo "    $diff_out"
+
+echo "==> flowstat gate: perturbed run trips --fail-on-regression"
+cargo run --release --quiet --bin preimpl -- \
+    compose "$fs_dir/lenet.txt" --db-dir "$fs_dir/db3" --seeds 2 \
+    --trace "$fs_dir/t3.jsonl" >/dev/null
+pert_out="$(cargo run --release --quiet --bin flowstat -- \
+    diff "$fs_dir/t1.jsonl" "$fs_dir/t3.jsonl")"
+echo "$pert_out" | grep -F 'identical' >/dev/null \
+    && { echo "perturbed flowstat diff unexpectedly empty"; exit 1; }
+if cargo run --release --quiet --bin flowstat -- \
+    diff "$fs_dir/t1.jsonl" "$fs_dir/t3.jsonl" --fail-on-regression 0 \
+    >/dev/null 2>&1; then
+    echo "perturbed diff did not trip --fail-on-regression"; exit 1
+fi
+echo "    perturbed diff non-empty and gate exits non-zero, as required"
+
 echo "==> ci.sh: all gates passed"

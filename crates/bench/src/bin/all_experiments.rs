@@ -71,6 +71,14 @@ fn main() {
         let _ = std::fs::create_dir_all(root.join("target"));
         let _ = std::fs::write(&json_path, encoded);
     }
+    // Deterministic flowstat profile of everything the run emitted.
+    let flowstat_path = root.join("target").join("experiments.flowstat.txt");
+    let _ = std::fs::write(&flowstat_path, ctx.run_report().render_text());
     println!("{out}");
-    eprintln!("wrote {} and {}", path.display(), json_path.display());
+    eprintln!(
+        "wrote {}, {} and {}",
+        path.display(),
+        json_path.display(),
+        flowstat_path.display()
+    );
 }

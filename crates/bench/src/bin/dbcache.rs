@@ -14,8 +14,11 @@
 
 use pi_fabric::Device;
 use pi_flow::{build_component_db_cached, run_pre_implemented_flow, DbCacheStats, FlowConfig};
+use pi_obs::agg::RunReport;
+use pi_obs::MemorySink;
 use pi_synth::SynthOptions;
 use serde_json::json;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct RunTimes {
@@ -47,10 +50,14 @@ fn run_once(cfg: &FlowConfig) -> RunTimes {
 fn main() {
     let dir = std::env::temp_dir().join(format!("pi-bench-dbcache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    // One telemetry capture across both runs: the flowstat summary shows
+    // the cold run's full activity next to the warm run's cache hits.
+    let sink = Arc::new(MemorySink::new());
     let cfg = FlowConfig::new()
         .with_synth(SynthOptions::lenet_like())
         .with_seeds([1, 2, 3])
-        .with_db_dir(&dir);
+        .with_db_dir(&dir)
+        .with_sink(sink.clone());
 
     eprintln!("[dbcache] lenet5: cold (empty cache)...");
     let cold = run_once(&cfg);
@@ -132,6 +139,12 @@ fn main() {
         serde_json::to_string_pretty(&doc).expect("serialize") + "\n",
     )
     .expect("write BENCH_dbcache.json");
+    let report = RunReport::from_events(&sink.snapshot());
+    std::fs::write("BENCH_dbcache.flowstat.txt", report.render_text())
+        .expect("write BENCH_dbcache.flowstat.txt");
     let _ = std::fs::remove_dir_all(&dir);
-    eprintln!("[dbcache] wrote BENCH_dbcache.json (speedup = {speedup:.2}x)");
+    eprintln!(
+        "[dbcache] wrote BENCH_dbcache.json + BENCH_dbcache.flowstat.txt \
+         (speedup = {speedup:.2}x)"
+    );
 }

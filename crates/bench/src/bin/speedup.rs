@@ -15,8 +15,11 @@ use pi_cnn::graph::Granularity;
 use pi_cnn::Network;
 use pi_fabric::Device;
 use pi_flow::{build_component_db, run_pre_implemented_flow, FlowConfig};
+use pi_obs::agg::RunReport;
+use pi_obs::{MemorySink, Obs};
 use pi_synth::SynthOptions;
 use serde_json::json;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct RunTimes {
@@ -32,12 +35,14 @@ fn run_once(
     granularity: Granularity,
     synth: SynthOptions,
     threads: usize,
+    obs: &Obs,
 ) -> RunTimes {
     let cfg = FlowConfig::new()
         .with_synth(synth)
         .with_granularity(granularity)
         .with_seeds([1, 2, 3])
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_obs(obs.clone());
     let t0 = Instant::now();
     let (db, _) = build_component_db(network, device, &cfg).expect("component DB builds");
     let build_db_s = t0.elapsed().as_secs_f64();
@@ -55,6 +60,11 @@ fn run_once(
 
 fn main() {
     let device = Device::xcku5p_like();
+    // One capture across every run: the flowstat summary written next to
+    // BENCH_parallel.json covers the sequential and parallel runs of both
+    // networks (their deterministic streams are identical pairwise).
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new(sink.clone());
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -81,9 +91,16 @@ fn main() {
         ),
     ] {
         eprintln!("[speedup] {name}: 1 thread...");
-        let seq = run_once(&network, &device, granularity, synth, 1);
+        let seq = run_once(&network, &device, granularity, synth, 1, &obs);
         eprintln!("[speedup] {name}: {parallel_threads} threads...");
-        let par = run_once(&network, &device, granularity, synth, parallel_threads);
+        let par = run_once(
+            &network,
+            &device,
+            granularity,
+            synth,
+            parallel_threads,
+            &obs,
+        );
         assert_eq!(
             seq.fmax_mhz, par.fmax_mhz,
             "{name}: results must not depend on thread count"
@@ -151,5 +168,11 @@ fn main() {
         serde_json::to_string_pretty(&doc).expect("serialize") + "\n",
     )
     .expect("write BENCH_parallel.json");
-    eprintln!("[speedup] wrote BENCH_parallel.json (host_cores = {host_cores})");
+    let report = RunReport::from_events(&sink.snapshot());
+    std::fs::write("BENCH_parallel.flowstat.txt", report.render_text())
+        .expect("write BENCH_parallel.flowstat.txt");
+    eprintln!(
+        "[speedup] wrote BENCH_parallel.json + BENCH_parallel.flowstat.txt \
+         (host_cores = {host_cores})"
+    );
 }

@@ -77,6 +77,11 @@ pub struct PreImplReport {
     pub route_time: Duration,
     /// Latency model outputs for the assembled accelerator.
     pub latency: LatencyReport,
+    /// Aggregated telemetry of this run — present when the config was
+    /// built with [`FlowConfig::with_report_capture`]. Folded from the
+    /// captured event stream *after* the flow's own `flow_done` point, so
+    /// it covers the whole run.
+    pub run_report: Option<pi_obs::agg::RunReport>,
 }
 
 impl PreImplReport {
@@ -242,12 +247,13 @@ pub fn run_pre_implemented_flow(
         extra_pipeline_cycles,
     )?;
 
-    let report = PreImplReport {
+    let mut report = PreImplReport {
         compose: compose_report,
         compile,
         stitch_time,
         route_time,
         latency,
+        run_report: None,
     };
     if arch.enabled() {
         arch.point(
@@ -268,6 +274,7 @@ pub fn run_pre_implemented_flow(
             ],
         );
     }
+    report.run_report = cfg.run_report();
     Ok((design, report))
 }
 
@@ -321,6 +328,30 @@ mod tests {
             .map(|c| c.depth_cycles)
             .sum();
         assert_eq!(report.latency.pipeline_cycles, base + expected_extra);
+    }
+
+    #[test]
+    fn flow_populates_run_report_under_capture() {
+        let (device, network, db) = toy_setup();
+        let cfg = FlowConfig::new().with_report_capture();
+        let (_, report) = run_pre_implemented_flow(&network, &db, &device, &cfg).unwrap();
+        let rr = report.run_report.as_ref().expect("capture installed");
+        assert!(rr.events > 0);
+        assert!(rr.spans.contains_key("flow::arch_opt:stitch"));
+        assert!(
+            rr.spans.contains_key(
+                "flow::arch_opt:route/pnr::compile:route_design/pnr::route:pathfinder"
+            ),
+            "router span nests under the backend's route_design span: {:?}",
+            rr.spans.keys().collect::<Vec<_>>()
+        );
+        assert!(!rr.route.is_empty(), "pathfinder trace captured");
+        // The flow_done point itself is in the report.
+        assert_eq!(rr.points["flow::arch_opt:flow_done"].count, 1);
+        // Without capture there is no report.
+        let (_, report) =
+            run_pre_implemented_flow(&network, &db, &device, &FlowConfig::new()).unwrap();
+        assert!(report.run_report.is_none());
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::baseline::BaselineOptions;
 use crate::function_opt::FunctionOptOptions;
 use pi_cnn::graph::Granularity;
 use pi_netlist::StableHasher;
-use pi_obs::{EventSink, Obs};
+use pi_obs::agg::RunReport;
+use pi_obs::{EventSink, FanoutSink, MemorySink, Obs};
 use pi_pnr::RouteOptions;
 use pi_stitch::ComponentPlacerOptions;
 use pi_synth::{SynthMode, SynthOptions};
@@ -74,6 +75,10 @@ pub struct FlowConfig {
     /// keeps everything in memory.
     pub db_dir: Option<PathBuf>,
     obs: Obs,
+    /// In-process event capture installed by
+    /// [`FlowConfig::with_report_capture`]; feeds
+    /// [`FlowConfig::run_report`].
+    capture: Option<Arc<MemorySink>>,
 }
 
 impl Default for FlowConfig {
@@ -93,6 +98,7 @@ impl Default for FlowConfig {
             threads: None,
             db_dir: None,
             obs: Obs::null(),
+            capture: None,
         }
     }
 }
@@ -219,22 +225,65 @@ impl FlowConfig {
     }
 
     /// Route telemetry into `sink`. Every engine the flow calls (annealer,
-    /// router, phys-opt, component placer) reports through it.
+    /// router, phys-opt, component placer) reports through it. Replaces
+    /// any capture installed by [`FlowConfig::with_report_capture`] — when
+    /// combining the two, install the capture last.
     pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.obs = Obs::new(sink);
+        self.capture = None;
         self
     }
 
     /// Use an existing telemetry handle (shares its sequence counter —
-    /// useful when several flows must interleave into one stream).
+    /// useful when several flows must interleave into one stream). Replaces
+    /// any capture installed by [`FlowConfig::with_report_capture`].
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self.capture = None;
         self
     }
 
     /// The telemetry handle this config carries.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Capture every event of the runs this config drives into an
+    /// in-process buffer, so [`FlowConfig::run_report`] can fold them into
+    /// a [`RunReport`] afterwards. Composes with an already-installed sink
+    /// (the stream is teed, preserving one shared sequence counter), so
+    /// `--trace` recording and report capture see the identical stream.
+    /// Call this *after* `with_sink`/`with_obs`; installing either later
+    /// replaces the capture.
+    pub fn with_report_capture(mut self) -> Self {
+        let capture = Arc::new(MemorySink::new());
+        self.obs = if self.obs.enabled() {
+            Obs::new(Arc::new(FanoutSink::new(vec![
+                self.obs.sink_handle(),
+                capture.clone(),
+            ])))
+        } else {
+            Obs::new(capture.clone())
+        };
+        self.capture = Some(capture);
+        self
+    }
+
+    /// Events captured so far (empty without
+    /// [`FlowConfig::with_report_capture`]).
+    pub fn captured_events(&self) -> Vec<pi_obs::Event> {
+        self.capture
+            .as_ref()
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Fold everything captured so far into a [`RunReport`]. `None`
+    /// without [`FlowConfig::with_report_capture`].
+    pub fn run_report(&self) -> Option<RunReport> {
+        self.capture
+            .as_ref()
+            .map(|c| RunReport::from_events(&c.snapshot()))
     }
 
     pub(crate) fn function_opt_options(&self) -> FunctionOptOptions {
@@ -370,5 +419,37 @@ mod tests {
         assert!(cfg.obs().enabled());
         cfg.obs().point("p", &[]);
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn report_capture_tees_and_folds() {
+        let sink = Arc::new(MemorySink::new());
+        let cfg = FlowConfig::new()
+            .with_sink(sink.clone())
+            .with_report_capture();
+        cfg.obs().scoped("x").counter("c", 2);
+        assert_eq!(sink.len(), 1, "original sink still sees events");
+        let report = cfg.run_report().expect("capture installed");
+        assert_eq!(report.events, 1);
+        assert_eq!(report.counters["x:c"].sum, 2);
+        assert_eq!(cfg.captured_events().len(), 1);
+    }
+
+    #[test]
+    fn report_capture_works_without_a_sink() {
+        let cfg = FlowConfig::new().with_report_capture();
+        assert!(cfg.obs().enabled());
+        cfg.obs().scoped("x").gauge("g", 1.5);
+        assert_eq!(cfg.run_report().expect("capture installed").events, 1);
+    }
+
+    #[test]
+    fn later_sink_replaces_the_capture() {
+        assert!(FlowConfig::new().run_report().is_none());
+        let cfg = FlowConfig::new()
+            .with_report_capture()
+            .with_sink(Arc::new(MemorySink::new()));
+        assert!(cfg.run_report().is_none(), "capture no longer wired");
+        assert!(cfg.captured_events().is_empty());
     }
 }

@@ -28,6 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod agg;
+
 /// A telemetry field value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -87,6 +89,20 @@ impl Value {
             Value::Bool(v) => serde_json::Value::Bool(*v),
         }
     }
+
+    fn from_json(v: &serde_json::Value) -> Option<Value> {
+        Some(match v {
+            serde_json::Value::U64(n) => Value::U64(*n),
+            serde_json::Value::I64(n) => Value::I64(*n),
+            serde_json::Value::F64(n) => Value::F64(*n),
+            serde_json::Value::Str(s) => Value::Str(s.clone()),
+            serde_json::Value::Bool(b) => Value::Bool(*b),
+            // Non-finite floats serialize as null; fold them back to NaN so
+            // the field survives a round trip instead of vanishing.
+            serde_json::Value::Null => Value::F64(f64::NAN),
+            _ => return None,
+        })
+    }
 }
 
 /// What an event marks.
@@ -117,7 +133,39 @@ impl EventKind {
             EventKind::Point => "point",
         }
     }
+
+    fn from_str(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "span_start" => EventKind::SpanStart,
+            "span_end" => EventKind::SpanEnd,
+            "counter" => EventKind::Counter,
+            "gauge" => EventKind::Gauge,
+            "point" => EventKind::Point,
+            _ => return None,
+        })
+    }
 }
+
+/// Error parsing a recorded JSONL trace back into [`Event`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending record (0 for single-line
+    /// parses).
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "trace: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// One structured telemetry record.
 #[derive(Debug, Clone)]
@@ -168,6 +216,74 @@ impl Event {
     pub fn to_json_line(&self) -> String {
         serde_json::to_string(&self.to_json(true)).expect("event serializes")
     }
+
+    /// Parse one JSON line produced by [`Event::to_json_line`] (or its
+    /// timestamp-stripped [`MemorySink::stripped_jsonl`] form — a missing
+    /// `ts_us` reads as 0).
+    pub fn from_json_line(line: &str) -> Result<Event, ParseError> {
+        let err = |message: String| ParseError { line: 0, message };
+        let json = serde_json::from_str(line).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        let m = match &json {
+            serde_json::Value::Map(entries) => entries,
+            _ => return Err(err("event line is not a JSON object".to_string())),
+        };
+        let get = |key: &str| m.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let get_u64 = |key: &str| match get(key) {
+            Some(serde_json::Value::U64(n)) => Ok(*n),
+            Some(serde_json::Value::I64(n)) if *n >= 0 => Ok(*n as u64),
+            Some(_) => Err(err(format!("field {key} is not an unsigned integer"))),
+            None => Err(err(format!("missing field {key}"))),
+        };
+        let get_str = |key: &str| match get(key) {
+            Some(serde_json::Value::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(err(format!("field {key} is not a string"))),
+            None => Err(err(format!("missing field {key}"))),
+        };
+        let kind_str = get_str("kind")?;
+        let kind = EventKind::from_str(&kind_str)
+            .ok_or_else(|| err(format!("unknown event kind {kind_str:?}")))?;
+        let mut fields = Vec::new();
+        match get("fields") {
+            Some(serde_json::Value::Map(entries)) => {
+                for (k, v) in entries {
+                    let value = Value::from_json(v)
+                        .ok_or_else(|| err(format!("field {k} has a non-scalar value")))?;
+                    fields.push((k.clone(), value));
+                }
+            }
+            Some(_) => return Err(err("fields is not an object".to_string())),
+            None => {}
+        }
+        Ok(Event {
+            seq: get_u64("seq")?,
+            ts_us: if get("ts_us").is_some() {
+                get_u64("ts_us")?
+            } else {
+                0
+            },
+            seed: get_u64("seed")?,
+            scope: get_str("scope")?,
+            name: get_str("name")?,
+            kind,
+            fields,
+        })
+    }
+}
+
+/// Parse a whole JSON-Lines trace (blank lines skipped), e.g. a `--trace`
+/// recording, back into events. Errors carry the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(Event::from_json_line(line).map_err(|e| ParseError {
+            line: i + 1,
+            message: e.message,
+        })?);
+    }
+    Ok(events)
 }
 
 /// Receives every event emitted through an [`Obs`] handle. Implementations
@@ -447,6 +563,12 @@ impl Obs {
     /// Ask the sink to persist anything buffered.
     pub fn flush(&self) {
         self.inner.sink.flush();
+    }
+
+    /// A shared handle to this handle's sink — for tee-ing an existing
+    /// pipeline into a [`FanoutSink`] without rebuilding it.
+    pub fn sink_handle(&self) -> Arc<dyn EventSink> {
+        Arc::clone(&self.inner.sink)
     }
 
     /// Re-emit `events` through this handle's sink, assigning fresh
@@ -736,5 +858,114 @@ mod tests {
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("\"x\":9"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_sink_buffers_until_explicit_flush() {
+        let path = std::env::temp_dir().join("pi_obs_file_sink_flush_test.jsonl");
+        let sink = FileSink::create(&path).expect("create");
+        sink.record(&Event {
+            seq: 0,
+            ts_us: 0,
+            seed: 0,
+            scope: "f".to_string(),
+            name: "small".to_string(),
+            kind: EventKind::Point,
+            fields: vec![("x".to_string(), Value::U64(1))],
+        });
+        // One small record sits in the BufWriter — nothing on disk yet
+        // (that's the point: no syscall per event on long traces).
+        let before = std::fs::read_to_string(&path).expect("read back");
+        assert!(before.is_empty(), "expected buffered, got {before:?}");
+        sink.flush();
+        let after = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(after.lines().count(), 1);
+        assert!(after.contains("\"small\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_sink_flushes_on_drop() {
+        let path = std::env::temp_dir().join("pi_obs_file_sink_drop_test.jsonl");
+        {
+            let sink = FileSink::create(&path).expect("create");
+            let obs = Obs::new(Arc::new(sink));
+            obs.scoped("f").point("dropped", &[("x", 3u64.into())]);
+            // No explicit flush: the Drop impl must write the buffer out.
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"dropped\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn events_round_trip_through_json_lines() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone()).scoped("rt").with_seed(4);
+        let span = obs.span_with("phase", &[("n", 2u64.into())]);
+        obs.point(
+            "mixed",
+            &[
+                ("u", 7u64.into()),
+                ("f", 2.5f64.into()),
+                ("s", "text".into()),
+                ("b", false.into()),
+            ],
+        );
+        obs.counter("c", 11);
+        obs.gauge("g", -1.5);
+        span.end();
+        for e in sink.snapshot() {
+            let parsed = Event::from_json_line(&e.to_json_line()).expect("parses");
+            assert_eq!(parsed.seq, e.seq);
+            assert_eq!(parsed.ts_us, e.ts_us);
+            assert_eq!(parsed.seed, e.seed);
+            assert_eq!(parsed.scope, e.scope);
+            assert_eq!(parsed.name, e.name);
+            assert_eq!(parsed.kind, e.kind);
+            // Values compare via JSON form: a positive I64 reads back as
+            // U64, which is the same JSON scalar.
+            assert_eq!(
+                serde_json::to_string(&parsed.to_json(true)).unwrap(),
+                e.to_json_line()
+            );
+        }
+        // Whole-trace parse, including the stripped form (ts_us -> 0).
+        let full: String = sink
+            .snapshot()
+            .iter()
+            .map(|e| e.to_json_line() + "\n")
+            .collect();
+        assert_eq!(parse_jsonl(&full).expect("parses").len(), sink.len());
+        let stripped = parse_jsonl(&sink.stripped_jsonl()).expect("parses");
+        assert_eq!(stripped.len(), sink.len());
+        assert!(stripped.iter().all(|e| e.ts_us == 0));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "{\"seq\":0,\"seed\":0,\"scope\":\"a\",\"name\":\"p\",\
+                    \"kind\":\"point\",\"fields\":{}}\nnot json\n";
+        let e = parse_jsonl(text).expect_err("second line is invalid");
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+        assert!(Event::from_json_line("{}").is_err());
+        assert!(Event::from_json_line("[1,2]").is_err());
+        let bad_kind = "{\"seq\":0,\"seed\":0,\"scope\":\"a\",\"name\":\"p\",\
+                        \"kind\":\"mystery\",\"fields\":{}}";
+        assert!(Event::from_json_line(bad_kind)
+            .unwrap_err()
+            .message
+            .contains("mystery"));
+    }
+
+    #[test]
+    fn sink_handle_shares_the_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        let tee = Obs::new(obs.sink_handle());
+        tee.point("via_handle", &[]);
+        assert_eq!(sink.len(), 1);
     }
 }

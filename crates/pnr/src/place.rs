@@ -375,6 +375,15 @@ pub fn place_module_obs(
         let mut affected: Vec<u32> = Vec::new();
         let mut saved_boxes: Vec<NetBox> = Vec::new();
 
+        let anneal_span = obs.span_with(
+            "anneal",
+            &[
+                ("cells", movable.len().into()),
+                ("nets", pnets.len().into()),
+                ("rounds", rounds.into()),
+                ("moves_per_round", moves_per_round.into()),
+            ],
+        );
         for round in 0..rounds {
             // Range limit shrinks geometrically with the round index.
             let frac = 1.0 - (round as f64 / rounds as f64);
@@ -502,6 +511,8 @@ pub fn place_module_obs(
                         ("temp", temp.into()),
                         ("cost", cost.into()),
                         ("window", window.into()),
+                        ("accepted", round_accepted.into()),
+                        ("rejected", (moves_per_round - round_accepted).into()),
                         (
                             "accept_rate",
                             (round_accepted as f64 / moves_per_round as f64).into(),
@@ -511,6 +522,7 @@ pub fn place_module_obs(
             }
             temp *= 0.82;
         }
+        anneal_span.end();
         stats.final_cost = cost;
     }
 

@@ -114,6 +114,11 @@ struct Grid {
     /// Open-set heap, kept here so one allocation serves the thousands of
     /// A* calls a routing run makes (cleared, not dropped, between calls).
     heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Nodes popped off the open set across every A* call — the router's
+    /// true work metric, reported per negotiation iteration.
+    expansions: u64,
+    /// A* invocations (one per net sink attempted).
+    astar_calls: u64,
 }
 
 impl Grid {
@@ -146,6 +151,8 @@ impl Grid {
             came: vec![u32::MAX; n],
             generation: 0,
             heap: BinaryHeap::new(),
+            expansions: 0,
+            astar_calls: 0,
         }
     }
 
@@ -187,6 +194,7 @@ impl Grid {
         path: &mut Vec<usize>,
     ) -> bool {
         path.clear();
+        self.astar_calls += 1;
         self.generation += 1;
         let gen = self.generation;
         let sink_at = self.coord(sink);
@@ -203,6 +211,7 @@ impl Grid {
         let (c0, c1, r0, r1) = bbox;
         let mut found = false;
         while let Some(Reverse((_, node))) = heap.pop() {
+            self.expansions += 1;
             if node == sink {
                 // Reconstruct.
                 path.push(node);
@@ -286,10 +295,13 @@ fn run(
     let mut tree: Vec<usize> = Vec::new();
     let mut sinks: Vec<TileCoord> = Vec::new();
     let mut path: Vec<usize> = Vec::new();
+    let pathfinder_span = obs.span_with("pathfinder", &[("tasks", tasks.len().into())]);
 
     // Margin grows with negotiation iterations so desperate nets may detour.
     for iter in 0..opts.max_iters.max(1) {
         stats.iterations = iter + 1;
+        let exp_start = grid.expansions;
+        let calls_start = grid.astar_calls;
         let margin = 6 + 6 * iter as i32;
         // Route everything that has no route yet.
         for (ti, task) in tasks.iter().enumerate() {
@@ -378,6 +390,8 @@ fn run(
                     ("iter", iter.into()),
                     ("overused", overused_count.into()),
                     ("ripups", ripups.into()),
+                    ("expansions", (grid.expansions - exp_start).into()),
+                    ("astar_calls", (grid.astar_calls - calls_start).into()),
                     (
                         "unrouted",
                         routes.iter().filter(|r| r.is_none()).count().into(),
@@ -393,6 +407,7 @@ fn run(
             break;
         }
     }
+    pathfinder_span.end();
 
     stats.overused_tiles = grid.occ.iter().filter(|&&o| o > opts.capacity).count();
     stats.routed_nets = routes.iter().filter(|r| r.is_some()).count() - stats.trivial_nets;

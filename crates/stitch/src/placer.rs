@@ -186,6 +186,10 @@ pub fn place_components_obs(
 ) -> Result<PlacementOutcome, StitchError> {
     let obs = obs.scoped("stitch::placer");
     let n = checkpoints.len();
+    let place_span = obs.span_with(
+        "place_components",
+        &[("components", n.into()), ("edges", edges.len().into())],
+    );
     let mut skips = vec![0usize; n];
     let mut retries = 0usize;
     let pins: Vec<PinOffsets> = checkpoints.iter().map(|cp| pin_offsets(cp)).collect();
@@ -381,6 +385,7 @@ pub fn place_components_obs(
             ],
         );
     }
+    place_span.end();
     Ok(PlacementOutcome {
         anchors: final_anchors,
         timing_cost: total_t,

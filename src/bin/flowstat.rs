@@ -1,0 +1,145 @@
+//! `flowstat` — fold recorded telemetry into deterministic run reports.
+//!
+//! ```text
+//! flowstat summarize <trace.jsonl> [--json]
+//! flowstat diff <a.jsonl> <b.jsonl> [--fail-on-regression PCT] [--json]
+//! ```
+//!
+//! `summarize` folds one `--trace` recording (see the `preimpl` and
+//! `pi-bench` binaries) into a [`RunReport`]: span profile tree,
+//! counter/gauge/histogram tables and per-phase convergence traces.
+//! `diff` aligns two recordings by scope path and prints every metric
+//! delta; with `--fail-on-regression PCT` the exit code becomes 2 when any
+//! aligned metric moved by more than PCT percent (or appeared/vanished),
+//! which is the CI regression gate. All output is deterministic: built
+//! from seq-ordered events only, timestamps ignored, so two same-seed
+//! runs summarize byte-identically at any thread count.
+
+use preimpl_cnn::prelude::*;
+use std::process::ExitCode;
+
+/// Exit code when `--fail-on-regression` trips.
+const EXIT_REGRESSION: u8 = 2;
+
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    json: bool,
+    fail_on_regression: Option<f64>,
+}
+
+fn usage() -> String {
+    "usage: flowstat <summarize|diff> <trace.jsonl> [trace-b.jsonl] \
+     [--fail-on-regression PCT] [--json]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        positional: Vec::new(),
+        json: false,
+        fail_on_regression: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--fail-on-regression" => {
+                let pct: f64 = argv
+                    .next()
+                    .ok_or("--fail-on-regression needs a percentage")?
+                    .parse()
+                    .map_err(|_| "--fail-on-regression must be a number".to_string())?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--fail-on-regression must be >= 0".to_string());
+                }
+                args.fail_on_regression = Some(pct);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn load_report(path: &str) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(RunReport::from_events(&events))
+}
+
+/// Write a rendering to stdout. A closed pipe (`flowstat summarize … |
+/// head`) is a normal way to consume a report, not an error — swallow
+/// `BrokenPipe` instead of panicking like `println!` would.
+fn emit(text: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing to stdout: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "summarize" => {
+            let path = args
+                .positional
+                .first()
+                .ok_or_else(|| format!("missing <trace.jsonl>\n{}", usage()))?;
+            let report = load_report(path)?;
+            if args.json {
+                emit(&(report.render_json() + "\n"))?;
+            } else {
+                emit(&report.render_text())?;
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let a_path = args
+                .positional
+                .first()
+                .ok_or_else(|| format!("missing <a.jsonl>\n{}", usage()))?;
+            let b_path = args
+                .positional
+                .get(1)
+                .ok_or_else(|| format!("missing <b.jsonl>\n{}", usage()))?;
+            let a = load_report(a_path)?;
+            let b = load_report(b_path)?;
+            let diff = a.diff(&b);
+            if args.json {
+                emit(&(diff.render_json() + "\n"))?;
+            } else {
+                emit(&diff.render_text())?;
+            }
+            if let Some(pct) = args.fail_on_regression {
+                let regressions = diff.regressions(pct);
+                if !regressions.is_empty() {
+                    eprintln!(
+                        "flowstat: {} metrics beyond the {pct}% gate",
+                        regressions.len()
+                    );
+                    return Ok(ExitCode::from(EXIT_REGRESSION));
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}

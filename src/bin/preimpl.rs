@@ -12,12 +12,14 @@
 //! All commands accept `--device <name>` (default `xcku5p-like`),
 //! `--seeds N` (default 3), `--threads N` (worker threads for the
 //! parallel regions; default: `PI_THREADS` env, else all cores),
-//! `--trace <path>` (write a JSON-Lines telemetry stream of the run) and
-//! `--db-dir <path>` (persistent content-addressed component cache:
-//! checkpoints keyed by signature + device + implementation knobs are
-//! reused across runs instead of re-implemented; with it, `compose` and
-//! `floorplan` need no positional `<db-dir>` and build misses on demand).
-//! Run `cargo run --release --bin preimpl -- <cmd>`.
+//! `--trace <path>` (write a JSON-Lines telemetry stream of the run),
+//! `--report <path>` (write the aggregated `flowstat` run report of the
+//! run — see the `flowstat` binary for summarizing/diffing recorded
+//! traces) and `--db-dir <path>` (persistent content-addressed component
+//! cache: checkpoints keyed by signature + device + implementation knobs
+//! are reused across runs instead of re-implemented; with it, `compose`
+//! and `floorplan` need no positional `<db-dir>` and build misses on
+//! demand). Run `cargo run --release --bin preimpl -- <cmd>`.
 
 use preimpl_cnn::cnn::graph::Granularity;
 use preimpl_cnn::prelude::*;
@@ -33,6 +35,7 @@ struct Args {
     threads: Option<usize>,
     block: bool,
     trace: Option<String>,
+    report: Option<String>,
     db_cache: Option<String>,
 }
 
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         block: false,
         trace: None,
+        report: None,
         db_cache: None,
     };
     while let Some(a) = argv.next() {
@@ -76,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 args.trace = Some(argv.next().ok_or("--trace needs a path")?);
             }
+            "--report" => {
+                args.report = Some(argv.next().ok_or("--report needs a path")?);
+            }
             "--db-dir" => {
                 args.db_cache = Some(argv.next().ok_or("--db-dir needs a path")?);
             }
@@ -91,7 +98,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> <archdef> \
      [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] [--trace PATH] \
-     [--db-dir PATH]"
+     [--report PATH] [--db-dir PATH]"
         .to_string()
 }
 
@@ -184,7 +191,7 @@ fn run() -> Result<(), String> {
                     r.name, r.fmax_mhz, r.resources.luts, r.resources.dsps
                 );
             }
-            Ok(())
+            maybe_write_report(&args, &cfg)
         }
         "compose" | "floorplan" => {
             let cfg = config(&args, granularity)?;
@@ -237,7 +244,7 @@ fn run() -> Result<(), String> {
                     preimpl_cnn::pnr::report::utilization_table(&design.resources(), &device)
                 );
             }
-            Ok(())
+            maybe_write_report(&args, &cfg)
         }
         "baseline" => {
             let cfg = config(&args, granularity)?;
@@ -253,7 +260,7 @@ fn run() -> Result<(), String> {
                 "{}",
                 preimpl_cnn::pnr::report::utilization_table(&design.resources(), &device)
             );
-            Ok(())
+            maybe_write_report(&args, &cfg)
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -280,5 +287,24 @@ fn config(args: &Args, granularity: Granularity) -> Result<FlowConfig, String> {
     if let Some(dir) = &args.db_cache {
         cfg = cfg.with_db_dir(dir);
     }
+    if args.report.is_some() {
+        // Installed after the sink so the capture tees the same stream the
+        // `--trace` file records.
+        cfg = cfg.with_report_capture();
+    }
     Ok(cfg)
+}
+
+/// Write the aggregated run report when `--report` was given. Call after
+/// the flow so the capture has seen the whole run.
+fn maybe_write_report(args: &Args, cfg: &FlowConfig) -> Result<(), String> {
+    let Some(path) = &args.report else {
+        return Ok(());
+    };
+    let report = cfg
+        .run_report()
+        .expect("--report installs a capture in config()");
+    std::fs::write(path, report.render_text()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("flowstat report -> {path}");
+    Ok(())
 }

@@ -54,7 +54,8 @@ pub mod prelude {
         run_baseline_flow, run_pre_implemented_flow, DbCacheStats, FlowComparison, FlowConfig,
     };
     pub use pi_netlist::{Checkpoint, Design, Module};
-    pub use pi_obs::{EventSink, FileSink, MemorySink, NullSink, Obs};
+    pub use pi_obs::agg::{ReportDiff, RunReport};
+    pub use pi_obs::{parse_jsonl, EventSink, FileSink, MemorySink, NullSink, Obs};
     pub use pi_pnr::{CompileReport, TimingReport};
     pub use pi_stitch::{ComponentDb, DbCache};
     pub use pi_synth::{SynthMode, SynthOptions};

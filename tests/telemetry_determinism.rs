@@ -47,6 +47,50 @@ fn streams_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn run_reports_are_identical_across_thread_counts() {
+    // The aggregated report is a pure fold of the deterministic stream, so
+    // the whole RunReport — span profile, counter sums, histograms,
+    // convergence traces — must be equal (and diff empty) between the
+    // sequential path and a parallel schedule.
+    let (_, seq_events) = traced_run_threads(Some(1));
+    let (_, par_events) = traced_run_threads(Some(4));
+    let seq_report = RunReport::from_events(&seq_events);
+    let par_report = RunReport::from_events(&par_events);
+    assert!(seq_report.events > 0);
+    assert_eq!(
+        seq_report, par_report,
+        "aggregated report changed between 1 and 4 worker threads"
+    );
+    let diff = seq_report.diff(&par_report);
+    assert!(
+        diff.is_empty(),
+        "flowstat diff across thread counts not empty:\n{}",
+        diff.render_text()
+    );
+    // Spot-check the hot-path instrumentation made it into the report:
+    // annealer and router traces exist with real work recorded.
+    assert!(!seq_report.anneal.is_empty(), "no annealer traces");
+    assert!(!seq_report.route.is_empty(), "no router traces");
+    assert!(
+        seq_report.route.iter().any(|t| t.total_expansions() > 0),
+        "router expansions counter stayed zero"
+    );
+}
+
+#[test]
+fn report_from_memory_equals_report_from_jsonl_round_trip() {
+    // Fold a live MemorySink capture, then fold the same stream after a
+    // JSONL round trip (what `flowstat` reads from --trace files): equal.
+    let (_, events) = traced_run();
+    let direct = RunReport::from_events(&events);
+    let jsonl: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+    let parsed = parse_jsonl(&jsonl).expect("recorded trace parses");
+    let round_tripped = RunReport::from_events(&parsed);
+    assert_eq!(direct, round_tripped);
+    assert!(direct.diff(&round_tripped).is_empty());
+}
+
+#[test]
 fn same_seed_runs_emit_identical_streams_modulo_timestamps() {
     let (a, events) = traced_run();
     let (b, _) = traced_run();
