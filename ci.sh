@@ -87,4 +87,39 @@ if cargo run --release --quiet --bin flowstat -- \
 fi
 echo "    perturbed diff non-empty and gate exits non-zero, as required"
 
+# pilint gate: both bundled models must lint clean under --deny-warnings,
+# and a deliberately broken archdef must trip the gate with the shared
+# exit-code convention (exactly 2: "ran fine, findings denied" — not 1,
+# which would mean the tool itself failed).
+echo "==> pilint gate: bundled models clean, broken fixture exits 2"
+lint_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$lint_dir"' EXIT
+{
+    printf 'network vgg16\ninput 3x224x224\n'
+    for block in '1 64 2' '2 128 2' '3 256 3' '4 512 3' '5 512 3'; do
+        set -- $block
+        for c in $(seq 1 "$3"); do
+            printf 'conv conv%s_%s kernel=3 stride=1 pad=1 out=%s\nrelu relu%s_%s\n' \
+                "$1" "$c" "$2" "$1" "$c"
+        done
+        printf 'pool pool%s window=2\n' "$1"
+    done
+    printf 'fc fc1 out=4096\nrelu relu_fc1\nfc fc2 out=4096\nrelu relu_fc2\nfc fc3 out=1000\n'
+} > "$lint_dir/vgg16.txt"
+cargo run --release --quiet --bin pilint -- \
+    archdef "$fs_dir/lenet.txt" --deny-warnings >/dev/null \
+    || { echo "LeNet-5 did not lint clean"; exit 1; }
+cargo run --release --quiet --bin pilint -- \
+    archdef "$lint_dir/vgg16.txt" --deny-warnings >/dev/null \
+    || { echo "VGG-16 did not lint clean"; exit 1; }
+printf 'network broken\ninput 1x4x4\nconv c kernel=9 out=2\n' > "$lint_dir/broken.txt"
+set +e
+cargo run --release --quiet --bin pilint -- \
+    archdef "$lint_dir/broken.txt" >/dev/null 2>&1
+lint_rc=$?
+set -e
+[ "$lint_rc" -eq 2 ] \
+    || { echo "broken fixture exited $lint_rc, want 2"; exit 1; }
+echo "    both models clean, broken fixture tripped the gate (exit 2)"
+
 echo "==> ci.sh: all gates passed"

@@ -22,6 +22,21 @@ use std::collections::HashMap;
 
 /// Parse an architecture definition into a [`Network`].
 pub fn parse_archdef(text: &str) -> Result<Network, CnnError> {
+    let net = parse_archdef_lenient(text)?;
+    net.validate()?;
+    // Shape propagation catches geometric inconsistencies eagerly so the
+    // user gets a parse-time error, not a synthesis-time one.
+    net.input_shapes()?;
+    Ok(net)
+}
+
+/// Parse without the eager structural/geometric validation.
+///
+/// The linter needs this: a shape-inconsistent network must come back as
+/// a `Network` so the graph passes can report *every* defect as a
+/// diagnostic, instead of the parser aborting at the first one. Syntax
+/// errors are still errors.
+pub fn parse_archdef_lenient(text: &str) -> Result<Network, CnnError> {
     let mut network: Option<Network> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -91,15 +106,10 @@ pub fn parse_archdef(text: &str) -> Result<Network, CnnError> {
             }
         }
     }
-    let net = network.ok_or(CnnError::Parse {
+    network.ok_or(CnnError::Parse {
         line: 0,
         msg: "no network directive".to_string(),
-    })?;
-    net.validate()?;
-    // Shape propagation catches geometric inconsistencies eagerly so the
-    // user gets a parse-time error, not a synthesis-time one.
-    net.input_shapes()?;
-    Ok(net)
+    })
 }
 
 /// Render a network back to the archdef format (round-trip support).
@@ -208,5 +218,15 @@ fc fc2 out=10
         assert!(parse_archdef("").is_err());
         // Geometrically impossible network is caught at parse time.
         assert!(parse_archdef("network a\ninput 1x4x4\nconv c kernel=9 out=1\n").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_defers_semantic_checks_but_not_syntax() {
+        // The geometrically impossible network parses leniently ...
+        let net = parse_archdef_lenient("network a\ninput 1x4x4\nconv c kernel=9 out=1\n").unwrap();
+        assert_eq!(net.nodes().len(), 2);
+        // ... but syntax errors are still errors.
+        assert!(parse_archdef_lenient("network a\nconv c kernel=oops out=1\n").is_err());
+        assert!(parse_archdef_lenient("").is_err());
     }
 }

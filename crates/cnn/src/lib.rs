@@ -17,7 +17,7 @@ pub mod layer;
 pub mod models;
 pub mod tensor;
 
-pub use archdef::parse_archdef;
+pub use archdef::{parse_archdef, parse_archdef_lenient};
 pub use graph::{Component, Network, NetworkStats, NodeId};
 pub use layer::{ConvParams, FcParams, Layer, PoolParams, Shape};
 pub use tensor::Tensor;

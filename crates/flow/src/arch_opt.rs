@@ -82,6 +82,11 @@ pub struct PreImplReport {
     /// captured event stream *after* the flow's own `flow_done` point, so
     /// it covers the whole run.
     pub run_report: Option<pi_obs::agg::RunReport>,
+    /// Lint report over the composed design — present when the config
+    /// carries a lint policy ([`FlowConfig::with_lint`]). A gate-tripping
+    /// report never lands here: the flow fails with
+    /// [`crate::FlowError::LintFailed`] instead.
+    pub lint: Option<pi_lint::LintReport>,
 }
 
 impl PreImplReport {
@@ -186,12 +191,37 @@ impl PreImplReport {
             ("frame_ms".into(), Value::F64(self.latency.frame_ms)),
             ("fmax_mhz".into(), Value::F64(self.latency.fmax_mhz)),
         ]);
-        let root = Value::Map(vec![
+        let mut root = vec![
             ("compose".into(), compose),
             ("compile".into(), compile),
             ("latency".into(), latency),
-        ]);
-        serde_json::to_string_pretty(&root).expect("summary serializes")
+        ];
+        // Only present when a lint policy ran — summaries of lint-less
+        // runs (the warm/cold CI smoke, cache determinism tests) are
+        // unchanged by the lint subsystem existing.
+        if let Some(lint) = &self.lint {
+            let by_code: Vec<Value> = lint
+                .by_code()
+                .into_iter()
+                .map(|(code, n)| {
+                    Value::Map(vec![
+                        ("code".into(), Value::Str(code.to_string())),
+                        ("count".into(), Value::U64(n as u64)),
+                    ])
+                })
+                .collect();
+            root.push((
+                "lint".into(),
+                Value::Map(vec![
+                    ("errors".into(), Value::U64(lint.errors() as u64)),
+                    ("warnings".into(), Value::U64(lint.warnings() as u64)),
+                    ("waived".into(), Value::U64(lint.waived as u64)),
+                    ("allowed".into(), Value::U64(lint.allowed as u64)),
+                    ("by_code".into(), Value::Seq(by_code)),
+                ]),
+            ));
+        }
+        serde_json::to_string_pretty(&Value::Map(root)).expect("summary serializes")
     }
 }
 
@@ -206,6 +236,7 @@ pub fn run_pre_implemented_flow(
     cfg: &FlowConfig,
 ) -> Result<(Design, PreImplReport), FlowError> {
     cfg.apply_parallelism();
+    crate::function_opt::lint_gate_network(network, cfg)?;
     let opts = cfg.arch_opt_options();
     let obs = cfg.obs();
     let arch = obs.scoped("flow::arch_opt");
@@ -232,12 +263,26 @@ pub fn run_pre_implemented_flow(
     route_span.end();
     let route_time = t1.elapsed();
 
-    // Physical design-rule check: relocation, placement and stitching must
-    // have produced a legal design. Any violation is a flow bug and aborts.
-    let violations = pi_stitch::check_design(&design, device)?;
-    if !violations.is_empty() {
-        return Err(crate::FlowError::DrcFailed(violations));
-    }
+    // Design-rule and structural checking. With a lint policy configured
+    // the full design pass runs (structure + per-instance netlist lints +
+    // the physical DRC folded into PL031x diagnostics) and gates via
+    // `LintFailed`; without one, the raw physical DRC runs exactly as it
+    // always has and aborts via `DrcFailed`. Any violation of either kind
+    // on a composed design is a flow bug, never an input error.
+    let lint = if let Some(lc) = &cfg.lint {
+        let engine = pi_lint::LintEngine::new(lc.clone());
+        let report = engine.lint_design(&design, device, obs);
+        if report.gate(lc.deny_warnings) {
+            return Err(crate::FlowError::LintFailed(report));
+        }
+        Some(report)
+    } else {
+        let violations = pi_stitch::check_design(&design, device)?;
+        if !violations.is_empty() {
+            return Err(crate::FlowError::DrcFailed(violations));
+        }
+        None
+    };
 
     let latency = LatencyReport::for_assembled(
         network,
@@ -254,6 +299,7 @@ pub fn run_pre_implemented_flow(
         route_time,
         latency,
         run_report: None,
+        lint,
     };
     if arch.enabled() {
         arch.point(
@@ -352,6 +398,59 @@ mod tests {
         let (_, report) =
             run_pre_implemented_flow(&network, &db, &device, &FlowConfig::new()).unwrap();
         assert!(report.run_report.is_none());
+    }
+
+    #[test]
+    fn flow_with_lint_enabled_passes_clean_and_reports() {
+        let device = Device::xcku5p_like();
+        let network = models::toy();
+        let cfg = FlowConfig::new()
+            .with_seeds([1])
+            .with_lint(pi_lint::LintConfig::new().with_deny_warnings(true));
+        // Both stage gates run: network + db during function optimization,
+        // the full design pass during architecture optimization.
+        let (db, _) = build_component_db(&network, &device, &cfg).unwrap();
+        let (design, report) = run_pre_implemented_flow(&network, &db, &device, &cfg).unwrap();
+        assert!(design.fully_routed());
+        let lint = report.lint.as_ref().expect("lint policy ran");
+        assert!(lint.is_clean(), "{}", lint.render_text());
+        assert!(
+            report.deterministic_summary().contains("\"lint\""),
+            "summary gains a lint section when lint ran"
+        );
+        // Without a policy the summary is unchanged.
+        let (_, plain) =
+            run_pre_implemented_flow(&network, &db, &device, &FlowConfig::new().with_seeds([1]))
+                .unwrap();
+        assert!(plain.lint.is_none());
+        assert!(!plain.deterministic_summary().contains("\"lint\""));
+    }
+
+    #[test]
+    fn lint_gate_trips_on_contract_break() {
+        let (device, network, db) = toy_setup();
+        // Corrupt one checkpoint through the serde envelope (the in-memory
+        // module is locked): unlock it, which breaks PL0302 and PL0317.
+        let mut broken = ComponentDb::new();
+        for cp in db.checkpoints() {
+            let mut json = serde_json::to_value(cp);
+            json["module"]["locked"] = serde_json::Value::Bool(false);
+            broken.insert(serde_json::from_value(json).expect("checkpoint round-trips"));
+        }
+        let cfg = FlowConfig::new()
+            .with_seeds([1])
+            .with_lint(pi_lint::LintConfig::new());
+        let err = crate::function_opt::extend_component_db(&mut broken, &network, &device, &cfg)
+            .unwrap_err();
+        match err {
+            crate::FlowError::LintFailed(report) => {
+                assert!(
+                    report.diagnostics.iter().any(|d| d.code == "PL0302"),
+                    "{report:?}"
+                );
+            }
+            other => panic!("expected LintFailed, got {other}"),
+        }
     }
 
     #[test]

@@ -74,6 +74,17 @@ pub struct FlowConfig {
     /// paper's "one-time" function optimization real across runs. `None`
     /// keeps everything in memory.
     pub db_dir: Option<PathBuf>,
+    /// Static-analysis policy. When set, the flow entry points run the
+    /// relevant `pi-lint` passes at stage boundaries (network before
+    /// function optimization, database after it, composed design instead
+    /// of the raw DRC) and fail with [`crate::FlowError::LintFailed`]
+    /// when the gate trips. `None` (the default) runs no lints — the
+    /// ablation flows legitimately violate contracts the linter enforces
+    /// (e.g. scattered partition pins).
+    ///
+    /// Deliberately excluded from [`FlowConfig::cache_fingerprint`]:
+    /// linting observes checkpoints, it never changes what they contain.
+    pub lint: Option<pi_lint::LintConfig>,
     obs: Obs,
     /// In-process event capture installed by
     /// [`FlowConfig::with_report_capture`]; feeds
@@ -97,6 +108,7 @@ impl Default for FlowConfig {
             baseline_effort: 6.0,
             threads: None,
             db_dir: None,
+            lint: None,
             obs: Obs::null(),
             capture: None,
         }
@@ -184,6 +196,13 @@ impl FlowConfig {
     /// Root directory of the persistent component-database cache.
     pub fn with_db_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.db_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable stage-boundary linting under the given policy (see the
+    /// `lint` field).
+    pub fn with_lint(mut self, lint: pi_lint::LintConfig) -> Self {
+        self.lint = Some(lint);
         self
     }
 

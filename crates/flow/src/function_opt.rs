@@ -396,6 +396,36 @@ pub fn build_component_obs(
     Ok((Checkpoint { meta, module }, report))
 }
 
+/// Pre-stage lint gate: when `cfg.lint` is set, run the graph-family
+/// passes on the network before spending any implementation effort.
+pub(crate) fn lint_gate_network(network: &Network, cfg: &FlowConfig) -> Result<(), FlowError> {
+    let Some(lc) = &cfg.lint else { return Ok(()) };
+    let engine = pi_lint::LintEngine::new(lc.clone());
+    let report = engine.lint_network(network, cfg.granularity, cfg.obs());
+    if report.gate(lc.deny_warnings) {
+        return Err(FlowError::LintFailed(report));
+    }
+    Ok(())
+}
+
+/// Post-stage lint gate: when `cfg.lint` is set, verify every checkpoint
+/// the function-optimization stage produced (or loaded) honours its
+/// envelope contracts and covers the network.
+fn lint_gate_db(
+    db: &ComponentDb,
+    network: &Network,
+    device: &Device,
+    cfg: &FlowConfig,
+) -> Result<(), FlowError> {
+    let Some(lc) = &cfg.lint else { return Ok(()) };
+    let engine = pi_lint::LintEngine::new(lc.clone());
+    let report = engine.lint_db_for_network(network, cfg.granularity, db, Some(device), cfg.obs());
+    if report.gate(lc.deny_warnings) {
+        return Err(FlowError::LintFailed(report));
+    }
+    Ok(())
+}
+
 /// Build only the components a network needs that are *not* already in the
 /// database — the incremental path for extending a library with a new
 /// design ("the saved netlists may serve in multiple designs").
@@ -406,6 +436,7 @@ pub fn extend_component_db(
     cfg: &FlowConfig,
 ) -> Result<Vec<ComponentBuildReport>, FlowError> {
     cfg.apply_parallelism();
+    lint_gate_network(network, cfg)?;
     let opts = cfg.function_opt_options();
     let obs = cfg.obs();
     let dse = obs.scoped("flow::function_opt");
@@ -437,6 +468,7 @@ pub fn extend_component_db(
         db.insert(cp);
         reports.push(report);
     }
+    lint_gate_db(db, network, device, cfg)?;
     Ok(reports)
 }
 
@@ -552,6 +584,7 @@ pub fn build_component_db(
     cfg: &FlowConfig,
 ) -> Result<(ComponentDb, Vec<ComponentBuildReport>), FlowError> {
     cfg.apply_parallelism();
+    lint_gate_network(network, cfg)?;
     let opts = cfg.function_opt_options();
     let obs = cfg.obs();
     let components = network.components(opts.granularity)?;
@@ -568,6 +601,7 @@ pub fn build_component_db(
         db.insert(cp);
         reports.push(report);
     }
+    lint_gate_db(&db, network, device, cfg)?;
     Ok((db, reports))
 }
 
@@ -624,6 +658,7 @@ pub fn build_component_db_cached(
         return Ok((db, reports, stats));
     };
     cfg.apply_parallelism();
+    lint_gate_network(network, cfg)?;
     let opts = cfg.function_opt_options();
     let obs = cfg.obs();
     let dse = obs.scoped("flow::function_opt");
@@ -672,6 +707,7 @@ pub fn build_component_db_cached(
         dse.counter("cache_bytes_loaded", stats.bytes_loaded);
     }
     span.end();
+    lint_gate_db(&db, network, device, cfg)?;
     Ok((db, reports, stats))
 }
 

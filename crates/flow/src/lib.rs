@@ -51,6 +51,10 @@ pub enum FlowError {
     /// The assembled design failed design-rule checking — a flow bug, never
     /// an input error.
     DrcFailed(Vec<pi_stitch::Violation>),
+    /// A stage-boundary lint gate tripped (`FlowConfig::lint` was set and
+    /// the report has errors, or warnings under `deny_warnings`). The
+    /// report carries every finding for rendering.
+    LintFailed(pi_lint::LintReport),
 }
 
 impl std::fmt::Display for FlowError {
@@ -75,6 +79,22 @@ impl std::fmt::Display for FlowError {
                     write!(f, "; first: {first}")?;
                 }
                 write!(f, ")")
+            }
+            FlowError::LintFailed(report) => {
+                write!(
+                    f,
+                    "lint gate tripped: {} errors, {} warnings",
+                    report.errors(),
+                    report.warnings()
+                )?;
+                if let Some(first) = report.diagnostics.first() {
+                    write!(
+                        f,
+                        "; first: {}[{}] {}",
+                        first.severity, first.code, first.message
+                    )?;
+                }
+                Ok(())
             }
         }
     }

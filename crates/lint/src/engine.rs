@@ -1,0 +1,203 @@
+//! The pass manager: [`LintEngine`] runs analysis families against a
+//! network, a module, a checkpoint database or a composed design, folds
+//! the findings through the configured policy and emits one telemetry
+//! point per pass.
+//!
+//! Per-checkpoint and per-instance passes fan out across the vendored
+//! rayon backend, buffering each unit's telemetry and flushing in input
+//! order (the `pi-obs` determinism contract) — so a lint run's event
+//! stream and report are byte-identical at any `PI_THREADS`.
+
+use crate::checkpoint::{
+    diagnose_violation, lint_checkpoint, lint_db_consistency, lint_db_coverage,
+};
+use crate::diag::{Diagnostic, LintConfig};
+use crate::graph::lint_network;
+use crate::netlist::{lint_design_structure, lint_module};
+use crate::report::LintReport;
+use pi_cnn::graph::Granularity;
+use pi_cnn::Network;
+use pi_fabric::Device;
+use pi_netlist::{Checkpoint, Design};
+use pi_obs::{Obs, Value};
+use pi_stitch::ComponentDb;
+use rayon::prelude::*;
+
+/// Runs lint passes under one [`LintConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct LintEngine {
+    config: LintConfig,
+}
+
+impl LintEngine {
+    /// An engine with the given policy.
+    pub fn new(config: LintConfig) -> Self {
+        LintEngine { config }
+    }
+
+    /// The policy this engine applies.
+    pub fn config(&self) -> &LintConfig {
+        &self.config
+    }
+
+    /// Finalize one pass: apply waivers/levels, sort, dedup, and emit
+    /// the pass summary through telemetry.
+    fn finalize(&self, pass: &str, raw: Vec<Diagnostic>, obs: &Obs) -> LintReport {
+        let report = LintReport::from_raw(raw, &self.config);
+        obs.scoped("lint").point(
+            "pass_done",
+            &[
+                ("pass", Value::Str(pass.to_string())),
+                ("errors", Value::U64(report.errors() as u64)),
+                ("warnings", Value::U64(report.warnings() as u64)),
+                ("waived", Value::U64(report.waived as u64)),
+                ("allowed", Value::U64(report.allowed as u64)),
+            ],
+        );
+        report
+    }
+
+    /// Graph-family pass (`PL02xx`) over a CNN network.
+    pub fn lint_network(
+        &self,
+        network: &Network,
+        granularity: Granularity,
+        obs: &Obs,
+    ) -> LintReport {
+        self.finalize(
+            "network",
+            lint_network(network, granularity, &self.config),
+            obs,
+        )
+    }
+
+    /// Netlist-family pass (`PL01xx`) over a single module.
+    pub fn lint_module(
+        &self,
+        origin_base: &str,
+        module: &pi_netlist::Module,
+        obs: &Obs,
+    ) -> LintReport {
+        self.finalize(
+            "module",
+            lint_module(origin_base, module, &self.config),
+            obs,
+        )
+    }
+
+    /// Checkpoint-family pass (`PL03xx`) plus the netlist pass on the
+    /// wrapped module, for one checkpoint.
+    pub fn lint_checkpoint(
+        &self,
+        checkpoint: &Checkpoint,
+        device: Option<&Device>,
+        obs: &Obs,
+    ) -> LintReport {
+        self.finalize("checkpoint", self.checkpoint_raw(checkpoint, device), obs)
+    }
+
+    fn checkpoint_raw(&self, checkpoint: &Checkpoint, device: Option<&Device>) -> Vec<Diagnostic> {
+        let mut raw = lint_checkpoint(checkpoint, device);
+        let base = format!("checkpoint:{}/module", checkpoint.meta.signature);
+        raw.extend(lint_module(&base, &checkpoint.module, &self.config));
+        raw
+    }
+
+    /// Lint every checkpoint in a database (parallel fan-out) plus the
+    /// cross-checkpoint consistency pass.
+    pub fn lint_db(&self, db: &ComponentDb, device: Option<&Device>, obs: &Obs) -> LintReport {
+        // ComponentDb iterates in BTreeMap (signature) order, so the
+        // fan-out input — and therefore the flush order and the final
+        // report — is deterministic.
+        let items: Vec<(&Checkpoint, pi_obs::BufferedObs)> =
+            db.checkpoints().map(|cp| (cp, obs.buffered())).collect();
+        let linted: Vec<(Vec<Diagnostic>, pi_obs::BufferedObs)> = items
+            .into_par_iter()
+            .map(|(cp, buf)| (self.checkpoint_raw(cp, device), buf))
+            .collect();
+        let mut raw = Vec::new();
+        for (diags, buf) in linted {
+            buf.flush_into(obs);
+            raw.extend(diags);
+        }
+        raw.extend(lint_db_consistency(db));
+        self.finalize("db", raw, obs)
+    }
+
+    /// [`Self::lint_db`] plus coverage (`PL0301`): every component the
+    /// network needs must be present.
+    pub fn lint_db_for_network(
+        &self,
+        network: &Network,
+        granularity: Granularity,
+        db: &ComponentDb,
+        device: Option<&Device>,
+        obs: &Obs,
+    ) -> LintReport {
+        let mut report = self.lint_db(db, device, obs);
+        let coverage = self.finalize(
+            "db-coverage",
+            lint_db_coverage(network, granularity, db),
+            obs,
+        );
+        report.merge(coverage);
+        report
+    }
+
+    /// Lint a composed design: top-level structure, every instance's
+    /// module (parallel fan-out), and the physical DRC from
+    /// [`pi_stitch::check_design`] folded into `PL031x` diagnostics.
+    pub fn lint_design(&self, design: &Design, device: &Device, obs: &Obs) -> LintReport {
+        let base = format!("design:{}", design.name);
+        let mut raw = lint_design_structure(design);
+
+        let items: Vec<(usize, pi_obs::BufferedObs)> = (0..design.instances().len())
+            .map(|i| (i, obs.buffered()))
+            .collect();
+        let linted: Vec<(Vec<Diagnostic>, pi_obs::BufferedObs)> = items
+            .into_par_iter()
+            .map(|(i, buf)| {
+                let inst = &design.instances()[i];
+                let origin = format!("{base}/inst:{}", inst.name);
+                (lint_module(&origin, &inst.module, &self.config), buf)
+            })
+            .collect();
+        for (diags, buf) in linted {
+            buf.flush_into(obs);
+            raw.extend(diags);
+        }
+
+        match pi_stitch::check_design(design, device) {
+            Ok(violations) => {
+                raw.extend(violations.iter().map(|v| diagnose_violation(&base, v)));
+            }
+            Err(e) => raw.push(Diagnostic::new(
+                "PL0308",
+                format!("{base}/drc"),
+                format!("physical DRC could not run: {e}"),
+            )),
+        }
+        self.finalize("design", raw, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_obs::{MemorySink, Obs};
+    use std::sync::Arc;
+
+    #[test]
+    fn pass_emits_telemetry_point() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        let engine = LintEngine::new(LintConfig::new());
+        let report = engine.lint_network(&pi_cnn::models::lenet5(), Granularity::Layer, &obs);
+        assert!(report.is_clean(), "{report:?}");
+        let events = sink.snapshot();
+        assert!(
+            events.iter().any(|e| e.name == "pass_done"),
+            "lint pass emits a pass_done point"
+        );
+    }
+}

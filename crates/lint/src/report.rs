@@ -1,0 +1,242 @@
+//! [`LintReport`]: the finalized, deterministic result of one or more
+//! lint passes, with rustc-style text and stable JSON renderers.
+
+use crate::diag::{Diagnostic, Level, LintConfig, Severity};
+use serde_json::Value;
+
+/// The outcome of running lint passes under one [`LintConfig`].
+///
+/// Diagnostics are sorted by `(code, origin, message)` and deduplicated,
+/// so two reports built from the same findings render byte-identically
+/// no matter what schedule produced them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Surviving findings, sorted and deduplicated.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by a waiver.
+    pub waived: usize,
+    /// Findings suppressed because their code's level is `Allow`.
+    pub allowed: usize,
+}
+
+impl LintReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a config to raw findings: waive, drop `Allow`ed codes,
+    /// re-derive severities from effective levels, then sort + dedup.
+    pub fn from_raw(raw: Vec<Diagnostic>, config: &LintConfig) -> Self {
+        let mut report = LintReport::new();
+        for mut d in raw {
+            if config.waivers.iter().any(|w| w.matches(&d)) {
+                report.waived += 1;
+                continue;
+            }
+            match config.level_of(d.code) {
+                Level::Allow => report.allowed += 1,
+                Level::Warn => {
+                    d.severity = Severity::Warning;
+                    report.diagnostics.push(d);
+                }
+                Level::Deny => {
+                    d.severity = Severity::Error;
+                    report.diagnostics.push(d);
+                }
+            }
+        }
+        report.normalize();
+        report
+    }
+
+    /// Restore the sorted/deduplicated invariant after edits or merges.
+    fn normalize(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self.diagnostics.dedup();
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+        self.waived += other.waived;
+        self.allowed += other.allowed;
+        self.normalize();
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.len() - self.errors()
+    }
+
+    /// No surviving findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Does this report trip a lint gate? Errors always do; warnings
+    /// only under `deny_warnings`.
+    pub fn gate(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// Per-code finding counts, in code order.
+    pub fn by_code(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for d in &self.diagnostics {
+            match counts.last_mut() {
+                Some((code, n)) if *code == d.code => *n += 1,
+                _ => counts.push((d.code, 1)),
+            }
+        }
+        counts
+    }
+
+    /// One-line summary, also the last line of [`Self::render_text`].
+    pub fn summary_line(&self) -> String {
+        format!(
+            "lint: {} errors, {} warnings ({} findings, {} waived, {} allowed)",
+            self.errors(),
+            self.warnings(),
+            self.diagnostics.len(),
+            self.waived,
+            self.allowed
+        )
+    }
+
+    /// rustc-style text rendering: one block per finding, then the
+    /// summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// Stable JSON rendering (pretty-printed). Byte-identical for equal
+    /// reports: diagnostics are pre-sorted and the summary map uses a
+    /// fixed key order.
+    pub fn render_json(&self) -> String {
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Value::Map(vec![
+                    ("code".into(), Value::Str(d.code.to_string())),
+                    ("severity".into(), Value::Str(d.severity.to_string())),
+                    ("origin".into(), Value::Str(d.origin.clone())),
+                    ("message".into(), Value::Str(d.message.clone())),
+                ])
+            })
+            .collect();
+        let by_code: Vec<Value> = self
+            .by_code()
+            .into_iter()
+            .map(|(code, n)| {
+                Value::Map(vec![
+                    ("code".into(), Value::Str(code.to_string())),
+                    ("count".into(), Value::U64(n as u64)),
+                ])
+            })
+            .collect();
+        let root = Value::Map(vec![
+            ("diagnostics".into(), Value::Seq(diags)),
+            (
+                "summary".into(),
+                Value::Map(vec![
+                    ("errors".into(), Value::U64(self.errors() as u64)),
+                    ("warnings".into(), Value::U64(self.warnings() as u64)),
+                    ("waived".into(), Value::U64(self.waived as u64)),
+                    ("allowed".into(), Value::U64(self.allowed as u64)),
+                    ("by_code".into(), Value::Seq(by_code)),
+                ]),
+            ),
+        ]);
+        serde_json::to_string_pretty(&root).expect("lint report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{parse_waivers, Diagnostic, LintConfig};
+
+    fn raw() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new("PL0107", "module:b/net:n", "fan-out 80 exceeds 64"),
+            Diagnostic::new("PL0101", "module:a/port:q", "sunk twice"),
+            Diagnostic::new("PL0101", "module:a/port:q", "sunk twice"),
+            Diagnostic::new("PL0102", "module:a/port:din", "drives nothing"),
+        ]
+    }
+
+    #[test]
+    fn from_raw_sorts_dedups_and_applies_levels() {
+        let r = LintReport::from_raw(raw(), &LintConfig::new());
+        assert_eq!(r.diagnostics.len(), 3, "duplicate collapsed");
+        assert_eq!(r.diagnostics[0].code, "PL0101");
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 2);
+        assert!(r.gate(false));
+    }
+
+    #[test]
+    fn allow_and_waive_suppress() {
+        let cfg = LintConfig::new()
+            .allow("PL0102")
+            .with_waivers(parse_waivers("PL0107 module:b").unwrap());
+        let r = LintReport::from_raw(raw(), &cfg);
+        assert_eq!(r.allowed, 1);
+        assert_eq!(r.waived, 1);
+        assert_eq!(r.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn deny_warnings_gates_clean_errors() {
+        let cfg = LintConfig::new().allow("PL0101");
+        let r = LintReport::from_raw(raw(), &cfg);
+        assert_eq!(r.errors(), 0);
+        assert!(!r.gate(false));
+        assert!(r.gate(true));
+    }
+
+    #[test]
+    fn merge_keeps_order_and_counts() {
+        let cfg = LintConfig::new();
+        let mut a = LintReport::from_raw(raw(), &cfg);
+        let b = LintReport::from_raw(
+            vec![Diagnostic::new("PL0103", "module:z/port:out", "floating")],
+            &cfg,
+        );
+        a.merge(b);
+        assert_eq!(a.diagnostics.len(), 4);
+        let codes: Vec<_> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["PL0101", "PL0102", "PL0103", "PL0107"]);
+    }
+
+    #[test]
+    fn renderings_are_deterministic() {
+        let cfg = LintConfig::new();
+        let a = LintReport::from_raw(raw(), &cfg);
+        let mut shuffled = raw();
+        shuffled.reverse();
+        let b = LintReport::from_raw(shuffled, &cfg);
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.render_json(), b.render_json());
+        assert!(a.render_text().contains("lint: 1 errors, 2 warnings"));
+        assert!(a.render_json().contains("\"by_code\""));
+    }
+}

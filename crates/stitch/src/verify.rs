@@ -6,6 +6,13 @@
 //! result *physically*: every cell on a legal site, no two cells sharing a
 //! site across instances, every instance inside its pblock, partition pins
 //! on pblock boundaries, routes within the grid, and locked modules intact.
+//!
+//! This is the *single* implementation of the physical checks. The
+//! `pi-lint` pass manager folds every [`Violation`] variant into its
+//! unified diagnostics as codes `PL0310`–`PL0318` (see
+//! `pi_lint::checkpoint::violation_code`), so [`check_design`] doubles as
+//! the backing analysis for the design-level lint pass; calling it
+//! directly remains supported as a thin shim over the same checks.
 
 use crate::StitchError;
 use pi_fabric::{Device, TileCoord};

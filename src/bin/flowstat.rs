@@ -18,9 +18,6 @@
 use preimpl_cnn::prelude::*;
 use std::process::ExitCode;
 
-/// Exit code when `--fail-on-regression` trips.
-const EXIT_REGRESSION: u8 = 2;
-
 struct Args {
     command: String,
     positional: Vec<String>,
@@ -135,7 +132,7 @@ fn run() -> Result<ExitCode, String> {
                         "flowstat: {} metrics beyond the {pct}% gate",
                         regressions.len()
                     );
-                    return Ok(ExitCode::from(EXIT_REGRESSION));
+                    return Ok(ExitCode::from(preimpl_cnn::exit::GATE));
                 }
             }
             Ok(ExitCode::SUCCESS)

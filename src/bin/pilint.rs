@@ -1,0 +1,261 @@
+//! `pilint` — static-analysis front door for the pre-implemented flow.
+//!
+//! ```text
+//! pilint archdef <file>               lint a CNN architecture definition
+//! pilint db      <db-dir> [archdef]   lint a checkpoint database (+ coverage)
+//! pilint design  <archdef> <db-dir>   compose + route, lint the assembled design
+//! pilint codes                        print the lint-code registry
+//! ```
+//!
+//! All lint commands accept `--json`, `--deny-warnings`, `--waivers FILE`,
+//! `--allow CODE` / `--warn CODE` / `--deny CODE` (repeatable),
+//! `--device NAME` (default `xcku5p-like`), `--block` (block granularity)
+//! and `--threads N`. `archdef` parses leniently so semantic defects (a
+//! corrupted shape, an orphan layer) surface as diagnostics rather than a
+//! parse failure; only syntax errors abort the run.
+//!
+//! Exit codes follow the shared gate convention (`preimpl_cnn::exit`):
+//! `0` clean, `1` the tool itself failed, `2` the lint gate tripped
+//! (errors present, or warnings under `--deny-warnings`) — the same
+//! contract as `flowstat diff --fail-on-regression`.
+
+use preimpl_cnn::exit;
+use preimpl_cnn::lint::{lookup, parse_waivers, Level, LintConfig, LintEngine, LintReport};
+use preimpl_cnn::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    device: String,
+    block: bool,
+    json: bool,
+    deny_warnings: bool,
+    waivers: Option<String>,
+    levels: Vec<(String, Level)>,
+    threads: Option<usize>,
+}
+
+fn usage() -> String {
+    "usage: pilint <archdef|db|design|codes> <inputs...> [--block] [--json] \
+     [--deny-warnings] [--waivers FILE] [--allow CODE] [--warn CODE] \
+     [--deny CODE] [--device NAME] [--threads N]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        positional: Vec::new(),
+        device: "xcku5p-like".to_string(),
+        block: false,
+        json: false,
+        deny_warnings: false,
+        waivers: None,
+        levels: Vec::new(),
+        threads: None,
+    };
+    let level_flag = |argv: &mut dyn Iterator<Item = String>,
+                      flag: &str,
+                      level: Level|
+     -> Result<(String, Level), String> {
+        let code = argv.next().ok_or(format!("{flag} needs a lint code"))?;
+        if lookup(&code).is_none() {
+            return Err(format!("unknown lint code {code} (see `pilint codes`)"));
+        }
+        Ok((code, level))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--block" => args.block = true,
+            "--json" => args.json = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--waivers" => {
+                args.waivers = Some(argv.next().ok_or("--waivers needs a path")?);
+            }
+            "--allow" => args
+                .levels
+                .push(level_flag(&mut argv, "--allow", Level::Allow)?),
+            "--warn" => args
+                .levels
+                .push(level_flag(&mut argv, "--warn", Level::Warn)?),
+            "--deny" => args
+                .levels
+                .push(level_flag(&mut argv, "--deny", Level::Deny)?),
+            "--device" => {
+                args.device = argv.next().ok_or("--device needs a value")?;
+            }
+            "--threads" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be a number".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(n);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn lint_config(args: &Args) -> Result<LintConfig, String> {
+    let mut cfg = LintConfig::new().with_deny_warnings(args.deny_warnings);
+    for (code, level) in &args.levels {
+        cfg = cfg.with_level(code.clone(), *level);
+    }
+    if let Some(path) = &args.waivers {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        cfg = cfg.with_waivers(parse_waivers(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    Ok(cfg)
+}
+
+fn load_network(path: &str) -> Result<Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // Lenient: semantic defects become diagnostics, only syntax aborts.
+    parse_archdef_lenient(&text).map_err(|e| e.to_string())
+}
+
+/// Write a rendering to stdout, tolerating a closed pipe (`pilint … | head`).
+fn emit(text: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing to stdout: {e}")),
+    }
+}
+
+/// Render the report and map it onto the shared exit-code convention.
+fn finish(report: &LintReport, args: &Args) -> Result<ExitCode, String> {
+    if args.json {
+        emit(&(report.render_json() + "\n"))?;
+    } else {
+        emit(&report.render_text())?;
+    }
+    if report.gate(args.deny_warnings) {
+        eprintln!("pilint: gate tripped ({})", report.summary_line());
+        Ok(ExitCode::from(exit::GATE))
+    } else {
+        Ok(ExitCode::from(exit::CLEAN))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(exit::OPERATIONAL_ERROR)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if let Some(n) = args.threads {
+        preimpl_cnn::flow::FlowConfig::new()
+            .with_threads(n)
+            .apply_parallelism();
+    }
+    let granularity = if args.block {
+        Granularity::Block
+    } else {
+        Granularity::Layer
+    };
+
+    if args.command == "codes" {
+        let mut table = String::new();
+        for c in preimpl_cnn::lint::REGISTRY {
+            table.push_str(&format!(
+                "{}  {:<5} {:<20} {}\n",
+                c.code,
+                format!("{:?}", c.default).to_lowercase(),
+                c.name,
+                c.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+            ));
+        }
+        emit(&table)?;
+        return Ok(ExitCode::from(exit::CLEAN));
+    }
+
+    let engine = LintEngine::new(lint_config(&args)?);
+    let obs = Obs::null();
+
+    match args.command.as_str() {
+        "archdef" => {
+            let path = args
+                .positional
+                .first()
+                .ok_or_else(|| format!("missing <archdef>\n{}", usage()))?;
+            let network = load_network(path)?;
+            let report = engine.lint_network(&network, granularity, &obs);
+            finish(&report, &args)
+        }
+        "db" => {
+            let dir = args
+                .positional
+                .first()
+                .ok_or_else(|| format!("missing <db-dir>\n{}", usage()))?;
+            let device = Device::catalog(&args.device).map_err(|e| e.to_string())?;
+            let db = ComponentDb::load_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            let report = match args.positional.get(1) {
+                Some(archdef) => {
+                    let network = load_network(archdef)?;
+                    engine.lint_db_for_network(&network, granularity, &db, Some(&device), &obs)
+                }
+                None => engine.lint_db(&db, Some(&device), &obs),
+            };
+            finish(&report, &args)
+        }
+        "design" => {
+            let archdef = args
+                .positional
+                .first()
+                .ok_or_else(|| format!("missing <archdef>\n{}", usage()))?;
+            let dir = args
+                .positional
+                .get(1)
+                .ok_or_else(|| format!("missing <db-dir>\n{}", usage()))?;
+            let device = Device::catalog(&args.device).map_err(|e| e.to_string())?;
+            let network = load_network(archdef)?;
+            let db = ComponentDb::load_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            let mut report = engine.lint_network(&network, granularity, &obs);
+            let coverage =
+                engine.lint_db_for_network(&network, granularity, &db, Some(&device), &obs);
+            report.merge(coverage);
+            if report.errors() > 0 {
+                // A broken network or database cannot be composed; report
+                // what the early passes found instead of failing opaquely.
+                return finish(&report, &args);
+            }
+            let (mut design, _) = preimpl_cnn::stitch::compose(
+                &network,
+                &db,
+                &device,
+                &preimpl_cnn::stitch::ComposeOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            preimpl_cnn::flow::pipeline_top_nets(&mut design);
+            preimpl_cnn::pnr::route_assembled(
+                &mut design,
+                &device,
+                &preimpl_cnn::pnr::RouteOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            report.merge(engine.lint_design(&design, &device, &obs));
+            finish(&report, &args)
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}

@@ -15,7 +15,10 @@
 //! `--trace <path>` (write a JSON-Lines telemetry stream of the run),
 //! `--report <path>` (write the aggregated `flowstat` run report of the
 //! run — see the `flowstat` binary for summarizing/diffing recorded
-//! traces) and `--db-dir <path>` (persistent content-addressed component
+//! traces), `--lint` (run the `pi-lint` stage-boundary passes; adds a
+//! lint summary to the output and, with `--deny-warnings`, turns any
+//! warning into a gate failure — exit code 2, matching `pilint` and
+//! `flowstat diff`) and `--db-dir <path>` (persistent content-addressed component
 //! cache: checkpoints keyed by signature + device + implementation knobs
 //! are reused across runs instead of re-implemented; with it, `compose`
 //! and `floorplan` need no positional `<db-dir>` and build misses on
@@ -37,6 +40,8 @@ struct Args {
     trace: Option<String>,
     report: Option<String>,
     db_cache: Option<String>,
+    lint: bool,
+    deny_warnings: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         report: None,
         db_cache: None,
+        lint: false,
+        deny_warnings: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -77,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--block" => args.block = true,
+            "--lint" => args.lint = true,
+            "--deny-warnings" => args.deny_warnings = true,
             "--trace" => {
                 args.trace = Some(argv.next().ok_or("--trace needs a path")?);
             }
@@ -97,22 +106,34 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> <archdef> \
-     [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] [--trace PATH] \
-     [--report PATH] [--db-dir PATH]"
+     [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] [--lint] \
+     [--deny-warnings] [--trace PATH] [--report PATH] [--db-dir PATH]"
         .to_string()
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(preimpl_cnn::exit::OPERATIONAL_ERROR)
         }
     }
 }
 
-fn run() -> Result<(), String> {
+/// Render a lint-gate failure and map it onto the shared exit convention;
+/// every other flow error stays an operational error.
+fn lint_gate_exit(e: preimpl_cnn::flow::FlowError) -> Result<ExitCode, String> {
+    if let preimpl_cnn::flow::FlowError::LintFailed(report) = e {
+        print!("{}", report.render_text());
+        eprintln!("preimpl: lint gate tripped ({})", report.summary_line());
+        Ok(ExitCode::from(preimpl_cnn::exit::GATE))
+    } else {
+        Err(e.to_string())
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     if args.command == "devices" {
         for name in ["xcku5p-like", "xcku060-like", "test-part"] {
@@ -128,7 +149,7 @@ fn run() -> Result<(), String> {
                 t.dsps
             );
         }
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
     let device = Device::catalog(&args.device).map_err(|e| e.to_string())?;
@@ -160,18 +181,31 @@ fn run() -> Result<(), String> {
                 stats.total_weights(),
                 stats.total_macs()
             );
+            if args.lint {
+                let engine = preimpl_cnn::lint::LintEngine::new(
+                    preimpl_cnn::lint::LintConfig::new().with_deny_warnings(args.deny_warnings),
+                );
+                let report =
+                    engine.lint_network(&network, granularity, &preimpl_cnn::obs::Obs::null());
+                println!("{}", report.summary_line());
+                if report.gate(args.deny_warnings) {
+                    return Ok(ExitCode::from(preimpl_cnn::exit::GATE));
+                }
+            }
             println!("\ncomponents ({granularity:?} granularity):");
             for c in network.components(granularity).map_err(|e| e.to_string())? {
                 println!("  {:<40} {} -> {}", c.name, c.input_shape, c.output_shape);
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "build-db" => {
             let dir = db_dir(&args)?;
             let cfg = config(&args, granularity)?;
             let t = std::time::Instant::now();
-            let (db, reports, stats) =
-                build_component_db_cached(&network, &device, &cfg).map_err(|e| e.to_string())?;
+            let (db, reports, stats) = match build_component_db_cached(&network, &device, &cfg) {
+                Ok(v) => v,
+                Err(e) => return lint_gate_exit(e),
+            };
             db.save_dir(&dir).map_err(|e| e.to_string())?;
             println!(
                 "built {} checkpoints in {:.1} s -> {}",
@@ -191,7 +225,8 @@ fn run() -> Result<(), String> {
                     r.name, r.fmax_mhz, r.resources.luts, r.resources.dsps
                 );
             }
-            maybe_write_report(&args, &cfg)
+            maybe_write_report(&args, &cfg)?;
+            Ok(ExitCode::SUCCESS)
         }
         "compose" | "floorplan" => {
             let cfg = config(&args, granularity)?;
@@ -199,8 +234,10 @@ fn run() -> Result<(), String> {
             // is optional: misses are built on demand and persisted. The
             // plain form still loads a directory produced by `build-db`.
             let (db, stats) = if args.db_cache.is_some() {
-                let (db, _, stats) = build_component_db_cached(&network, &device, &cfg)
-                    .map_err(|e| e.to_string())?;
+                let (db, _, stats) = match build_component_db_cached(&network, &device, &cfg) {
+                    Ok(v) => v,
+                    Err(e) => return lint_gate_exit(e),
+                };
                 (db, Some(stats))
             } else {
                 let dir = db_dir(&args)?;
@@ -209,8 +246,10 @@ fn run() -> Result<(), String> {
                     None,
                 )
             };
-            let (design, report) = run_pre_implemented_flow(&network, &db, &device, &cfg)
-                .map_err(|e| e.to_string())?;
+            let (design, report) = match run_pre_implemented_flow(&network, &db, &device, &cfg) {
+                Ok(v) => v,
+                Err(e) => return lint_gate_exit(e),
+            };
             if args.command == "floorplan" {
                 println!(
                     "{}",
@@ -228,6 +267,9 @@ fn run() -> Result<(), String> {
                     report.latency.frame_ms,
                     report.compose.stitched_nets,
                 );
+                if let Some(lint) = &report.lint {
+                    println!("{}", lint.summary_line());
+                }
                 if let Some(stats) = &stats {
                     println!(
                         "db-cache: {} hits, {} misses, {} invalidated ({} bytes loaded)",
@@ -244,12 +286,15 @@ fn run() -> Result<(), String> {
                     preimpl_cnn::pnr::report::utilization_table(&design.resources(), &device)
                 );
             }
-            maybe_write_report(&args, &cfg)
+            maybe_write_report(&args, &cfg)?;
+            Ok(ExitCode::SUCCESS)
         }
         "baseline" => {
             let cfg = config(&args, granularity)?;
-            let (design, report) =
-                run_baseline_flow(&network, &device, &cfg).map_err(|e| e.to_string())?;
+            let (design, report) = match run_baseline_flow(&network, &device, &cfg) {
+                Ok(v) => v,
+                Err(e) => return lint_gate_exit(e),
+            };
             println!(
                 "baseline {}: Fmax {:.0} MHz, implemented in {:.2} s",
                 design.name,
@@ -260,7 +305,8 @@ fn run() -> Result<(), String> {
                 "{}",
                 preimpl_cnn::pnr::report::utilization_table(&design.resources(), &device)
             );
-            maybe_write_report(&args, &cfg)
+            maybe_write_report(&args, &cfg)?;
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -286,6 +332,10 @@ fn config(args: &Args, granularity: Granularity) -> Result<FlowConfig, String> {
     }
     if let Some(dir) = &args.db_cache {
         cfg = cfg.with_db_dir(dir);
+    }
+    if args.lint {
+        cfg = cfg
+            .with_lint(preimpl_cnn::lint::LintConfig::new().with_deny_warnings(args.deny_warnings));
     }
     if args.report.is_some() {
         // Installed after the sink so the capture tees the same stream the

@@ -37,6 +37,7 @@
 pub use pi_cnn as cnn;
 pub use pi_fabric as fabric;
 pub use pi_flow as flow;
+pub use pi_lint as lint;
 pub use pi_memalloc as memalloc;
 pub use pi_netlist as netlist;
 pub use pi_obs as obs;
@@ -44,15 +45,36 @@ pub use pi_pnr as pnr;
 pub use pi_stitch as stitch;
 pub use pi_synth as synth;
 
+/// Process exit codes shared by every gating binary (`pilint`, `flowstat
+/// diff`, `preimpl --lint`).
+///
+/// The convention separates "the tool could not do its job" from "the tool
+/// did its job and the gate tripped", so CI scripts can distinguish a
+/// broken invocation from a genuine finding:
+///
+/// * `0` — ran to completion, gate clean.
+/// * `1` — operational error (bad flags, unreadable input, flow failure).
+/// * `2` — ran to completion, gate tripped (lint errors / denied warnings,
+///   or a metric regression for `flowstat diff`).
+pub mod exit {
+    /// Ran to completion; nothing to report.
+    pub const CLEAN: u8 = 0;
+    /// The tool itself failed (usage, I/O, parse, flow error).
+    pub const OPERATIONAL_ERROR: u8 = 1;
+    /// Ran to completion and the gate tripped.
+    pub const GATE: u8 = 2;
+}
+
 /// Everything a typical user of the flow needs in scope.
 pub mod prelude {
     pub use pi_cnn::graph::Granularity;
-    pub use pi_cnn::{models, parse_archdef, Network};
+    pub use pi_cnn::{models, parse_archdef, parse_archdef_lenient, Network};
     pub use pi_fabric::{Device, Pblock, ResourceCount, TileCoord};
     pub use pi_flow::{
         build_component_db, build_component_db_cached, extend_component_db, improve_slowest,
         run_baseline_flow, run_pre_implemented_flow, DbCacheStats, FlowComparison, FlowConfig,
     };
+    pub use pi_lint::{parse_waivers, Diagnostic, Level, LintConfig, LintEngine, LintReport};
     pub use pi_netlist::{Checkpoint, Design, Module};
     pub use pi_obs::agg::{ReportDiff, RunReport};
     pub use pi_obs::{parse_jsonl, EventSink, FileSink, MemorySink, NullSink, Obs};
