@@ -122,4 +122,68 @@ set -e
     || { echo "broken fixture exited $lint_rc, want 2"; exit 1; }
 echo "    both models clean, broken fixture tripped the gate (exit 2)"
 
+# pi-serve gate: a daemon on an ephemeral port must serve the same LeNet-5
+# compose job `preimpl` runs locally — the remote trace diffs to zero
+# deltas against the local cold run above — and a warm follow-up must be
+# served entirely from the daemon's shared component cache.
+echo "==> pi-serve gate: remote compose matches local run"
+srv_dir="$(mktemp -d)"
+serve_pid=""
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$lint_dir" "$srv_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+cargo run --release --quiet --bin pi-serve -- \
+    serve --bind 127.0.0.1:0 --db-dir "$srv_dir/db" --workers 2 \
+    > "$srv_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$srv_dir/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+serve_addr="$(sed -n 's/^pi-serve listening on //p' "$srv_dir/serve.log")"
+[ -n "$serve_addr" ] \
+    || { echo "pi-serve did not start:"; cat "$srv_dir/serve.log"; exit 1; }
+remote_out="$(cargo run --release --quiet --bin preimpl -- \
+    compose "$fs_dir/lenet.txt" --remote "$serve_addr" --seeds 1 \
+    --trace "$srv_dir/remote.jsonl")"
+echo "$remote_out" | grep -q '^assembled ' \
+    || { echo "remote compose produced no summary: $remote_out"; exit 1; }
+remote_diff="$(cargo run --release --quiet --bin flowstat -- \
+    diff "$fs_dir/t1.jsonl" "$srv_dir/remote.jsonl" --fail-on-regression 0)" \
+    || { echo "remote trace regressed vs local: $remote_diff"; exit 1; }
+echo "$remote_diff" | grep -F 'identical' >/dev/null \
+    || { echo "remote trace differs from local run: $remote_diff"; exit 1; }
+warm_remote="$(cargo run --release --quiet --bin preimpl -- \
+    build-db "$fs_dir/lenet.txt" --remote "$serve_addr" --seeds 1)"
+echo "$warm_remote" | grep -Eq 'db-cache: [1-9][0-9]* hits, 0 misses' \
+    || { echo "warm remote job did not hit the shared cache: $warm_remote"; exit 1; }
+cargo run --release --quiet --bin pi-serve -- stop --addr "$serve_addr" >/dev/null
+wait "$serve_pid"
+serve_pid=""
+echo "    remote trace identical to local, warm job served from shared cache"
+
+# Eviction smoke: a daemon with a 1-byte budget must evict on every
+# insert — the job still completes, and the result's cache counters
+# surface the evictions to the client.
+echo "==> pi-serve gate: tiny --db-budget-bytes forces eviction"
+cargo run --release --quiet --bin pi-serve -- \
+    serve --bind 127.0.0.1:0 --db-dir "$srv_dir/tiny" --db-budget-bytes 1 \
+    > "$srv_dir/tiny.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$srv_dir/tiny.log" 2>/dev/null && break
+    sleep 0.1
+done
+tiny_addr="$(sed -n 's/^pi-serve listening on //p' "$srv_dir/tiny.log")"
+[ -n "$tiny_addr" ] \
+    || { echo "budgeted pi-serve did not start:"; cat "$srv_dir/tiny.log"; exit 1; }
+evict_out="$(cargo run --release --quiet --bin preimpl -- \
+    compose "$smoke_dir/arch.txt" --remote "$tiny_addr" --seeds 2)"
+echo "$evict_out" | grep -q '^assembled ' \
+    || { echo "budgeted compose failed: $evict_out"; exit 1; }
+echo "$evict_out" | grep -Eq ' [1-9][0-9]* evicted' \
+    || { echo "1-byte budget evicted nothing: $evict_out"; exit 1; }
+cargo run --release --quiet --bin pi-serve -- stop --addr "$tiny_addr" >/dev/null
+wait "$serve_pid"
+serve_pid=""
+echo "    budgeted daemon completed the job and reported evictions"
+
 echo "==> ci.sh: all gates passed"

@@ -74,6 +74,13 @@ pub struct FlowConfig {
     /// paper's "one-time" function optimization real across runs. `None`
     /// keeps everything in memory.
     pub db_dir: Option<PathBuf>,
+    /// Size budget (serialized bytes) for the persistent cache; inserts
+    /// beyond it evict least-recently-used entries. `None` = unbounded.
+    ///
+    /// Deliberately excluded from [`FlowConfig::cache_fingerprint`]: the
+    /// budget decides which entries *stay cached*, never what a checkpoint
+    /// contains.
+    pub db_budget_bytes: Option<u64>,
     /// Static-analysis policy. When set, the flow entry points run the
     /// relevant `pi-lint` passes at stage boundaries (network before
     /// function optimization, database after it, composed design instead
@@ -108,6 +115,7 @@ impl Default for FlowConfig {
             baseline_effort: 6.0,
             threads: None,
             db_dir: None,
+            db_budget_bytes: None,
             lint: None,
             obs: Obs::null(),
             capture: None,
@@ -196,6 +204,12 @@ impl FlowConfig {
     /// Root directory of the persistent component-database cache.
     pub fn with_db_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.db_dir = Some(dir.into());
+        self
+    }
+
+    /// Byte budget for the persistent cache (LRU eviction beyond it).
+    pub fn with_db_budget_bytes(mut self, bytes: u64) -> Self {
+        self.db_budget_bytes = Some(bytes);
         self
     }
 

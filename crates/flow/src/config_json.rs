@@ -1,0 +1,537 @@
+//! The [`FlowConfig`] wire format.
+//!
+//! `pi-serve` compile jobs carry their whole configuration as JSON: a
+//! client serializes its config with [`FlowConfig::to_json`], the daemon
+//! reconstructs it with [`FlowConfig::from_json`] and runs the flow under
+//! it. The format covers **every builder knob** — synthesis options,
+//! granularity, the seed sweep, Fmax target, pblock utilization, efforts,
+//! partition-pin planning, route and component-placer options, phys-opt
+//! passes, threads, the cache directory and byte budget, and the full lint
+//! policy — so `from_json(to_json(c))` reproduces `c` exactly, including
+//! its [`FlowConfig::cache_fingerprint`] (property-tested in
+//! `tests/config_roundtrip.rs`).
+//!
+//! Two things deliberately do not cross the wire: the telemetry sink and
+//! the report capture. They are process-local plumbing — each side
+//! installs its own — and serializing them would make identical jobs hash
+//! differently. Unknown keys are rejected (a typo in a job must fail
+//! loudly, not silently run under defaults); missing keys take the
+//! documented defaults so old clients keep working when knobs are added.
+
+use crate::config::FlowConfig;
+use pi_cnn::graph::Granularity;
+use pi_lint::{Level, LintConfig, Waiver};
+use pi_pnr::RouteOptions;
+use pi_stitch::ComponentPlacerOptions;
+use pi_synth::{SynthMode, SynthOptions};
+use serde_json::Value;
+use std::path::PathBuf;
+
+/// Keys accepted at the top level (everything else is an error).
+const TOP_KEYS: &[&str] = &[
+    "synth",
+    "granularity",
+    "seeds",
+    "target_fmax_mhz",
+    "pblock_utilization",
+    "effort",
+    "plan_partpins",
+    "route",
+    "placer",
+    "phys_opt_passes",
+    "baseline_effort",
+    "threads",
+    "db_dir",
+    "db_budget_bytes",
+    "lint",
+];
+
+impl FlowConfig {
+    /// Serialize every builder knob as a JSON object (see module docs for
+    /// what is deliberately excluded). Key order is fixed, so equal
+    /// configs serialize byte-identically — the property `pi-serve` job
+    /// IDs rely on.
+    pub fn to_json_value(&self) -> Value {
+        let mut m = Value::Map(Vec::new());
+        m["synth"] = Value::Map(vec![
+            (
+                "mode".into(),
+                Value::Str(
+                    match self.synth.mode {
+                        SynthMode::Ooc => "ooc",
+                        SynthMode::Monolithic => "monolithic",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "data_width".into(),
+                Value::U64(u64::from(self.synth.data_width)),
+            ),
+            (
+                "weights_on_chip".into(),
+                Value::Bool(self.synth.weights_on_chip),
+            ),
+        ]);
+        m["granularity"] = Value::Str(
+            match self.granularity {
+                Granularity::Layer => "layer",
+                Granularity::Block => "block",
+            }
+            .into(),
+        );
+        m["seeds"] = Value::Seq(self.seeds.iter().map(|&s| Value::U64(s)).collect());
+        m["target_fmax_mhz"] = opt_f64(self.target_fmax_mhz);
+        m["pblock_utilization"] = Value::F64(self.pblock_utilization);
+        m["effort"] = Value::F64(self.effort);
+        m["plan_partpins"] = Value::Bool(self.plan_partpins);
+        m["route"] = Value::Map(vec![
+            ("max_iters".into(), Value::U64(self.route.max_iters as u64)),
+            (
+                "capacity".into(),
+                Value::U64(u64::from(self.route.capacity)),
+            ),
+        ]);
+        m["placer"] = Value::Map(vec![
+            (
+                "timing_threshold".into(),
+                Value::F64(self.placer.timing_threshold),
+            ),
+            (
+                "congestion_weight".into(),
+                Value::F64(self.placer.congestion_weight),
+            ),
+            (
+                "crowding_margin".into(),
+                Value::U64(u64::from(self.placer.crowding_margin)),
+            ),
+            (
+                "max_retries".into(),
+                Value::U64(self.placer.max_retries as u64),
+            ),
+        ]);
+        m["phys_opt_passes"] = Value::U64(self.phys_opt_passes as u64);
+        m["baseline_effort"] = Value::F64(self.baseline_effort);
+        m["threads"] = match self.threads {
+            Some(n) => Value::U64(n as u64),
+            None => Value::Null,
+        };
+        m["db_dir"] = match &self.db_dir {
+            Some(p) => Value::Str(p.to_string_lossy().into_owned()),
+            None => Value::Null,
+        };
+        m["db_budget_bytes"] = match self.db_budget_bytes {
+            Some(b) => Value::U64(b),
+            None => Value::Null,
+        };
+        m["lint"] = match &self.lint {
+            Some(lint) => lint_to_json(lint),
+            None => Value::Null,
+        };
+        m
+    }
+
+    /// Compact JSON string of [`FlowConfig::to_json_value`].
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_json_value()).expect("config serializes")
+    }
+
+    /// Rebuild a config from [`FlowConfig::to_json`] output. The result
+    /// carries no telemetry sink (install one with
+    /// [`FlowConfig::with_sink`] / [`FlowConfig::with_report_capture`]
+    /// after deserializing).
+    pub fn from_json(text: &str) -> Result<FlowConfig, String> {
+        let value = serde_json::from_str::<Value>(text).map_err(|e| format!("config: {e}"))?;
+        Self::from_json_value(&value)
+    }
+
+    /// [`FlowConfig::from_json`] over an already-parsed JSON tree.
+    pub fn from_json_value(value: &Value) -> Result<FlowConfig, String> {
+        let map = as_map(value, "config")?;
+        for (k, _) in map {
+            if !TOP_KEYS.contains(&k.as_str()) {
+                return Err(format!("config: unknown key {k:?}"));
+            }
+        }
+        let mut cfg = FlowConfig::new();
+        if let Some(v) = get(map, "synth") {
+            cfg.synth = synth_from_json(v)?;
+        }
+        if let Some(v) = get(map, "granularity") {
+            cfg.granularity = match as_str(v, "granularity")? {
+                "layer" => Granularity::Layer,
+                "block" => Granularity::Block,
+                other => return Err(format!("granularity: unknown value {other:?}")),
+            };
+        }
+        if let Some(v) = get(map, "seeds") {
+            let Value::Seq(xs) = v else {
+                return Err("seeds: expected an array".into());
+            };
+            cfg.seeds = xs
+                .iter()
+                .map(|x| as_u64(x, "seeds[]"))
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+        if let Some(v) = get(map, "target_fmax_mhz") {
+            cfg.target_fmax_mhz = as_opt_f64(v, "target_fmax_mhz")?;
+        }
+        if let Some(v) = get(map, "pblock_utilization") {
+            cfg.pblock_utilization = as_f64(v, "pblock_utilization")?;
+        }
+        if let Some(v) = get(map, "effort") {
+            cfg.effort = as_f64(v, "effort")?;
+        }
+        if let Some(v) = get(map, "plan_partpins") {
+            cfg.plan_partpins = as_bool(v, "plan_partpins")?;
+        }
+        if let Some(v) = get(map, "route") {
+            cfg.route = route_from_json(v)?;
+        }
+        if let Some(v) = get(map, "placer") {
+            cfg.placer = placer_from_json(v)?;
+        }
+        if let Some(v) = get(map, "phys_opt_passes") {
+            cfg.phys_opt_passes = as_u64(v, "phys_opt_passes")? as usize;
+        }
+        if let Some(v) = get(map, "baseline_effort") {
+            cfg.baseline_effort = as_f64(v, "baseline_effort")?;
+        }
+        if let Some(v) = get(map, "threads") {
+            cfg.threads = match v {
+                Value::Null => None,
+                other => {
+                    let n = as_u64(other, "threads")? as usize;
+                    if n == 0 {
+                        return Err("threads: must be at least 1".into());
+                    }
+                    Some(n)
+                }
+            };
+        }
+        if let Some(v) = get(map, "db_dir") {
+            cfg.db_dir = match v {
+                Value::Null => None,
+                other => Some(PathBuf::from(as_str(other, "db_dir")?)),
+            };
+        }
+        if let Some(v) = get(map, "db_budget_bytes") {
+            cfg.db_budget_bytes = match v {
+                Value::Null => None,
+                other => Some(as_u64(other, "db_budget_bytes")?),
+            };
+        }
+        if let Some(v) = get(map, "lint") {
+            cfg.lint = match v {
+                Value::Null => None,
+                other => Some(lint_from_json(other)?),
+            };
+        }
+        Ok(cfg)
+    }
+}
+
+fn lint_to_json(lint: &LintConfig) -> Value {
+    let mut m = Value::Map(Vec::new());
+    m["levels"] = Value::Map(
+        lint.levels
+            .iter()
+            .map(|(code, level)| (code.clone(), Value::Str(level_str(*level).into())))
+            .collect(),
+    );
+    m["waivers"] = Value::Seq(
+        lint.waivers
+            .iter()
+            .map(|w| {
+                Value::Map(vec![
+                    ("code".into(), Value::Str(w.code.clone())),
+                    ("origin_prefix".into(), Value::Str(w.origin_prefix.clone())),
+                ])
+            })
+            .collect(),
+    );
+    m["fanout_threshold"] = Value::U64(lint.fanout_threshold as u64);
+    m["frame_cycle_budget"] = Value::U64(lint.frame_cycle_budget);
+    m["deny_warnings"] = Value::Bool(lint.deny_warnings);
+    m
+}
+
+fn lint_from_json(value: &Value) -> Result<LintConfig, String> {
+    let map = as_map(value, "lint")?;
+    for (k, _) in map {
+        if ![
+            "levels",
+            "waivers",
+            "fanout_threshold",
+            "frame_cycle_budget",
+            "deny_warnings",
+        ]
+        .contains(&k.as_str())
+        {
+            return Err(format!("lint: unknown key {k:?}"));
+        }
+    }
+    let mut lint = LintConfig::new();
+    if let Some(v) = get(map, "levels") {
+        for (code, level) in as_map(v, "lint.levels")? {
+            let level = Level::parse(as_str(level, "lint.levels[]")?)
+                .ok_or_else(|| format!("lint.levels[{code}]: unknown level"))?;
+            lint = lint.with_level(code.clone(), level);
+        }
+    }
+    if let Some(v) = get(map, "waivers") {
+        let Value::Seq(xs) = v else {
+            return Err("lint.waivers: expected an array".into());
+        };
+        let mut waivers = Vec::with_capacity(xs.len());
+        for x in xs {
+            let wm = as_map(x, "lint.waivers[]")?;
+            waivers.push(Waiver {
+                code: as_str(
+                    get(wm, "code").ok_or("lint.waivers[]: missing code")?,
+                    "lint.waivers[].code",
+                )?
+                .to_string(),
+                origin_prefix: as_str(
+                    get(wm, "origin_prefix").ok_or("lint.waivers[]: missing origin_prefix")?,
+                    "lint.waivers[].origin_prefix",
+                )?
+                .to_string(),
+            });
+        }
+        lint = lint.with_waivers(waivers);
+    }
+    if let Some(v) = get(map, "fanout_threshold") {
+        lint = lint.with_fanout_threshold(as_u64(v, "lint.fanout_threshold")? as usize);
+    }
+    if let Some(v) = get(map, "frame_cycle_budget") {
+        lint = lint.with_frame_cycle_budget(as_u64(v, "lint.frame_cycle_budget")?);
+    }
+    if let Some(v) = get(map, "deny_warnings") {
+        lint = lint.with_deny_warnings(as_bool(v, "lint.deny_warnings")?);
+    }
+    Ok(lint)
+}
+
+fn synth_from_json(value: &Value) -> Result<SynthOptions, String> {
+    let map = as_map(value, "synth")?;
+    for (k, _) in map {
+        if !["mode", "data_width", "weights_on_chip"].contains(&k.as_str()) {
+            return Err(format!("synth: unknown key {k:?}"));
+        }
+    }
+    let mut synth = SynthOptions::default();
+    if let Some(v) = get(map, "mode") {
+        synth.mode = match as_str(v, "synth.mode")? {
+            "ooc" => SynthMode::Ooc,
+            "monolithic" => SynthMode::Monolithic,
+            other => return Err(format!("synth.mode: unknown value {other:?}")),
+        };
+    }
+    if let Some(v) = get(map, "data_width") {
+        synth.data_width = as_u64(v, "synth.data_width")? as u16;
+    }
+    if let Some(v) = get(map, "weights_on_chip") {
+        synth.weights_on_chip = as_bool(v, "synth.weights_on_chip")?;
+    }
+    Ok(synth)
+}
+
+fn route_from_json(value: &Value) -> Result<RouteOptions, String> {
+    let map = as_map(value, "route")?;
+    for (k, _) in map {
+        if !["max_iters", "capacity"].contains(&k.as_str()) {
+            return Err(format!("route: unknown key {k:?}"));
+        }
+    }
+    let mut route = RouteOptions::default();
+    if let Some(v) = get(map, "max_iters") {
+        route.max_iters = as_u64(v, "route.max_iters")? as usize;
+    }
+    if let Some(v) = get(map, "capacity") {
+        route.capacity = as_u64(v, "route.capacity")? as u16;
+    }
+    Ok(route)
+}
+
+fn placer_from_json(value: &Value) -> Result<ComponentPlacerOptions, String> {
+    let map = as_map(value, "placer")?;
+    for (k, _) in map {
+        if ![
+            "timing_threshold",
+            "congestion_weight",
+            "crowding_margin",
+            "max_retries",
+        ]
+        .contains(&k.as_str())
+        {
+            return Err(format!("placer: unknown key {k:?}"));
+        }
+    }
+    let mut placer = ComponentPlacerOptions::default();
+    if let Some(v) = get(map, "timing_threshold") {
+        placer.timing_threshold = as_f64(v, "placer.timing_threshold")?;
+    }
+    if let Some(v) = get(map, "congestion_weight") {
+        placer.congestion_weight = as_f64(v, "placer.congestion_weight")?;
+    }
+    if let Some(v) = get(map, "crowding_margin") {
+        placer.crowding_margin = as_u64(v, "placer.crowding_margin")? as u16;
+    }
+    if let Some(v) = get(map, "max_retries") {
+        placer.max_retries = as_u64(v, "placer.max_retries")? as usize;
+    }
+    Ok(placer)
+}
+
+fn level_str(level: Level) -> &'static str {
+    match level {
+        Level::Allow => "allow",
+        Level::Warn => "warn",
+        Level::Deny => "deny",
+    }
+}
+
+// ---- small JSON accessors ----------------------------------------------
+
+fn as_map<'v>(v: &'v Value, what: &str) -> Result<&'v Vec<(String, Value)>, String> {
+    match v {
+        Value::Map(m) => Ok(m),
+        _ => Err(format!("{what}: expected an object")),
+    }
+}
+
+fn get<'v>(map: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, String> {
+    match v {
+        Value::Str(s) => Ok(s),
+        _ => Err(format!("{what}: expected a string")),
+    }
+}
+
+fn as_bool(v: &Value, what: &str) -> Result<bool, String> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("{what}: expected a boolean")),
+    }
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        _ => Err(format!("{what}: expected an unsigned integer")),
+    }
+}
+
+fn as_f64(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::F64(x) => Ok(*x),
+        Value::U64(n) => Ok(*n as f64),
+        Value::I64(n) => Ok(*n as f64),
+        _ => Err(format!("{what}: expected a number")),
+    }
+}
+
+fn as_opt_f64(v: &Value, what: &str) -> Result<Option<f64>, String> {
+    match v {
+        Value::Null => Ok(None),
+        other => as_f64(other, what).map(Some),
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> Value {
+    match v {
+        Some(x) => Value::F64(x),
+        None => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_round_trips() {
+        let cfg = FlowConfig::new();
+        let back = FlowConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.cache_fingerprint(), cfg.cache_fingerprint());
+        assert_eq!(back.seeds, cfg.seeds);
+        assert_eq!(back.threads, None);
+        assert!(back.lint.is_none());
+    }
+
+    #[test]
+    fn every_knob_round_trips() {
+        let lint = LintConfig::new()
+            .deny("PL0107")
+            .allow("PL0206")
+            .with_waivers(vec![Waiver {
+                code: "PL0101".into(),
+                origin_prefix: "net:top_*".into(),
+            }])
+            .with_fanout_threshold(17)
+            .with_frame_cycle_budget(12345)
+            .with_deny_warnings(true);
+        let cfg = FlowConfig::new()
+            .with_synth(SynthOptions::vgg_like())
+            .with_granularity(Granularity::Block)
+            .with_seeds([9, 4, 7])
+            .with_target_fmax(433.25)
+            .with_pblock_utilization(0.55)
+            .with_effort(3.5)
+            .with_plan_partpins(false)
+            .with_route(RouteOptions {
+                max_iters: 11,
+                capacity: 48,
+            })
+            .with_placer(ComponentPlacerOptions {
+                timing_threshold: 123.5,
+                congestion_weight: 7.25,
+                crowding_margin: 5,
+                max_retries: 9,
+            })
+            .with_phys_opt_passes(6)
+            .with_baseline_effort(8.5)
+            .with_threads(3)
+            .with_db_dir("/tmp/pi-db")
+            .with_db_budget_bytes(1 << 20)
+            .with_lint(lint);
+        let back = FlowConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.cache_fingerprint(), cfg.cache_fingerprint());
+        assert_eq!(back.synth.data_width, cfg.synth.data_width);
+        assert_eq!(back.seeds, vec![9, 4, 7]);
+        assert_eq!(back.target_fmax_mhz, Some(433.25));
+        assert_eq!(back.threads, Some(3));
+        assert_eq!(back.db_dir, Some(PathBuf::from("/tmp/pi-db")));
+        assert_eq!(back.db_budget_bytes, Some(1 << 20));
+        let back_lint = back.lint.as_ref().unwrap();
+        assert_eq!(back_lint.levels, cfg.lint.as_ref().unwrap().levels);
+        assert_eq!(back_lint.waivers, cfg.lint.as_ref().unwrap().waivers);
+        assert_eq!(back_lint.fanout_threshold, 17);
+        assert_eq!(back_lint.frame_cycle_budget, 12345);
+        assert!(back_lint.deny_warnings);
+        // Equal configs serialize byte-identically (job IDs hash this).
+        assert_eq!(cfg.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn unknown_keys_fail_loudly() {
+        assert!(FlowConfig::from_json("{\"sedes\":[1]}")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(FlowConfig::from_json("{\"route\":{\"max_iter\":3}}")
+            .unwrap_err()
+            .contains("unknown key"));
+    }
+
+    #[test]
+    fn missing_keys_take_defaults() {
+        let cfg = FlowConfig::from_json("{\"seeds\":[5]}").unwrap();
+        assert_eq!(cfg.seeds, vec![5]);
+        assert_eq!(cfg.effort, FlowConfig::new().effort);
+    }
+}

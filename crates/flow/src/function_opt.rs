@@ -618,6 +618,9 @@ pub struct DbCacheStats {
     pub invalidations: usize,
     /// Serialized checkpoint bytes loaded on hits.
     pub bytes_loaded: u64,
+    /// Entries evicted to honor `FlowConfig::db_budget_bytes` while this
+    /// run's inserts were persisted.
+    pub evictions: u64,
 }
 
 impl DbCacheStats {
@@ -666,7 +669,8 @@ pub fn build_component_db_cached(
     let components = network.components(opts.granularity)?;
     let span = dse.span_with("db_cache", &[("components", components.len().into())]);
 
-    let mut cache = DbCache::open(dir, obs).map_err(FlowError::Stitch)?;
+    let mut cache =
+        DbCache::open_with_budget(dir, cfg.db_budget_bytes, obs).map_err(FlowError::Stitch)?;
     let mut db = ComponentDb::new();
     let mut stats = DbCacheStats::default();
     let mut missing: Vec<(&Component, String)> = Vec::new();
@@ -699,12 +703,14 @@ pub fn build_component_db_cached(
         db.insert(cp);
         reports.push(report);
     }
+    stats.evictions = cache.budget_evictions();
 
     if dse.enabled() {
         dse.counter("cache_hits", stats.hits as u64);
         dse.counter("cache_misses", stats.misses as u64);
         dse.counter("cache_invalidations", stats.invalidations as u64);
         dse.counter("cache_bytes_loaded", stats.bytes_loaded);
+        dse.counter("cache_evictions", stats.evictions);
     }
     span.end();
     lint_gate_db(&db, network, device, cfg)?;

@@ -21,6 +21,7 @@
 pub mod arch_opt;
 pub mod baseline;
 pub mod config;
+pub mod config_json;
 pub mod function_opt;
 pub mod report;
 

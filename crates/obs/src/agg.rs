@@ -261,7 +261,10 @@ pub struct StitchRetry {
 /// `ts_us` or `wallclock*` fields — so the report of a run is a pure
 /// function of its deterministic event stream: fold a live `MemorySink`
 /// snapshot or the re-parsed `--trace` JSONL of the same run and the
-/// reports compare equal.
+/// reports compare equal. (`wallclock*` point fields are additionally
+/// aggregated into [`RunReport::wallclock`] for human inspection; the
+/// timestamp-stripped JSONL form drops them, and [`RunReport::metrics`] /
+/// [`RunReport::diff`] never look at them.)
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
     /// Total events folded.
@@ -278,6 +281,13 @@ pub struct RunReport {
     /// Point aggregates (count + per-field histograms) keyed by
     /// `scope:name`.
     pub points: BTreeMap<String, PointStats>,
+    /// Wall-clock aggregates folded from `wallclock*` point fields, keyed
+    /// `scope:name.field` (e.g. per-request latency from `pi-serve`).
+    /// Real measurements, but nondeterministic by convention — excluded
+    /// from [`RunReport::metrics`] (and therefore from diffs and
+    /// regression gates) and from the default text rendering; see
+    /// [`RunReport::render_wallclock`].
+    pub wallclock: BTreeMap<String, GaugeStats>,
     /// Annealer convergence traces, in stream order.
     pub anneal: Vec<AnnealTrace>,
     /// Router negotiation traces, in stream order.
@@ -374,11 +384,29 @@ impl RunReport {
                     g.max = g.max.max(v);
                 }
                 EventKind::Point => {
+                    for (k, v) in &e.fields {
+                        // Nondeterministic by convention: aggregated apart
+                        // from the deterministic histograms below.
+                        if !k.starts_with("wallclock") {
+                            continue;
+                        }
+                        let n = match v {
+                            Value::U64(n) => *n as f64,
+                            Value::I64(n) => *n as f64,
+                            Value::F64(n) => *n,
+                            _ => continue,
+                        };
+                        let w = r.wallclock.entry(format!("{key}.{k}")).or_default();
+                        w.count += 1;
+                        w.last = n;
+                        w.min = w.min.min(n);
+                        w.max = w.max.max(n);
+                    }
                     let p = r.points.entry(key).or_default();
                     p.count += 1;
                     for (k, v) in &e.fields {
                         if k.starts_with("wallclock") {
-                            continue; // nondeterministic by convention
+                            continue;
                         }
                         let n = match v {
                             Value::U64(n) => *n as f64,
@@ -757,6 +785,24 @@ impl RunReport {
         }
         out
     }
+
+    /// Render the wall-clock aggregates (empty string when the stream
+    /// carried none). Kept out of [`RunReport::render_text`] so the
+    /// default `flowstat summarize` output stays byte-identical across
+    /// same-seed runs; `flowstat summarize --wallclock` appends it.
+    pub fn render_wallclock(&self) -> String {
+        if self.wallclock.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("\nwall-clock (nondeterministic, excluded from diffs)\n");
+        for (k, w) in &self.wallclock {
+            out.push_str(&format!(
+                "  {:<52} last {:>12.4}  min {:>12.4}  max {:>12.4}  n {}\n",
+                k, w.last, w.min, w.max, w.count
+            ));
+        }
+        out
+    }
 }
 
 /// One aligned metric that differs between two reports.
@@ -1085,8 +1131,17 @@ mod tests {
             .collect();
         let parsed = RunReport::from_jsonl(&full).expect("parses");
         assert_eq!(direct, parsed);
+        // The stripped comparison form drops exactly the wall-clock
+        // aggregates — every deterministic metric still aligns.
         let stripped = RunReport::from_jsonl(&sink.stripped_jsonl()).expect("parses");
-        assert_eq!(direct, stripped);
+        assert!(direct.diff(&stripped).is_empty());
+        assert!(stripped.wallclock.is_empty());
+        assert_eq!(direct.wallclock["rt:step.wallclock_s"].last, 0.5);
+        assert!(direct.render_wallclock().contains("wallclock_s"));
+        assert_eq!(stripped.render_wallclock(), "");
+        let mut no_wallclock = direct.clone();
+        no_wallclock.wallclock.clear();
+        assert_eq!(no_wallclock, stripped);
     }
 
     #[test]

@@ -498,6 +498,20 @@ impl Obs {
         }
     }
 
+    /// A handle whose scope nests under this handle's scope
+    /// (`parent::child`); a handle with no scope behaves like
+    /// [`Obs::scoped`]. Lets per-request workers (e.g. `pi-serve` jobs)
+    /// tag their events under a request-specific sub-scope without the
+    /// caller reassembling dotted paths by hand.
+    pub fn subscoped(&self, child: impl AsRef<str>) -> Obs {
+        let child = child.as_ref();
+        if self.scope.is_empty() {
+            self.scoped(child)
+        } else {
+            self.scoped(format!("{}::{}", self.scope, child))
+        }
+    }
+
     /// A handle tagging its events with `seed`.
     pub fn with_seed(&self, seed: u64) -> Obs {
         Obs {
@@ -958,6 +972,17 @@ mod tests {
             .unwrap_err()
             .message
             .contains("mystery"));
+    }
+
+    #[test]
+    fn subscoped_nests_under_the_parent_scope() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        obs.scoped("serve").subscoped("job_1").point("start", &[]);
+        obs.subscoped("root_level").point("start", &[]);
+        let events = sink.snapshot();
+        assert_eq!(events[0].scope, "serve::job_1");
+        assert_eq!(events[1].scope, "root_level", "no leading separator");
     }
 
     #[test]

@@ -28,22 +28,39 @@
 //!   misses; the flow then rebuilds them. Corruption is never a panic and
 //!   never an error the caller must handle.
 //!
+//! * **Cross-process safety** — every manifest read-modify-write runs
+//!   under the advisory lock file (`manifest.lock`, see [`crate::lock`])
+//!   and re-reads the on-disk manifest before applying its own mutation,
+//!   so two processes sharing one cache directory can never silently drop
+//!   each other's entries. Stale locks left by killed processes are
+//!   detected (dead PID) and stolen; live contention is bounded by a
+//!   timeout, never a deadlock.
+//! * **Eviction** — with a byte budget ([`DbCache::open_with_budget`]),
+//!   inserts that push the cache over budget evict least-recently-used
+//!   entries (recency is a persisted logical generation counter, not wall
+//!   clock) until it fits again; the entry being inserted is never the
+//!   victim of its own insert.
+//!
 //! Every cache interaction emits telemetry under the `stitch::db_cache`
 //! scope (hits with bytes loaded, misses, invalidations with a reason,
-//! stores), so `--trace` output shows exactly what the cache did.
+//! stores, budget evictions), so `--trace` output shows exactly what the
+//! cache did.
 
 use crate::db::sanitize;
+use crate::lock::{LockFile, DEFAULT_LOCK_TIMEOUT};
 use crate::StitchError;
 use pi_netlist::{Checkpoint, StableHasher, CHECKPOINT_FORMAT_VERSION};
 use pi_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// On-disk manifest format version; bumped when the manifest shape
 /// changes. A mismatched manifest is quarantined wholesale and the cache
-/// restarts empty (entries rebuild on demand).
-pub const MANIFEST_VERSION: u32 = 1;
+/// restarts empty (entries rebuild on demand). Version 2 added the
+/// `generation` clock and per-entry `last_used` recency for LRU eviction.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// File names inside the cache root.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -68,15 +85,29 @@ struct ManifestEntry {
     format_version: u32,
     /// Device part the checkpoint targets.
     device: String,
-    /// Serialized size, for the bytes-loaded telemetry.
+    /// Serialized size, for the bytes-loaded telemetry and the eviction
+    /// budget.
     bytes: u64,
+    /// Logical recency: the manifest `generation` at the entry's last hit
+    /// or store. Deterministic (no wall clock); orders LRU eviction.
+    #[serde(default = "zero_u64")]
+    last_used: u64,
 }
 
-/// The serialized manifest: versions plus the sorted entry list.
+fn zero_u64() -> u64 {
+    0
+}
+
+/// The serialized manifest: versions, the logical clock, and the sorted
+/// entry list.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Manifest {
     manifest_version: u32,
     format_version: u32,
+    /// Monotonic logical clock; bumped on every hit/store and stamped into
+    /// the touched entry's `last_used`.
+    #[serde(default = "zero_u64")]
+    generation: u64,
     entries: Vec<ManifestEntry>,
 }
 
@@ -112,50 +143,93 @@ pub fn cache_key(signature: &str, device: &str, knobs_fingerprint: u64) -> Strin
 pub struct DbCache {
     root: PathBuf,
     entries: BTreeMap<String, ManifestEntry>,
+    /// Logical recency clock mirrored from the manifest.
+    generation: u64,
+    /// Byte budget for the objects tier; `None` = unbounded.
+    budget_bytes: Option<u64>,
+    /// Bound on waiting for a live manifest lock holder.
+    lock_timeout: Duration,
+    /// Budget evictions performed by this handle (telemetry/stats).
+    budget_evictions: u64,
 }
 
 impl DbCache {
-    /// Open (or create) a cache at `root`. An undecodable or
+    /// Open (or create) an unbounded cache at `root`. An undecodable or
     /// version-mismatched manifest is quarantined and the cache starts
     /// empty — opening never fails on corruption, only on real I/O errors
     /// such as an uncreatable directory.
     pub fn open(root: impl Into<PathBuf>, obs: &Obs) -> Result<DbCache, StitchError> {
+        Self::open_with_budget(root, None, obs)
+    }
+
+    /// [`DbCache::open`] with an eviction budget: whenever an insert pushes
+    /// the total serialized object bytes past `budget_bytes`, least-
+    /// recently-used entries are evicted until the cache fits again.
+    pub fn open_with_budget(
+        root: impl Into<PathBuf>,
+        budget_bytes: Option<u64>,
+        obs: &Obs,
+    ) -> Result<DbCache, StitchError> {
         let root = root.into();
         std::fs::create_dir_all(root.join(OBJECTS_DIR))?;
         let cache_obs = obs.scoped(CACHE_SCOPE);
-        let manifest_path = root.join(MANIFEST_FILE);
-        let mut entries = BTreeMap::new();
-        if manifest_path.exists() {
-            match std::fs::read_to_string(&manifest_path)
-                .map_err(|e| e.to_string())
-                .and_then(|text| serde_json::from_str::<Manifest>(&text).map_err(|e| e.to_string()))
+        let mut cache = DbCache {
+            root,
+            entries: BTreeMap::new(),
+            generation: 0,
+            budget_bytes,
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
+            budget_evictions: 0,
+        };
+        cache.reload_manifest(&cache_obs);
+        Ok(cache)
+    }
+
+    /// Override the bound on waiting for a live manifest lock holder.
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+
+    /// Replace the in-memory index with the on-disk manifest (quarantining
+    /// a rotten one). Called at open and at the start of every locked
+    /// read-modify-write cycle, so concurrent writers always mutate the
+    /// latest shared state instead of a stale private copy.
+    fn reload_manifest(&mut self, cache_obs: &Obs) {
+        let manifest_path = self.root.join(MANIFEST_FILE);
+        self.entries.clear();
+        if !manifest_path.exists() {
+            return;
+        }
+        match std::fs::read_to_string(&manifest_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str::<Manifest>(&text).map_err(|e| e.to_string()))
+        {
+            Ok(manifest)
+                if manifest.manifest_version == MANIFEST_VERSION
+                    && manifest.format_version == CHECKPOINT_FORMAT_VERSION =>
             {
-                Ok(manifest)
-                    if manifest.manifest_version == MANIFEST_VERSION
-                        && manifest.format_version == CHECKPOINT_FORMAT_VERSION =>
-                {
-                    for e in manifest.entries {
-                        entries.insert(e.key.clone(), e);
-                    }
+                self.generation = self.generation.max(manifest.generation);
+                for e in manifest.entries {
+                    self.entries.insert(e.key.clone(), e);
                 }
-                Ok(_) => {
-                    quarantine_file(&root, &manifest_path, MANIFEST_FILE);
-                    if cache_obs.enabled() {
-                        cache_obs.point(
-                            "manifest_quarantined",
-                            &[("reason", "stale_version".into())],
-                        );
-                    }
+            }
+            Ok(_) => {
+                quarantine_file(&self.root, &manifest_path, MANIFEST_FILE);
+                if cache_obs.enabled() {
+                    cache_obs.point(
+                        "manifest_quarantined",
+                        &[("reason", "stale_version".into())],
+                    );
                 }
-                Err(_) => {
-                    quarantine_file(&root, &manifest_path, MANIFEST_FILE);
-                    if cache_obs.enabled() {
-                        cache_obs.point("manifest_quarantined", &[("reason", "corrupt".into())]);
-                    }
+            }
+            Err(_) => {
+                quarantine_file(&self.root, &manifest_path, MANIFEST_FILE);
+                if cache_obs.enabled() {
+                    cache_obs.point("manifest_quarantined", &[("reason", "corrupt".into())]);
                 }
             }
         }
-        Ok(DbCache { root, entries })
     }
 
     pub fn root(&self) -> &Path {
@@ -197,7 +271,12 @@ impl DbCache {
             }
             return CacheLookup::Miss;
         };
-        let path = self.root.join(OBJECTS_DIR).join(&entry.file);
+        let (file, content_hash, signature) = (
+            entry.file.clone(),
+            entry.content_hash.clone(),
+            entry.signature.clone(),
+        );
+        let path = self.root.join(OBJECTS_DIR).join(&file);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => return self.invalidate(key, "missing_file", &cache_obs),
@@ -209,16 +288,26 @@ impl DbCache {
             }
             Err(_) => return self.invalidate(key, "corrupt", &cache_obs),
         };
-        if checkpoint.content_hash_hex() != entry.content_hash {
+        if checkpoint.content_hash_hex() != content_hash {
             return self.invalidate(key, "hash_mismatch", &cache_obs);
         }
         let bytes = text.len() as u64;
+        // Recency touch: best-effort — LRU ordering is advisory, so a lock
+        // timeout degrades to a skipped touch, never a failed lookup.
+        let _ = self.mutate_locked(&cache_obs, |cache| {
+            let generation = cache.generation + 1;
+            if let Some(e) = cache.entries.get_mut(key) {
+                cache.generation = generation;
+                e.last_used = generation;
+            }
+            Ok(())
+        });
         if cache_obs.enabled() {
             cache_obs.point(
                 "cache_hit",
                 &[
                     ("key", key.into()),
-                    ("signature", entry.signature.as_str().into()),
+                    ("signature", signature.as_str().into()),
                     ("bytes", bytes.into()),
                 ],
             );
@@ -230,8 +319,11 @@ impl DbCache {
     }
 
     /// Insert (or replace) a checkpoint under a key: atomic object write,
-    /// then atomic manifest rewrite. On success the entry survives process
-    /// death at any point.
+    /// then a locked manifest read-merge-write (see [`crate::lock`]). On
+    /// success the entry survives process death at any point, and entries
+    /// concurrently inserted by other processes survive this write. With a
+    /// budget configured, least-recently-used entries are evicted until
+    /// the cache fits (the just-inserted entry is never its own victim).
     pub fn insert(&mut self, key: &str, cp: &Checkpoint, obs: &Obs) -> Result<(), StitchError> {
         let json = cp.to_versioned_json()?;
         let mut prefix = sanitize(&cp.meta.signature);
@@ -248,16 +340,23 @@ impl DbCache {
             format_version: CHECKPOINT_FORMAT_VERSION,
             device: cp.meta.device.clone(),
             bytes,
+            last_used: 0,
         };
-        // Replacing a key whose signature changed leaves the old object
-        // file orphaned; remove it so the objects dir mirrors the manifest.
-        if let Some(old) = self.entries.insert(key.to_string(), entry) {
-            if old.file != self.entries[key].file {
-                let _ = std::fs::remove_file(self.root.join(OBJECTS_DIR).join(&old.file));
-            }
-        }
-        self.persist_manifest()?;
         let cache_obs = obs.scoped(CACHE_SCOPE);
+        let evicted = self.mutate_locked(&cache_obs, move |cache| {
+            cache.generation += 1;
+            let mut entry = entry;
+            entry.last_used = cache.generation;
+            // Replacing a key whose signature changed leaves the old
+            // object file orphaned; remove it so the objects dir mirrors
+            // the manifest.
+            if let Some(old) = cache.entries.insert(key.to_string(), entry) {
+                if old.file != cache.entries[key].file {
+                    let _ = std::fs::remove_file(cache.root.join(OBJECTS_DIR).join(&old.file));
+                }
+            }
+            Ok(cache.enforce_budget(key))
+        })?;
         if cache_obs.enabled() {
             cache_obs.point(
                 "cache_store",
@@ -267,22 +366,71 @@ impl DbCache {
                     ("bytes", bytes.into()),
                 ],
             );
+            for victim in &evicted {
+                cache_obs.point(
+                    "cache_evict",
+                    &[("key", victim.as_str().into()), ("reason", "budget".into())],
+                );
+            }
         }
         Ok(())
     }
 
+    /// Evict LRU entries (excluding `keep`) until the object tier fits the
+    /// budget. Runs inside a locked mutation; returns the victims' keys.
+    fn enforce_budget(&mut self, keep: &str) -> Vec<String> {
+        let Some(budget) = self.budget_bytes else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        loop {
+            let total: u64 = self.entries.values().map(|e| e.bytes).sum();
+            if total <= budget {
+                break;
+            }
+            // Oldest generation first; BTreeMap iteration makes the key
+            // tie-break deterministic.
+            let Some(victim) = self
+                .entries
+                .values()
+                .filter(|e| e.key != keep)
+                .min_by_key(|e| (e.last_used, e.key.clone()))
+                .map(|e| e.key.clone())
+            else {
+                break; // only the protected entry left — over budget, kept
+            };
+            let entry = self.entries.remove(&victim).expect("victim exists");
+            let _ = std::fs::remove_file(self.root.join(OBJECTS_DIR).join(&entry.file));
+            self.budget_evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Budget evictions performed through this handle so far.
+    pub fn budget_evictions(&self) -> u64 {
+        self.budget_evictions
+    }
+
+    /// Total serialized bytes of all indexed objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
     /// Remove a key and its object file. Returns whether it existed.
     pub fn evict(&mut self, key: &str, obs: &Obs) -> Result<bool, StitchError> {
-        let Some(entry) = self.entries.remove(key) else {
-            return Ok(false);
-        };
-        let _ = std::fs::remove_file(self.root.join(OBJECTS_DIR).join(&entry.file));
-        self.persist_manifest()?;
         let cache_obs = obs.scoped(CACHE_SCOPE);
-        if cache_obs.enabled() {
+        let existed = self.mutate_locked(&cache_obs, |cache| {
+            let Some(entry) = cache.entries.remove(key) else {
+                return Ok(false);
+            };
+            let _ = std::fs::remove_file(cache.root.join(OBJECTS_DIR).join(&entry.file));
+            Ok(true)
+        })?;
+        if existed && cache_obs.enabled() {
             cache_obs.point("cache_evict", &[("key", key.into())]);
         }
-        Ok(true)
+        Ok(existed)
     }
 
     /// Drop the entry, move its object file into `quarantine/`, persist
@@ -291,13 +439,15 @@ impl DbCache {
     /// write leaves a row the next lookup will re-invalidate — recovery
     /// never introduces a new failure mode.
     fn invalidate(&mut self, key: &str, reason: &'static str, cache_obs: &Obs) -> CacheLookup {
-        if let Some(entry) = self.entries.remove(key) {
-            let path = self.root.join(OBJECTS_DIR).join(&entry.file);
-            if path.exists() {
-                quarantine_file(&self.root, &path, &entry.file);
+        let _ = self.mutate_locked(cache_obs, |cache| {
+            if let Some(entry) = cache.entries.remove(key) {
+                let path = cache.root.join(OBJECTS_DIR).join(&entry.file);
+                if path.exists() {
+                    quarantine_file(&cache.root, &path, &entry.file);
+                }
             }
-            let _ = self.persist_manifest();
-        }
+            Ok(())
+        });
         if cache_obs.enabled() {
             cache_obs.point(
                 "cache_invalidate",
@@ -307,12 +457,31 @@ impl DbCache {
         CacheLookup::Invalidated { reason }
     }
 
+    /// One serialized manifest read-modify-write cycle: acquire the
+    /// advisory lock, reload the on-disk manifest (another process may
+    /// have written since we last read), apply `mutate`, persist
+    /// atomically, release. This is the fix for the classic lost-update
+    /// race: without the reload-under-lock, two processes interleaving
+    /// write-then-rename silently drop each other's entries.
+    fn mutate_locked<T>(
+        &mut self,
+        cache_obs: &Obs,
+        mutate: impl FnOnce(&mut Self) -> Result<T, StitchError>,
+    ) -> Result<T, StitchError> {
+        let _lock = LockFile::acquire(&self.root, self.lock_timeout)?;
+        self.reload_manifest(cache_obs);
+        let out = mutate(self)?;
+        self.persist_manifest()?;
+        Ok(out)
+    }
+
     /// Atomically rewrite `manifest.json` from the in-memory map. BTreeMap
     /// order keeps the bytes deterministic for identical contents.
     fn persist_manifest(&self) -> Result<(), StitchError> {
         let manifest = Manifest {
             manifest_version: MANIFEST_VERSION,
             format_version: CHECKPOINT_FORMAT_VERSION,
+            generation: self.generation,
             entries: self.entries.values().cloned().collect(),
         };
         let json = serde_json::to_string_pretty(&manifest)
@@ -426,6 +595,81 @@ mod tests {
         let cache = DbCache::open(&root, &obs).unwrap();
         assert!(cache.is_empty());
         assert!(root.join(QUARANTINE_DIR).join(MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let root = tmp_root("budget");
+        let obs = Obs::null();
+        let a = checkpoint("sig_a");
+        let b = checkpoint("sig_b");
+        let c = checkpoint("sig_c");
+        let one_size = serde_json::to_string(&a.to_versioned_json().unwrap())
+            .unwrap()
+            .len() as u64;
+        // Budget fits two entries but not three.
+        let mut cache = DbCache::open_with_budget(&root, Some(one_size * 2 + 8), &obs).unwrap();
+        let (ka, kb, kc) = (
+            cache_key("sig_a", "test-part", 1),
+            cache_key("sig_b", "test-part", 1),
+            cache_key("sig_c", "test-part", 1),
+        );
+        cache.insert(&ka, &a, &obs).unwrap();
+        cache.insert(&kb, &b, &obs).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(matches!(cache.lookup(&ka, &obs), CacheLookup::Hit { .. }));
+        cache.insert(&kc, &c, &obs).unwrap();
+        assert_eq!(cache.budget_evictions(), 1);
+        assert!(cache.contains(&ka), "recently used entry survives");
+        assert!(!cache.contains(&kb), "LRU entry evicted");
+        assert!(cache.contains(&kc), "inserted entry never self-evicts");
+        assert!(cache.total_bytes() <= one_size * 2 + 8);
+        // A fresh handle sees the post-eviction state.
+        let reopened = DbCache::open(&root, &obs).unwrap();
+        assert_eq!(reopened.len(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn tiny_budget_keeps_the_newest_entry() {
+        let root = tmp_root("tinybudget");
+        let obs = Obs::null();
+        let cp = checkpoint("solo");
+        let key = cache_key("solo", "test-part", 1);
+        let mut cache = DbCache::open_with_budget(&root, Some(1), &obs).unwrap();
+        cache.insert(&key, &cp, &obs).unwrap();
+        assert!(
+            cache.contains(&key),
+            "an insert must never evict itself even over budget"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn concurrent_handles_do_not_lose_each_others_entries() {
+        // The lost-update bug: two handles (standing in for two processes)
+        // each hold a private in-memory map; without reload-under-lock the
+        // second insert's manifest write would drop the first's entry.
+        let root = tmp_root("merge");
+        let obs = Obs::null();
+        let a = checkpoint("proc_a_sig");
+        let b = checkpoint("proc_b_sig");
+        let ka = cache_key("proc_a_sig", "test-part", 1);
+        let kb = cache_key("proc_b_sig", "test-part", 1);
+        let mut h1 = DbCache::open(&root, &obs).unwrap();
+        let mut h2 = DbCache::open(&root, &obs).unwrap();
+        h1.insert(&ka, &a, &obs).unwrap();
+        h2.insert(&kb, &b, &obs).unwrap();
+        let mut reopened = DbCache::open(&root, &obs).unwrap();
+        assert!(
+            matches!(reopened.lookup(&ka, &obs), CacheLookup::Hit { .. }),
+            "h1's entry must survive h2's manifest write"
+        );
+        assert!(matches!(
+            reopened.lookup(&kb, &obs),
+            CacheLookup::Hit { .. }
+        ));
         std::fs::remove_dir_all(&root).ok();
     }
 

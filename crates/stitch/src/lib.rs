@@ -15,6 +15,7 @@
 pub mod cache;
 pub mod compose;
 pub mod db;
+pub mod lock;
 pub mod placer;
 pub mod relocate;
 pub mod verify;
@@ -22,6 +23,7 @@ pub mod verify;
 pub use cache::{cache_key, CacheLookup, DbCache, CACHE_SCOPE, MANIFEST_FILE, MANIFEST_VERSION};
 pub use compose::{compose, compose_obs, ComposeOptions, ComposeReport};
 pub use db::ComponentDb;
+pub use lock::{LockFile, DEFAULT_LOCK_TIMEOUT, LOCK_FILE};
 pub use placer::{
     place_components, place_components_obs, ComponentPlacerOptions, PlacementOutcome,
 };
@@ -48,6 +50,12 @@ pub enum StitchError {
         checkpoint: String,
         want: String,
     },
+    /// The cache-manifest advisory lock stayed held by a live process for
+    /// the whole acquisition window (see [`lock::LockFile`]).
+    LockTimeout {
+        path: std::path::PathBuf,
+        holder: String,
+    },
     Netlist(pi_netlist::NetlistError),
     Fabric(pi_fabric::FabricError),
     Cnn(pi_cnn::CnnError),
@@ -71,6 +79,11 @@ impl std::fmt::Display for StitchError {
             StitchError::DeviceMismatch { checkpoint, want } => write!(
                 f,
                 "checkpoint '{checkpoint}' targets a different device (composition wants {want})"
+            ),
+            StitchError::LockTimeout { path, holder } => write!(
+                f,
+                "cache lock {} held by live process {holder} beyond the timeout",
+                path.display()
             ),
             StitchError::Netlist(e) => write!(f, "stitch netlist: {e}"),
             StitchError::Fabric(e) => write!(f, "stitch fabric: {e}"),

@@ -1,0 +1,202 @@
+//! Advisory cross-process locking for the cache manifest.
+//!
+//! Two processes sharing one `--db-dir` both follow write-then-rename for
+//! `manifest.json`, which is atomic per writer but not serialized across
+//! writers: process A can read the manifest, process B can read the same
+//! bytes, and whichever renames last silently drops the other's entries.
+//! [`LockFile`] closes that window: every manifest read-modify-write cycle
+//! runs under an exclusive advisory lock, taken by atomically creating
+//! `manifest.lock` (`O_CREAT | O_EXCL`) with the owner's PID inside.
+//!
+//! The protocol is crash-safe and never deadlocks:
+//!
+//! * **Stale locks are stolen, not waited on.** A lock whose recorded PID
+//!   no longer names a live process — the owner was killed mid-write — is
+//!   removed and re-acquired. Unreadable or garbage lock contents count as
+//!   stale too (a torn write of the lock file itself must not wedge every
+//!   future run).
+//! * **Live contention is bounded.** Acquisition polls with a short sleep
+//!   and gives up with [`StitchError::LockTimeout`] after `timeout` —
+//!   callers get an error they can report, never a hang.
+//! * **Release is RAII.** Dropping the guard deletes the lock file; a
+//!   panic between acquire and drop still releases.
+//!
+//! Liveness probing uses `/proc/<pid>` where available and falls back to
+//! treating the owner as live (timeout still bounds the wait) elsewhere.
+
+use crate::StitchError;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Lock file name inside the cache root, next to `manifest.json`.
+pub const LOCK_FILE: &str = "manifest.lock";
+
+/// Default bound on how long an acquisition waits on a live owner.
+pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval while a live owner holds the lock.
+const RETRY_SLEEP: Duration = Duration::from_millis(2);
+
+/// An exclusively held advisory lock (see module docs). Created by
+/// [`LockFile::acquire`]; released on drop.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    /// Acquire the lock for the cache rooted at `root`, waiting up to
+    /// `timeout` on a live owner and stealing from a dead one.
+    pub fn acquire(root: &Path, timeout: Duration) -> Result<LockFile, StitchError> {
+        let path = root.join(LOCK_FILE);
+        let deadline = Instant::now() + timeout;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    // Best-effort: an empty lock file still locks; the PID
+                    // is only advisory metadata for staleness detection.
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.flush();
+                    return Ok(LockFile { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if owner_is_stale(&path) {
+                        // Steal: remove and retry immediately. A race where
+                        // another process steals first just loops back into
+                        // create_new.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        let holder = std::fs::read_to_string(&path).unwrap_or_default();
+                        return Err(StitchError::LockTimeout {
+                            path: path.clone(),
+                            holder: holder.trim().to_string(),
+                        });
+                    }
+                    std::thread::sleep(RETRY_SLEEP);
+                }
+                Err(e) => return Err(StitchError::Io(e)),
+            }
+        }
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Is the lock at `path` held by a process that no longer exists?
+///
+/// Unreadable or unparsable contents are stale: only a torn or interrupted
+/// write produces them, and the writer's rename-free protocol means it
+/// died before finishing. A PID that cannot be probed (no `/proc`) is
+/// treated as live so the timeout, not the probe, bounds the wait.
+fn owner_is_stale(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        // Concurrently deleted (owner released) — not stale, just retry.
+        return false;
+    };
+    match text.trim().parse::<u32>() {
+        Ok(pid) => !process_alive(pid),
+        Err(_) => true,
+    }
+}
+
+/// Best-effort liveness probe for a PID.
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        // No portable probe without libc; err on the side of "alive" and
+        // let the acquisition timeout bound the wait.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "pi_lock_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&root).unwrap();
+        root
+    }
+
+    #[test]
+    fn acquire_creates_and_drop_releases() {
+        let root = tmp_root("basic");
+        let lock = LockFile::acquire(&root, DEFAULT_LOCK_TIMEOUT).unwrap();
+        assert!(root.join(LOCK_FILE).exists());
+        drop(lock);
+        assert!(!root.join(LOCK_FILE).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn live_owner_times_out_instead_of_deadlocking() {
+        let root = tmp_root("timeout");
+        let _held = LockFile::acquire(&root, DEFAULT_LOCK_TIMEOUT).unwrap();
+        // Same PID is alive by definition; a second acquisition must give
+        // up within the bound rather than stealing or hanging.
+        let t = Instant::now();
+        match LockFile::acquire(&root, Duration::from_millis(40)) {
+            Err(StitchError::LockTimeout { holder, .. }) => {
+                assert_eq!(holder, std::process::id().to_string());
+            }
+            other => panic!("expected LockTimeout, got {other:?}"),
+        }
+        assert!(t.elapsed() < Duration::from_secs(5));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn dead_owner_is_stolen() {
+        let root = tmp_root("stale");
+        // Linux pid_max defaults to 2^22; this PID can never be live.
+        std::fs::write(root.join(LOCK_FILE), "999999999").unwrap();
+        let lock = LockFile::acquire(&root, Duration::from_millis(200)).unwrap();
+        drop(lock);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn garbage_lock_contents_are_stolen() {
+        let root = tmp_root("garbage");
+        std::fs::write(root.join(LOCK_FILE), "not a pid\0\0").unwrap();
+        let lock = LockFile::acquire(&root, Duration::from_millis(200)).unwrap();
+        drop(lock);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn contended_threads_serialize() {
+        let root = tmp_root("threads");
+        let root2 = root.clone();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..20 {
+                let _l = LockFile::acquire(&root2, DEFAULT_LOCK_TIMEOUT).unwrap();
+            }
+        });
+        for _ in 0..20 {
+            let _l = LockFile::acquire(&root, DEFAULT_LOCK_TIMEOUT).unwrap();
+        }
+        handle.join().unwrap();
+        assert!(!root.join(LOCK_FILE).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

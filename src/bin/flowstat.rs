@@ -1,67 +1,35 @@
 //! `flowstat` — fold recorded telemetry into deterministic run reports.
 //!
 //! ```text
-//! flowstat summarize <trace.jsonl> [--json]
+//! flowstat summarize <trace.jsonl> [--json] [--wallclock]
 //! flowstat diff <a.jsonl> <b.jsonl> [--fail-on-regression PCT] [--json]
 //! ```
 //!
-//! `summarize` folds one `--trace` recording (see the `preimpl` and
-//! `pi-bench` binaries) into a [`RunReport`]: span profile tree,
-//! counter/gauge/histogram tables and per-phase convergence traces.
+//! `summarize` folds one `--trace` recording (see the `preimpl`,
+//! `pi-bench` and `pi-serve` binaries) into a [`RunReport`]: span profile
+//! tree, counter/gauge/histogram tables and per-phase convergence traces.
 //! `diff` aligns two recordings by scope path and prints every metric
 //! delta; with `--fail-on-regression PCT` the exit code becomes 2 when any
 //! aligned metric moved by more than PCT percent (or appeared/vanished),
 //! which is the CI regression gate. All output is deterministic: built
 //! from seq-ordered events only, timestamps ignored, so two same-seed
-//! runs summarize byte-identically at any thread count.
+//! runs summarize byte-identically at any thread count. `--wallclock`
+//! appends the one non-deterministic section — `wallclock*` fields such
+//! as the daemon's per-request latency — which never participates in
+//! diffs or gates.
 
+use preimpl_cnn::cli::{self, Flag};
 use preimpl_cnn::prelude::*;
 use std::process::ExitCode;
 
-struct Args {
-    command: String,
-    positional: Vec<String>,
-    json: bool,
-    fail_on_regression: Option<f64>,
-}
+const USAGE: &str = "usage: flowstat <summarize|diff> <trace.jsonl> [trace-b.jsonl] \
+                     [--fail-on-regression PCT] [--json] [--wallclock]";
 
-fn usage() -> String {
-    "usage: flowstat <summarize|diff> <trace.jsonl> [trace-b.jsonl] \
-     [--fail-on-regression PCT] [--json]"
-        .to_string()
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
-    let command = argv.next().ok_or_else(usage)?;
-    let mut args = Args {
-        command,
-        positional: Vec::new(),
-        json: false,
-        fail_on_regression: None,
-    };
-    while let Some(a) = argv.next() {
-        match a.as_str() {
-            "--json" => args.json = true,
-            "--fail-on-regression" => {
-                let pct: f64 = argv
-                    .next()
-                    .ok_or("--fail-on-regression needs a percentage")?
-                    .parse()
-                    .map_err(|_| "--fail-on-regression must be a number".to_string())?;
-                if !pct.is_finite() || pct < 0.0 {
-                    return Err("--fail-on-regression must be >= 0".to_string());
-                }
-                args.fail_on_regression = Some(pct);
-            }
-            other if other.starts_with("--") => {
-                return Err(format!("unknown flag {other}\n{}", usage()));
-            }
-            other => args.positional.push(other.to_string()),
-        }
-    }
-    Ok(args)
-}
+const FLAGS: &[Flag] = &[
+    Flag::switch("--json"),
+    Flag::switch("--wallclock"),
+    Flag::value("--fail-on-regression"),
+];
 
 fn load_report(path: &str) -> Result<RunReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -69,63 +37,44 @@ fn load_report(path: &str) -> Result<RunReport, String> {
     Ok(RunReport::from_events(&events))
 }
 
-/// Write a rendering to stdout. A closed pipe (`flowstat summarize … |
-/// head`) is a normal way to consume a report, not an error — swallow
-/// `BrokenPipe` instead of panicking like `println!` would.
-fn emit(text: &str) -> Result<(), String> {
-    use std::io::Write;
-    let mut out = std::io::stdout().lock();
-    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
-        Ok(()) => Ok(()),
-        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
-        Err(e) => Err(format!("writing to stdout: {e}")),
-    }
-}
-
 fn main() -> ExitCode {
-    match run() {
-        Ok(code) => code,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    cli::run_main(run)
 }
 
 fn run() -> Result<ExitCode, String> {
-    let args = parse_args()?;
+    let args = cli::parse(FLAGS, USAGE)?;
     match args.command.as_str() {
         "summarize" => {
-            let path = args
-                .positional
-                .first()
-                .ok_or_else(|| format!("missing <trace.jsonl>\n{}", usage()))?;
+            let path = args.positional(0, "trace.jsonl", USAGE)?;
             let report = load_report(path)?;
-            if args.json {
-                emit(&(report.render_json() + "\n"))?;
+            if args.switch("--json") {
+                cli::emit(&(report.render_json() + "\n"))?;
             } else {
-                emit(&report.render_text())?;
+                cli::emit(&report.render_text())?;
+                if args.switch("--wallclock") {
+                    cli::emit(&report.render_wallclock())?;
+                }
             }
             Ok(ExitCode::SUCCESS)
         }
         "diff" => {
-            let a_path = args
-                .positional
-                .first()
-                .ok_or_else(|| format!("missing <a.jsonl>\n{}", usage()))?;
-            let b_path = args
-                .positional
-                .get(1)
-                .ok_or_else(|| format!("missing <b.jsonl>\n{}", usage()))?;
-            let a = load_report(a_path)?;
+            let a_path = args.positional(0, "a.jsonl", USAGE)?.to_string();
+            let b_path = args.positional(1, "b.jsonl", USAGE)?;
+            let a = load_report(&a_path)?;
             let b = load_report(b_path)?;
             let diff = a.diff(&b);
-            if args.json {
-                emit(&(diff.render_json() + "\n"))?;
+            if args.switch("--json") {
+                cli::emit(&(diff.render_json() + "\n"))?;
             } else {
-                emit(&diff.render_text())?;
+                cli::emit(&diff.render_text())?;
             }
-            if let Some(pct) = args.fail_on_regression {
+            let gate = match args.parsed::<f64>("--fail-on-regression", "a number")? {
+                Some(pct) if !pct.is_finite() || pct < 0.0 => {
+                    return Err("--fail-on-regression must be >= 0".to_string());
+                }
+                other => other,
+            };
+            if let Some(pct) = gate {
                 let regressions = diff.regressions(pct);
                 if !regressions.is_empty() {
                     eprintln!(
@@ -137,6 +86,6 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command {other}\n{}", usage())),
+        other => Err(format!("unknown command {other}\n{USAGE}")),
     }
 }

@@ -19,100 +19,43 @@
 //! (errors present, or warnings under `--deny-warnings`) — the same
 //! contract as `flowstat diff --fail-on-regression`.
 
+use preimpl_cnn::cli::{self, Cli, Flag};
 use preimpl_cnn::exit;
 use preimpl_cnn::lint::{lookup, parse_waivers, Level, LintConfig, LintEngine, LintReport};
 use preimpl_cnn::prelude::*;
 use std::process::ExitCode;
 
-struct Args {
-    command: String,
-    positional: Vec<String>,
-    device: String,
-    block: bool,
-    json: bool,
-    deny_warnings: bool,
-    waivers: Option<String>,
-    levels: Vec<(String, Level)>,
-    threads: Option<usize>,
-}
+const USAGE: &str = "usage: pilint <archdef|db|design|codes> <inputs...> [--block] [--json] \
+                     [--deny-warnings] [--waivers FILE] [--allow CODE] [--warn CODE] \
+                     [--deny CODE] [--device NAME] [--threads N]";
 
-fn usage() -> String {
-    "usage: pilint <archdef|db|design|codes> <inputs...> [--block] [--json] \
-     [--deny-warnings] [--waivers FILE] [--allow CODE] [--warn CODE] \
-     [--deny CODE] [--device NAME] [--threads N]"
-        .to_string()
-}
+const FLAGS: &[Flag] = &[
+    Flag::switch("--block"),
+    Flag::switch("--json"),
+    Flag::switch("--deny-warnings"),
+    Flag::value("--waivers"),
+    Flag::value("--allow"),
+    Flag::value("--warn"),
+    Flag::value("--deny"),
+    Flag::value("--device"),
+    Flag::value("--threads"),
+];
 
-fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
-    let command = argv.next().ok_or_else(usage)?;
-    let mut args = Args {
-        command,
-        positional: Vec::new(),
-        device: "xcku5p-like".to_string(),
-        block: false,
-        json: false,
-        deny_warnings: false,
-        waivers: None,
-        levels: Vec::new(),
-        threads: None,
-    };
-    let level_flag = |argv: &mut dyn Iterator<Item = String>,
-                      flag: &str,
-                      level: Level|
-     -> Result<(String, Level), String> {
-        let code = argv.next().ok_or(format!("{flag} needs a lint code"))?;
-        if lookup(&code).is_none() {
-            return Err(format!("unknown lint code {code} (see `pilint codes`)"));
-        }
-        Ok((code, level))
-    };
-    while let Some(a) = argv.next() {
-        match a.as_str() {
-            "--block" => args.block = true,
-            "--json" => args.json = true,
-            "--deny-warnings" => args.deny_warnings = true,
-            "--waivers" => {
-                args.waivers = Some(argv.next().ok_or("--waivers needs a path")?);
+fn lint_config(args: &Cli) -> Result<LintConfig, String> {
+    let mut cfg = LintConfig::new().with_deny_warnings(args.switch("--deny-warnings"));
+    for (flag, level) in [
+        ("--allow", Level::Allow),
+        ("--warn", Level::Warn),
+        ("--deny", Level::Deny),
+    ] {
+        for code in args.values(flag) {
+            if lookup(code).is_none() {
+                return Err(format!("unknown lint code {code} (see `pilint codes`)"));
             }
-            "--allow" => args
-                .levels
-                .push(level_flag(&mut argv, "--allow", Level::Allow)?),
-            "--warn" => args
-                .levels
-                .push(level_flag(&mut argv, "--warn", Level::Warn)?),
-            "--deny" => args
-                .levels
-                .push(level_flag(&mut argv, "--deny", Level::Deny)?),
-            "--device" => {
-                args.device = argv.next().ok_or("--device needs a value")?;
-            }
-            "--threads" => {
-                let n: usize = argv
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|_| "--threads must be a number".to_string())?;
-                if n == 0 {
-                    return Err("--threads must be at least 1".to_string());
-                }
-                args.threads = Some(n);
-            }
-            other if other.starts_with("--") => {
-                return Err(format!("unknown flag {other}\n{}", usage()));
-            }
-            other => args.positional.push(other.to_string()),
+            cfg = cfg.with_level(code.to_string(), level);
         }
     }
-    Ok(args)
-}
-
-fn lint_config(args: &Args) -> Result<LintConfig, String> {
-    let mut cfg = LintConfig::new().with_deny_warnings(args.deny_warnings);
-    for (code, level) in &args.levels {
-        cfg = cfg.with_level(code.clone(), *level);
-    }
-    if let Some(path) = &args.waivers {
+    if let Some(path) = args.value("--waivers") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         cfg = cfg.with_waivers(parse_waivers(&text).map_err(|e| format!("{path}: {e}"))?);
     }
@@ -125,25 +68,14 @@ fn load_network(path: &str) -> Result<Network, String> {
     parse_archdef_lenient(&text).map_err(|e| e.to_string())
 }
 
-/// Write a rendering to stdout, tolerating a closed pipe (`pilint … | head`).
-fn emit(text: &str) -> Result<(), String> {
-    use std::io::Write;
-    let mut out = std::io::stdout().lock();
-    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
-        Ok(()) => Ok(()),
-        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
-        Err(e) => Err(format!("writing to stdout: {e}")),
-    }
-}
-
 /// Render the report and map it onto the shared exit-code convention.
-fn finish(report: &LintReport, args: &Args) -> Result<ExitCode, String> {
-    if args.json {
-        emit(&(report.render_json() + "\n"))?;
+fn finish(report: &LintReport, args: &Cli) -> Result<ExitCode, String> {
+    if args.switch("--json") {
+        cli::emit(&(report.render_json() + "\n"))?;
     } else {
-        emit(&report.render_text())?;
+        cli::emit(&report.render_text())?;
     }
-    if report.gate(args.deny_warnings) {
+    if report.gate(args.switch("--deny-warnings")) {
         eprintln!("pilint: gate tripped ({})", report.summary_line());
         Ok(ExitCode::from(exit::GATE))
     } else {
@@ -152,27 +84,17 @@ fn finish(report: &LintReport, args: &Args) -> Result<ExitCode, String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(code) => code,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(exit::OPERATIONAL_ERROR)
-        }
-    }
+    cli::run_main(run)
 }
 
 fn run() -> Result<ExitCode, String> {
-    let args = parse_args()?;
-    if let Some(n) = args.threads {
+    let args = cli::parse(FLAGS, USAGE)?;
+    if let Some(n) = args.threads()? {
         preimpl_cnn::flow::FlowConfig::new()
             .with_threads(n)
             .apply_parallelism();
     }
-    let granularity = if args.block {
-        Granularity::Block
-    } else {
-        Granularity::Layer
-    };
+    let granularity = args.granularity();
 
     if args.command == "codes" {
         let mut table = String::new();
@@ -185,7 +107,7 @@ fn run() -> Result<ExitCode, String> {
                 c.summary.split_whitespace().collect::<Vec<_>>().join(" ")
             ));
         }
-        emit(&table)?;
+        cli::emit(&table)?;
         return Ok(ExitCode::from(exit::CLEAN));
     }
 
@@ -194,20 +116,13 @@ fn run() -> Result<ExitCode, String> {
 
     match args.command.as_str() {
         "archdef" => {
-            let path = args
-                .positional
-                .first()
-                .ok_or_else(|| format!("missing <archdef>\n{}", usage()))?;
-            let network = load_network(path)?;
+            let network = load_network(args.positional(0, "archdef", USAGE)?)?;
             let report = engine.lint_network(&network, granularity, &obs);
             finish(&report, &args)
         }
         "db" => {
-            let dir = args
-                .positional
-                .first()
-                .ok_or_else(|| format!("missing <db-dir>\n{}", usage()))?;
-            let device = Device::catalog(&args.device).map_err(|e| e.to_string())?;
+            let dir = args.positional(0, "db-dir", USAGE)?;
+            let device = Device::catalog(args.device()).map_err(|e| e.to_string())?;
             let db = ComponentDb::load_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
             let report = match args.positional.get(1) {
                 Some(archdef) => {
@@ -219,15 +134,9 @@ fn run() -> Result<ExitCode, String> {
             finish(&report, &args)
         }
         "design" => {
-            let archdef = args
-                .positional
-                .first()
-                .ok_or_else(|| format!("missing <archdef>\n{}", usage()))?;
-            let dir = args
-                .positional
-                .get(1)
-                .ok_or_else(|| format!("missing <db-dir>\n{}", usage()))?;
-            let device = Device::catalog(&args.device).map_err(|e| e.to_string())?;
+            let archdef = args.positional(0, "archdef", USAGE)?;
+            let dir = args.positional(1, "db-dir", USAGE)?;
+            let device = Device::catalog(args.device()).map_err(|e| e.to_string())?;
             let network = load_network(archdef)?;
             let db = ComponentDb::load_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
             let mut report = engine.lint_network(&network, granularity, &obs);
@@ -256,6 +165,6 @@ fn run() -> Result<ExitCode, String> {
             report.merge(engine.lint_design(&design, &device, &obs));
             finish(&report, &args)
         }
-        other => Err(format!("unknown command {other}\n{}", usage())),
+        other => Err(format!("unknown command {other}\n{USAGE}")),
     }
 }

@@ -18,107 +18,49 @@
 //! traces), `--lint` (run the `pi-lint` stage-boundary passes; adds a
 //! lint summary to the output and, with `--deny-warnings`, turns any
 //! warning into a gate failure — exit code 2, matching `pilint` and
-//! `flowstat diff`) and `--db-dir <path>` (persistent content-addressed component
-//! cache: checkpoints keyed by signature + device + implementation knobs
-//! are reused across runs instead of re-implemented; with it, `compose`
-//! and `floorplan` need no positional `<db-dir>` and build misses on
-//! demand). Run `cargo run --release --bin preimpl -- <cmd>`.
+//! `flowstat diff`), `--db-dir <path>` (persistent content-addressed
+//! component cache: checkpoints keyed by signature + device +
+//! implementation knobs are reused across runs instead of
+//! re-implemented; with it, `compose` and `floorplan` need no positional
+//! `<db-dir>` and build misses on demand) and `--db-budget-bytes N`
+//! (LRU-evict the cache beyond N bytes).
+//!
+//! `compose` and `build-db` also accept `--remote ADDR`: instead of
+//! running locally, the job (archdef text + full serialized config) is
+//! submitted to a `pi-serve` compile farm at ADDR, which builds off its
+//! shared component cache; `--trace`/`--report` then write the trace and
+//! report the daemon returned. Run `cargo run --release --bin preimpl --
+//! <cmd>`.
 
+use pi_serve::{JobCommand, JobSpec};
+use preimpl_cnn::cli::{self, Cli, Flag};
 use preimpl_cnn::cnn::graph::Granularity;
 use preimpl_cnn::prelude::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-struct Args {
-    command: String,
-    positional: Vec<String>,
-    device: String,
-    seeds: u64,
-    threads: Option<usize>,
-    block: bool,
-    trace: Option<String>,
-    report: Option<String>,
-    db_cache: Option<String>,
-    lint: bool,
-    deny_warnings: bool,
-}
+const USAGE: &str = "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> \
+                     <archdef> [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] \
+                     [--lint] [--deny-warnings] [--trace PATH] [--report PATH] [--db-dir PATH] \
+                     [--db-budget-bytes N] [--remote ADDR]";
 
-fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
-    let command = argv.next().ok_or_else(usage)?;
-    let mut args = Args {
-        command,
-        positional: Vec::new(),
-        device: "xcku5p-like".to_string(),
-        seeds: 3,
-        threads: None,
-        block: false,
-        trace: None,
-        report: None,
-        db_cache: None,
-        lint: false,
-        deny_warnings: false,
-    };
-    while let Some(a) = argv.next() {
-        match a.as_str() {
-            "--device" => {
-                args.device = argv.next().ok_or("--device needs a value")?;
-            }
-            "--seeds" => {
-                args.seeds = argv
-                    .next()
-                    .ok_or("--seeds needs a value")?
-                    .parse()
-                    .map_err(|_| "--seeds must be a number".to_string())?;
-            }
-            "--threads" => {
-                let n: usize = argv
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|_| "--threads must be a number".to_string())?;
-                if n == 0 {
-                    return Err("--threads must be at least 1".to_string());
-                }
-                args.threads = Some(n);
-            }
-            "--block" => args.block = true,
-            "--lint" => args.lint = true,
-            "--deny-warnings" => args.deny_warnings = true,
-            "--trace" => {
-                args.trace = Some(argv.next().ok_or("--trace needs a path")?);
-            }
-            "--report" => {
-                args.report = Some(argv.next().ok_or("--report needs a path")?);
-            }
-            "--db-dir" => {
-                args.db_cache = Some(argv.next().ok_or("--db-dir needs a path")?);
-            }
-            other if other.starts_with("--") => {
-                return Err(format!("unknown flag {other}\n{}", usage()));
-            }
-            other => args.positional.push(other.to_string()),
-        }
-    }
-    Ok(args)
-}
-
-fn usage() -> String {
-    "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> <archdef> \
-     [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] [--lint] \
-     [--deny-warnings] [--trace PATH] [--report PATH] [--db-dir PATH]"
-        .to_string()
-}
+const FLAGS: &[Flag] = &[
+    Flag::switch("--block"),
+    Flag::switch("--lint"),
+    Flag::switch("--deny-warnings"),
+    Flag::value("--device"),
+    Flag::value("--seeds"),
+    Flag::value("--threads"),
+    Flag::value("--trace"),
+    Flag::value("--report"),
+    Flag::value("--db-dir"),
+    Flag::value("--db-budget-bytes"),
+    Flag::value("--remote"),
+];
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(code) => code,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(preimpl_cnn::exit::OPERATIONAL_ERROR)
-        }
-    }
+    cli::run_main(run)
 }
 
 /// Render a lint-gate failure and map it onto the shared exit convention;
@@ -134,7 +76,7 @@ fn lint_gate_exit(e: preimpl_cnn::flow::FlowError) -> Result<ExitCode, String> {
 }
 
 fn run() -> Result<ExitCode, String> {
-    let args = parse_args()?;
+    let args = cli::parse(FLAGS, USAGE)?;
     if args.command == "devices" {
         for name in ["xcku5p-like", "xcku060-like", "test-part"] {
             let d = Device::catalog(name).map_err(|e| e.to_string())?;
@@ -152,19 +94,16 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let device = Device::catalog(&args.device).map_err(|e| e.to_string())?;
-    let granularity = if args.block {
-        Granularity::Block
-    } else {
-        Granularity::Layer
-    };
-    let archdef_path = args
-        .positional
-        .first()
-        .ok_or_else(|| format!("missing <archdef>\n{}", usage()))?;
+    let device = Device::catalog(args.device()).map_err(|e| e.to_string())?;
+    let granularity = args.granularity();
+    let archdef_path = args.positional(0, "archdef", USAGE)?;
     let text = std::fs::read_to_string(archdef_path)
         .map_err(|e| format!("reading {archdef_path}: {e}"))?;
     let network = parse_archdef(&text).map_err(|e| e.to_string())?;
+
+    if let Some(addr) = args.value("--remote") {
+        return run_remote(addr, &args, &text, granularity);
+    }
 
     match args.command.as_str() {
         "stats" => {
@@ -181,14 +120,15 @@ fn run() -> Result<ExitCode, String> {
                 stats.total_weights(),
                 stats.total_macs()
             );
-            if args.lint {
+            if args.switch("--lint") {
                 let engine = preimpl_cnn::lint::LintEngine::new(
-                    preimpl_cnn::lint::LintConfig::new().with_deny_warnings(args.deny_warnings),
+                    preimpl_cnn::lint::LintConfig::new()
+                        .with_deny_warnings(args.switch("--deny-warnings")),
                 );
                 let report =
                     engine.lint_network(&network, granularity, &preimpl_cnn::obs::Obs::null());
                 println!("{}", report.summary_line());
-                if report.gate(args.deny_warnings) {
+                if report.gate(args.switch("--deny-warnings")) {
                     return Ok(ExitCode::from(preimpl_cnn::exit::GATE));
                 }
             }
@@ -213,11 +153,8 @@ fn run() -> Result<ExitCode, String> {
                 t.elapsed().as_secs_f64(),
                 dir.display()
             );
-            if args.db_cache.is_some() {
-                println!(
-                    "db-cache: {} hits, {} misses, {} invalidated ({} bytes loaded)",
-                    stats.hits, stats.misses, stats.invalidations, stats.bytes_loaded
-                );
+            if args.value("--db-dir").is_some() {
+                print!("{}", db_cache_line(&stats));
             }
             for r in &reports {
                 println!(
@@ -233,7 +170,7 @@ fn run() -> Result<ExitCode, String> {
             // With a persistent cache, the positional checkpoint directory
             // is optional: misses are built on demand and persisted. The
             // plain form still loads a directory produced by `build-db`.
-            let (db, stats) = if args.db_cache.is_some() {
+            let (db, stats) = if args.value("--db-dir").is_some() {
                 let (db, _, stats) = match build_component_db_cached(&network, &device, &cfg) {
                     Ok(v) => v,
                     Err(e) => return lint_gate_exit(e),
@@ -271,10 +208,7 @@ fn run() -> Result<ExitCode, String> {
                     println!("{}", lint.summary_line());
                 }
                 if let Some(stats) = &stats {
-                    println!(
-                        "db-cache: {} hits, {} misses, {} invalidated ({} bytes loaded)",
-                        stats.hits, stats.misses, stats.invalidations, stats.bytes_loaded
-                    );
+                    print!("{}", db_cache_line(stats));
                 }
                 println!(
                     "timing: generated in {:.1} ms (stitch share {:.0}%)",
@@ -308,36 +242,92 @@ fn run() -> Result<ExitCode, String> {
             maybe_write_report(&args, &cfg)?;
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command {other}\n{}", usage())),
+        other => Err(format!("unknown command {other}\n{USAGE}")),
     }
 }
 
-fn db_dir(args: &Args) -> Result<PathBuf, String> {
-    args.positional
-        .get(1)
-        .map(PathBuf::from)
-        .ok_or_else(|| format!("missing <db-dir>\n{}", usage()))
+/// Ship the job to a `pi-serve` compile farm and render what came back.
+/// The config sent over the wire carries the flow knobs only — sinks and
+/// captures are process-local, and the daemon overrides the cache knobs
+/// with its own (`JobSpec::normalized`), so `--db-dir` here is pointless
+/// but harmless.
+fn run_remote(
+    addr: &str,
+    args: &Cli,
+    archdef_text: &str,
+    granularity: Granularity,
+) -> Result<ExitCode, String> {
+    let command = match args.command.as_str() {
+        "compose" => JobCommand::Compose,
+        "build-db" => JobCommand::BuildDb,
+        other => {
+            return Err(format!(
+                "--remote supports compose and build-db, not {other}"
+            ))
+        }
+    };
+    let cfg = wire_config(args, granularity)?;
+    let spec = JobSpec::new(archdef_text, args.device(), cfg).with_command(command);
+    let result = pi_serve::submit_and_wait(addr, &spec).map_err(|e| e.to_string())?;
+    cli::emit(&format!("{}\n", result.summary))?;
+    print!("{}", db_cache_line(&result.cache));
+    if let Some(path) = args.value("--trace") {
+        std::fs::write(path, &result.trace_jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("remote trace -> {path}");
+    }
+    if let Some(path) = args.value("--report") {
+        std::fs::write(path, &result.report_text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("flowstat report -> {path}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn config(args: &Args, granularity: Granularity) -> Result<FlowConfig, String> {
+/// The uniform cache-interaction line every cache-aware path prints.
+fn db_cache_line(stats: &preimpl_cnn::flow::DbCacheStats) -> String {
+    format!(
+        "db-cache: {} hits, {} misses, {} invalidated, {} evicted ({} bytes loaded)\n",
+        stats.hits, stats.misses, stats.invalidations, stats.evictions, stats.bytes_loaded
+    )
+}
+
+fn db_dir(args: &Cli) -> Result<PathBuf, String> {
+    args.positional(1, "db-dir", USAGE).map(PathBuf::from)
+}
+
+fn seeds(args: &Cli) -> Result<u64, String> {
+    Ok(args.parsed::<u64>("--seeds", "a number")?.unwrap_or(3))
+}
+
+/// The flow knobs shared by the local and remote paths (everything that
+/// serializes through `pi_flow::config_json`).
+fn wire_config(args: &Cli, granularity: Granularity) -> Result<FlowConfig, String> {
     let mut cfg = FlowConfig::new()
         .with_granularity(granularity)
-        .with_seeds(1..=args.seeds);
-    if let Some(threads) = args.threads {
+        .with_seeds(1..=seeds(args)?);
+    if args.switch("--lint") {
+        cfg = cfg.with_lint(
+            preimpl_cnn::lint::LintConfig::new().with_deny_warnings(args.switch("--deny-warnings")),
+        );
+    }
+    Ok(cfg)
+}
+
+fn config(args: &Cli, granularity: Granularity) -> Result<FlowConfig, String> {
+    let mut cfg = wire_config(args, granularity)?;
+    if let Some(threads) = args.threads()? {
         cfg = cfg.with_threads(threads);
     }
-    if let Some(path) = &args.trace {
+    if let Some(path) = args.value("--trace") {
         let sink = FileSink::create(path).map_err(|e| format!("opening {path}: {e}"))?;
         cfg = cfg.with_sink(Arc::new(sink));
     }
-    if let Some(dir) = &args.db_cache {
+    if let Some(dir) = args.value("--db-dir") {
         cfg = cfg.with_db_dir(dir);
     }
-    if args.lint {
-        cfg = cfg
-            .with_lint(preimpl_cnn::lint::LintConfig::new().with_deny_warnings(args.deny_warnings));
+    if let Some(bytes) = args.parsed::<u64>("--db-budget-bytes", "a byte count")? {
+        cfg = cfg.with_db_budget_bytes(bytes);
     }
-    if args.report.is_some() {
+    if args.value("--report").is_some() {
         // Installed after the sink so the capture tees the same stream the
         // `--trace` file records.
         cfg = cfg.with_report_capture();
@@ -347,8 +337,8 @@ fn config(args: &Args, granularity: Granularity) -> Result<FlowConfig, String> {
 
 /// Write the aggregated run report when `--report` was given. Call after
 /// the flow so the capture has seen the whole run.
-fn maybe_write_report(args: &Args, cfg: &FlowConfig) -> Result<(), String> {
-    let Some(path) = &args.report else {
+fn maybe_write_report(args: &Cli, cfg: &FlowConfig) -> Result<(), String> {
+    let Some(path) = args.value("--report") else {
         return Ok(());
     };
     let report = cfg

@@ -34,6 +34,8 @@
 //! the `pi-bench` crate for the binaries that regenerate every table and
 //! figure of the paper.
 
+pub mod cli;
+
 pub use pi_cnn as cnn;
 pub use pi_fabric as fabric;
 pub use pi_flow as flow;

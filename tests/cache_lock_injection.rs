@@ -1,0 +1,240 @@
+//! Failure injection against the cross-process manifest lock that closes
+//! the `DbCache` lost-update race (the bug class `pi-serve` worker pools
+//! made routine: N processes sharing one `--db-dir`).
+//!
+//! The scenarios a compile farm actually produces:
+//!
+//! * a worker is SIGKILLed mid-insert and leaves `manifest.lock` behind —
+//!   the next writer must steal it, not deadlock,
+//! * the lock file is torn garbage — same recovery,
+//! * a *live* holder never lets go — a bounded wait must surface
+//!   [`StitchError::LockTimeout`] instead of hanging the daemon,
+//! * two handles interleave writes on one directory — neither handle's
+//!   entries may be silently dropped (the lost update itself),
+//! * all of the above with a byte budget, so eviction's read-modify-write
+//!   goes through the same serialized cycle.
+
+use preimpl_cnn::fabric::Pblock;
+use preimpl_cnn::netlist::{
+    Cell, CellKind, Checkpoint, CheckpointMeta, Endpoint, ModuleBuilder, StreamRole,
+};
+use preimpl_cnn::obs::Obs;
+use preimpl_cnn::stitch::{cache_key, CacheLookup, DbCache, LockFile, StitchError, LOCK_FILE};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A PID that cannot name a live process: Linux caps `pid_max` at
+/// 4194304, so `/proc/99999999` never exists and a lock recording it is
+/// provably stale.
+const DEAD_PID: u32 = 99_999_999;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "pi_lock_inject_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn checkpoint(sig: &str) -> Checkpoint {
+    let mut b = ModuleBuilder::new("m");
+    let din = b.input("din", StreamRole::Source, 16);
+    let dout = b.output("dout", StreamRole::Sink, 16);
+    let c = b.cell(Cell::new("c", CellKind::full_slice()));
+    b.connect("i", Endpoint::Port(din), [Endpoint::Cell(c)]);
+    b.connect("o", Endpoint::Cell(c), [Endpoint::Port(dout)]);
+    let m = b.finish().unwrap();
+    Checkpoint {
+        meta: CheckpointMeta {
+            signature: sig.to_string(),
+            fmax_mhz: 500.0,
+            resources: m.resources(),
+            pblock: Pblock::new(1, 4, 0, 4),
+            device: "test-part".to_string(),
+            latency_cycles: 10,
+        },
+        module: m,
+    }
+}
+
+fn insert(cache: &mut DbCache, sig: &str) {
+    let obs = Obs::null();
+    cache
+        .insert(&cache_key(sig, "test-part", 7), &checkpoint(sig), &obs)
+        .unwrap_or_else(|e| panic!("insert '{sig}' failed: {e}"));
+}
+
+fn assert_hit(cache: &mut DbCache, sig: &str) {
+    let obs = Obs::null();
+    match cache.lookup(&cache_key(sig, "test-part", 7), &obs) {
+        CacheLookup::Hit { checkpoint: cp, .. } => assert_eq!(cp.meta.signature, sig),
+        other => panic!("expected hit for '{sig}', got {other:?}"),
+    }
+}
+
+/// A lock left by a process that died mid-insert (the classic `kill -9` a
+/// farm worker) is detected as stale and stolen; the insert both succeeds
+/// and releases the lock afterwards.
+#[test]
+fn stale_lock_from_dead_process_is_stolen_not_deadlocked() {
+    let root = tmp_root("dead_pid");
+    let obs = Obs::null();
+    let mut cache = DbCache::open(&root, &obs).unwrap();
+    std::fs::write(root.join(LOCK_FILE), DEAD_PID.to_string()).unwrap();
+
+    insert(&mut cache, "conv_k3");
+    assert_hit(&mut cache, "conv_k3");
+    assert!(
+        !root.join(LOCK_FILE).exists(),
+        "stolen lock must be released after the mutation"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A torn lock file — partial write, binary junk — is indistinguishable
+/// from a crash and must be treated exactly like a dead holder.
+#[test]
+fn garbage_lock_contents_are_treated_as_stale() {
+    let root = tmp_root("garbage");
+    let obs = Obs::null();
+    let mut cache = DbCache::open(&root, &obs).unwrap();
+    // Readable but unparsable — torn UTF-8, not a PID. (Truly unreadable
+    // bytes are indistinguishable from a concurrent delete and retried.)
+    std::fs::write(root.join(LOCK_FILE), "torn write not a pid\0\0").unwrap();
+
+    insert(&mut cache, "pool_w2s2");
+    assert_hit(&mut cache, "pool_w2s2");
+    assert!(!root.join(LOCK_FILE).exists());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A *live* holder is respected: a writer with a short lock timeout gets
+/// a `LockTimeout` naming the holder instead of hanging forever — and
+/// once the holder releases, the same handle succeeds.
+#[test]
+fn live_holder_bounds_the_wait_with_lock_timeout() {
+    let root = tmp_root("live");
+    let obs = Obs::null();
+    let mut cache = DbCache::open(&root, &obs)
+        .unwrap()
+        .with_lock_timeout(Duration::from_millis(50));
+
+    let held = LockFile::acquire(&root, Duration::from_secs(5)).unwrap();
+    let err = cache
+        .insert(
+            &cache_key("relu", "test-part", 7),
+            &checkpoint("relu"),
+            &obs,
+        )
+        .expect_err("insert under a live lock must time out");
+    match err {
+        StitchError::LockTimeout { holder, .. } => {
+            assert_eq!(
+                holder,
+                std::process::id().to_string(),
+                "timeout must name the live holder"
+            );
+        }
+        other => panic!("expected LockTimeout, got {other}"),
+    }
+
+    drop(held);
+    insert(&mut cache, "relu");
+    assert_hit(&mut cache, "relu");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The lost update itself: two handles on one directory interleave
+/// inserts. Before the locked read-merge-write cycle, each handle's
+/// manifest rewrite silently dropped the other's rows; now a fresh third
+/// handle must see the union.
+#[test]
+fn interleaved_inserts_through_two_handles_lose_nothing() {
+    let root = tmp_root("lost_update");
+    let obs = Obs::null();
+    let mut a = DbCache::open(&root, &obs).unwrap();
+    let mut b = DbCache::open(&root, &obs).unwrap();
+
+    insert(&mut a, "conv_c1");
+    insert(&mut b, "conv_c3");
+    insert(&mut a, "pool_s2");
+    insert(&mut b, "fc_f5");
+
+    let mut fresh = DbCache::open(&root, &obs).unwrap();
+    assert_eq!(fresh.len(), 4, "a manifest rewrite dropped entries");
+    for sig in ["conv_c1", "conv_c3", "pool_s2", "fc_f5"] {
+        assert_hit(&mut fresh, sig);
+    }
+    // An original handle's next locked write cycle refreshes its view of
+    // the shared manifest — after one more insert, `a` serves an entry it
+    // never wrote. (Reads alone keep the stale private index: a miss
+    // costs a rebuild, never a wrong artifact.)
+    insert(&mut a, "conv_c5");
+    assert_hit(&mut a, "fc_f5");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Contention without injection: many threads hammer one directory
+/// through their own handles; every insert must survive into the shared
+/// manifest. This is the access pattern of `pi-serve --workers N`.
+#[test]
+fn concurrent_writers_on_one_directory_never_drop_entries() {
+    let root = tmp_root("stampede");
+    let obs = Obs::null();
+    drop(DbCache::open(&root, &obs).unwrap());
+
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let root = root.clone();
+            std::thread::spawn(move || {
+                let obs = Obs::null();
+                let mut cache = DbCache::open(&root, &obs).unwrap();
+                for i in 0..4 {
+                    insert(&mut cache, &format!("w{t}_item{i}"));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("writer thread");
+    }
+
+    let mut fresh = DbCache::open(&root, &obs).unwrap();
+    assert_eq!(fresh.len(), 16, "concurrent inserts were lost");
+    for t in 0..4 {
+        for i in 0..4 {
+            assert_hit(&mut fresh, &format!("w{t}_item{i}"));
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Budgeted eviction runs through the same serialized cycle: with a
+/// budget smaller than two checkpoints, each insert evicts its
+/// predecessor (never itself), and a stale lock in the way is recovered
+/// exactly as in the unbounded case.
+#[test]
+fn budget_eviction_survives_a_stale_lock() {
+    let root = tmp_root("budget");
+    let obs = Obs::null();
+    // One serialized checkpoint is well under 4 KiB; a 1-byte budget
+    // forces every insert over budget so only the protected entry stays.
+    let mut cache = DbCache::open_with_budget(&root, Some(1), &obs).unwrap();
+
+    insert(&mut cache, "gen0");
+    std::fs::write(root.join(LOCK_FILE), DEAD_PID.to_string()).unwrap();
+    insert(&mut cache, "gen1");
+    insert(&mut cache, "gen2");
+
+    assert_eq!(cache.budget_evictions(), 2, "each insert evicts the LRU");
+    assert_eq!(cache.len(), 1, "only the newest entry fits the budget");
+    assert_hit(&mut cache, "gen2");
+    assert!(matches!(
+        cache.lookup(&cache_key("gen0", "test-part", 7), &obs),
+        CacheLookup::Miss
+    ));
+    assert!(!root.join(LOCK_FILE).exists());
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,193 @@
+//! Property tests for the `FlowConfig` wire format (`pi_flow::config_json`).
+//!
+//! `pi-serve` job IDs are content hashes over `FlowConfig::to_json()`, and
+//! the daemon rebuilds the config with `from_json` before running the
+//! flow — so the wire format must (a) preserve `cache_fingerprint()`
+//! (otherwise a remote job would rebuild components a local run already
+//! cached), and (b) serialize equal configs byte-identically (otherwise
+//! identical submissions would not coalesce). Both properties are checked
+//! here over randomized knob combinations, not just the defaults.
+
+use preimpl_cnn::cnn::graph::Granularity;
+use preimpl_cnn::lint::{Level, LintConfig, Waiver};
+use preimpl_cnn::pnr::RouteOptions;
+use preimpl_cnn::prelude::FlowConfig;
+use preimpl_cnn::stitch::ComponentPlacerOptions;
+use preimpl_cnn::synth::{SynthMode, SynthOptions};
+use proptest::prelude::*;
+
+/// Real codes from the lint registry plus one unknown-looking spelling
+/// (the levels map is policy, not validation — unknown codes may be
+/// configured and simply never fire).
+const CODES: &[&str] = &["PL0101", "PL0107", "PL0206", "PL0301", "PL9999"];
+
+/// Waiver origin prefixes with globbing, separators, unicode, empty.
+const PREFIXES: &[&str] = &["", "net:top_*", "comp:conv2d_*", "mem/alloc", "配線*", "*"];
+
+/// Cache directories with relative/absolute/dotted/unicode shapes.
+const DIRS: &[&str] = &[
+    "/tmp/pi-db",
+    "rel/cache",
+    "./x",
+    "..",
+    "キャッシュ",
+    "a b/c",
+];
+
+fn pbool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+/// `Option<T>` stand-in: flag + value.
+fn opt<S: Strategy>(s: S) -> impl Strategy<Value = Option<S::Value>> {
+    (0u8..2, s).prop_map(|(some, v)| if some == 1 { Some(v) } else { None })
+}
+
+fn lint_strategy() -> impl Strategy<Value = Option<LintConfig>> {
+    let levels = proptest::collection::vec((0usize..CODES.len(), 0u8..3), 0..4);
+    let waivers = proptest::collection::vec((0usize..CODES.len(), 0usize..PREFIXES.len()), 0..3);
+    let cfg = (levels, waivers, 1usize..64, 1u64..1_000_000, pbool()).prop_map(
+        |(levels, waivers, fanout, budget, deny)| {
+            let mut lint = LintConfig::new()
+                .with_fanout_threshold(fanout)
+                .with_frame_cycle_budget(budget)
+                .with_deny_warnings(deny);
+            for (code, level) in levels {
+                let level = match level {
+                    0 => Level::Allow,
+                    1 => Level::Warn,
+                    _ => Level::Deny,
+                };
+                lint = lint.with_level(CODES[code].to_string(), level);
+            }
+            lint.with_waivers(
+                waivers
+                    .into_iter()
+                    .map(|(code, prefix)| Waiver {
+                        code: CODES[code].to_string(),
+                        origin_prefix: PREFIXES[prefix].to_string(),
+                    })
+                    .collect(),
+            )
+        },
+    );
+    opt(cfg)
+}
+
+fn config_strategy() -> impl Strategy<Value = FlowConfig> {
+    let shape = (
+        pbool(),                                          // granularity
+        proptest::collection::vec(0u64..1_000_000, 1..6), // seeds
+        opt(50.0f64..2_000.0),                            // target fmax
+        0.05f64..1.0,                                     // pblock utilization
+        0.1f64..16.0,                                     // effort
+    );
+    let engines = (
+        pbool(),                                             // plan partpins
+        (1usize..40, 1u64..200),                             // route knobs
+        (0.0f64..500.0, 0.0f64..20.0, 0u64..16, 0usize..12), // placer knobs
+        0usize..10,                                          // phys-opt passes
+        0.5f64..16.0,                                        // baseline effort
+    );
+    let synth = (pbool(), 1u64..64, pbool());
+    let cache = (
+        opt(1usize..32),         // threads
+        opt(0usize..DIRS.len()), // db dir
+        opt(1u64..u64::MAX),     // db budget
+    );
+    (shape, engines, synth, cache, lint_strategy()).prop_map(
+        |(
+            (block, seeds, target, util, effort),
+            (partpins, (max_iters, capacity), placer, passes, baseline),
+            (mono, width, on_chip),
+            (threads, db_dir, budget),
+            lint,
+        )| {
+            let mut cfg = FlowConfig::new()
+                .with_synth(SynthOptions {
+                    mode: if mono {
+                        SynthMode::Monolithic
+                    } else {
+                        SynthMode::Ooc
+                    },
+                    data_width: width as u16,
+                    weights_on_chip: on_chip,
+                })
+                .with_granularity(if block {
+                    Granularity::Block
+                } else {
+                    Granularity::Layer
+                })
+                .with_seeds(seeds)
+                .with_pblock_utilization(util)
+                .with_effort(effort)
+                .with_plan_partpins(partpins)
+                .with_route(RouteOptions {
+                    max_iters,
+                    capacity: capacity as u16,
+                })
+                .with_placer(ComponentPlacerOptions {
+                    timing_threshold: placer.0,
+                    congestion_weight: placer.1,
+                    crowding_margin: placer.2 as u16,
+                    max_retries: placer.3,
+                })
+                .with_phys_opt_passes(passes)
+                .with_baseline_effort(baseline);
+            if let Some(t) = target {
+                cfg = cfg.with_target_fmax(t);
+            }
+            if let Some(t) = threads {
+                cfg = cfg.with_threads(t);
+            }
+            if let Some(d) = db_dir {
+                cfg = cfg.with_db_dir(DIRS[d]);
+            }
+            if let Some(b) = budget {
+                cfg = cfg.with_db_budget_bytes(b);
+            }
+            if let Some(l) = lint {
+                cfg = cfg.with_lint(l);
+            }
+            cfg
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The property `pi-serve` stands on: deserializing a serialized
+    /// config reproduces the cache fingerprint, so a remote job hits the
+    /// same cache entries a local run under the same config would.
+    #[test]
+    fn from_json_to_json_preserves_cache_fingerprint(cfg in config_strategy()) {
+        let wire = cfg.to_json();
+        let back = FlowConfig::from_json(&wire).expect("serialized config parses");
+        prop_assert_eq!(back.cache_fingerprint(), cfg.cache_fingerprint());
+        // Knobs outside the fingerprint must survive too.
+        prop_assert_eq!(back.threads, cfg.threads);
+        prop_assert_eq!(back.db_dir.clone(), cfg.db_dir.clone());
+        prop_assert_eq!(back.db_budget_bytes, cfg.db_budget_bytes);
+        prop_assert_eq!(back.phys_opt_passes, cfg.phys_opt_passes);
+        prop_assert_eq!(back.baseline_effort, cfg.baseline_effort);
+        prop_assert_eq!(
+            back.lint.as_ref().map(|l| (l.levels.clone(), l.waivers.clone(),
+                                        l.fanout_threshold, l.frame_cycle_budget,
+                                        l.deny_warnings)),
+            cfg.lint.as_ref().map(|l| (l.levels.clone(), l.waivers.clone(),
+                                       l.fanout_threshold, l.frame_cycle_budget,
+                                       l.deny_warnings))
+        );
+    }
+
+    /// Equal configs serialize byte-identically — a round-tripped config
+    /// re-serializes to the same string, so job IDs (hashes of the wire
+    /// form) coalesce identical submissions.
+    #[test]
+    fn serialization_is_canonical(cfg in config_strategy()) {
+        let wire = cfg.to_json();
+        let back = FlowConfig::from_json(&wire).expect("serialized config parses");
+        prop_assert_eq!(back.to_json(), wire);
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end compile-farm test: one `pi-serve` daemon on an ephemeral
+//! port, four concurrent clients submitting the *same* LeNet-5 compose
+//! job. The contract under test is the whole point of the daemon:
+//!
+//! * all four clients read byte-identical result bodies,
+//! * exactly one cold build happens (the other three submissions coalesce
+//!   — `/stats` reports 3 farm-level hits),
+//! * client-local cache knobs (`db_dir`, `threads`) do not split the work,
+//! * a later job against the same daemon runs warm off the shared
+//!   component cache.
+
+use pi_serve::protocol::http_call;
+use pi_serve::{serve, JobCommand, JobResult, JobSpec, ServerOptions};
+use preimpl_cnn::cnn::archdef::to_archdef;
+use preimpl_cnn::prelude::*;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tmp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pi_serve_e2e_{tag}_{}", std::process::id()))
+}
+
+/// The job every client submits: LeNet-5, one seed, lenet-shaped synth.
+fn lenet_spec() -> JobSpec {
+    JobSpec::new(
+        to_archdef(&preimpl_cnn::cnn::models::lenet5()),
+        "xcku5p-like",
+        FlowConfig::new()
+            .with_synth(SynthOptions::lenet_like())
+            .with_seeds([1]),
+    )
+}
+
+/// Poll `/result/<id>` until it is served, returning the *raw* body — the
+/// byte-identity assertion must see exactly what the wire carried.
+fn poll_raw_result(addr: &str, job_id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) =
+            http_call(addr, "GET", &format!("/result/{job_id}"), "").expect("daemon reachable");
+        match status {
+            200 => return body,
+            202 => {
+                assert!(Instant::now() < deadline, "job {job_id} did not finish");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            other => panic!("unexpected status {other} for job {job_id}: {body}"),
+        }
+    }
+}
+
+fn stat(stats: &Value, section: &str, key: &str) -> u64 {
+    match stats.get(section).and_then(|s| s.get(key)) {
+        Some(Value::U64(n)) => *n,
+        other => panic!("stats.{section}.{key} missing or not a number: {other:?}"),
+    }
+}
+
+#[test]
+fn four_concurrent_clients_coalesce_onto_one_cold_build() {
+    let db_dir = tmp_root("farm");
+    let _ = std::fs::remove_dir_all(&db_dir);
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerOptions {
+            db_dir: Some(db_dir.clone()),
+            workers: 2,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("daemon binds an ephemeral port");
+    let addr = handle.addr();
+
+    // Four clients, each with different *client-local* cache knobs — the
+    // daemon normalizes those away, so all four coalesce onto one job.
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut spec = lenet_spec();
+                spec.config = spec
+                    .config
+                    .with_db_dir(format!("/home/client{i}/cache"))
+                    .with_threads(i + 1);
+                let job_id = pi_serve::client::submit(&addr, &spec).expect("submit accepted");
+                let body = poll_raw_result(&addr, &job_id);
+                (job_id, body)
+            })
+        })
+        .collect();
+    let outcomes: Vec<(String, String)> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+
+    // Same job ID for everyone, byte-identical bodies for everyone.
+    let (first_id, first_body) = &outcomes[0];
+    for (id, body) in &outcomes {
+        assert_eq!(id, first_id, "client-local knobs split the job ID");
+        assert_eq!(body, first_body, "result bodies differ between clients");
+    }
+    let result = JobResult::from_json(first_body).expect("result parses");
+    assert!(
+        result.summary.starts_with("assembled lenet5"),
+        "{}",
+        result.summary
+    );
+    assert!(result.cache.misses > 0, "first build must be cold");
+    assert_eq!(result.cache.hits, 0, "nothing cached before the first job");
+    assert!(
+        !result.trace_jsonl.is_empty(),
+        "trace travels with the result"
+    );
+    assert!(
+        !result.report_text.is_empty(),
+        "report travels with the result"
+    );
+
+    // The farm did the work once: 4 submissions, 1 unique, 3 hits.
+    let (status, stats_body) = http_call(&addr, "GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200);
+    let stats: Value = serde_json::from_str(&stats_body).expect("stats parse");
+    assert_eq!(stat(&stats, "queue", "submitted"), 4);
+    assert_eq!(stat(&stats, "queue", "unique"), 1);
+    assert_eq!(stat(&stats, "queue", "hits"), 3);
+    assert_eq!(stat(&stats, "queue", "completed"), 1);
+    assert_eq!(stat(&stats, "queue", "failed"), 0);
+    assert_eq!(
+        stat(&stats, "db", "cold_builds"),
+        1,
+        "exactly one cold build"
+    );
+
+    // A resubmission after completion is served the stored bytes.
+    let resubmit_id = pi_serve::client::submit(&addr, &lenet_spec()).expect("resubmit");
+    assert_eq!(&resubmit_id, first_id);
+    assert_eq!(&poll_raw_result(&addr, &resubmit_id), first_body);
+
+    // A *different* job (build-db) against the same daemon runs entirely
+    // warm off the shared component cache the first job populated.
+    let warm = pi_serve::submit_and_wait(&addr, &lenet_spec().with_command(JobCommand::BuildDb))
+        .expect("warm job completes");
+    assert_eq!(warm.cache.misses, 0, "shared cache should serve everything");
+    assert!(warm.cache.hits > 0, "warm job must hit the shared cache");
+
+    pi_serve::client::shutdown(&addr).expect("shutdown accepted");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&db_dir);
+}
