@@ -87,13 +87,47 @@ if cargo run --release --quiet --bin flowstat -- \
 fi
 echo "    perturbed diff non-empty and gate exits non-zero, as required"
 
+# Router gate: the Steiner/slack router bench must beat its own star
+# baseline on LeNet-5 (the bin self-gates with exit 2 on any speed or
+# Fmax regression), produce byte-identical work telemetry at PI_THREADS=1
+# and PI_THREADS=4, and hold the line against the checked-in seed trace
+# `ci/router_lenet.seed.jsonl` — zero deltas, no silent drift in router
+# work per pass.
+echo "==> router gate: bench self-check, thread determinism, seed snapshot"
+rt_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir"' EXIT
+PI_THREADS=1 cargo run --release --quiet -p pi-bench --bin router -- \
+    --networks lenet --seeds 1 --out "$rt_dir/r1.json" \
+    --trace "$rt_dir/r1.jsonl" >/dev/null \
+    || { echo "router bench regressed vs star baseline (PI_THREADS=1)"; exit 1; }
+PI_THREADS=4 cargo run --release --quiet -p pi-bench --bin router -- \
+    --networks lenet --seeds 1 --out "$rt_dir/r4.json" \
+    --trace "$rt_dir/r4.jsonl" >/dev/null \
+    || { echo "router bench regressed vs star baseline (PI_THREADS=4)"; exit 1; }
+rt_diff="$(cargo run --release --quiet --bin flowstat -- \
+    diff "$rt_dir/r1.jsonl" "$rt_dir/r4.jsonl")"
+echo "$rt_diff" | grep -F 'identical' >/dev/null \
+    || { echo "router telemetry differs across PI_THREADS: $rt_diff"; exit 1; }
+cargo run --release --quiet --bin flowstat -- summarize "$rt_dir/r1.jsonl" \
+    > "$rt_dir/rs1.txt"
+cargo run --release --quiet --bin flowstat -- summarize "$rt_dir/r4.jsonl" \
+    > "$rt_dir/rs4.txt"
+cmp -s "$rt_dir/rs1.txt" "$rt_dir/rs4.txt" \
+    || { echo "router summaries not byte-identical across PI_THREADS"; exit 1; }
+seed_diff="$(cargo run --release --quiet --bin flowstat -- \
+    diff ci/router_lenet.seed.jsonl "$rt_dir/r1.jsonl" --fail-on-regression 0)" \
+    || { echo "router trace regressed vs checked-in seed: $seed_diff"; exit 1; }
+echo "$seed_diff" | grep -F 'identical' >/dev/null \
+    || { echo "router trace drifted from checked-in seed: $seed_diff"; exit 1; }
+echo "    bench beat baseline, traces identical across threads and vs seed"
+
 # pilint gate: both bundled models must lint clean under --deny-warnings,
 # and a deliberately broken archdef must trip the gate with the shared
 # exit-code convention (exactly 2: "ran fine, findings denied" — not 1,
 # which would mean the tool itself failed).
 echo "==> pilint gate: bundled models clean, broken fixture exits 2"
 lint_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir" "$fs_dir" "$lint_dir"' EXIT
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir"' EXIT
 {
     printf 'network vgg16\ninput 3x224x224\n'
     for block in '1 64 2' '2 128 2' '3 256 3' '4 512 3' '5 512 3'; do
@@ -129,7 +163,7 @@ echo "    both models clean, broken fixture tripped the gate (exit 2)"
 echo "==> pi-serve gate: remote compose matches local run"
 srv_dir="$(mktemp -d)"
 serve_pid=""
-trap 'rm -rf "$smoke_dir" "$fs_dir" "$lint_dir" "$srv_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$srv_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 cargo run --release --quiet --bin pi-serve -- \
     serve --bind 127.0.0.1:0 --db-dir "$srv_dir/db" --workers 2 \
     > "$srv_dir/serve.log" &

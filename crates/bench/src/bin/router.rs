@@ -1,0 +1,241 @@
+//! `router` — speed/quality comparison of the Steiner/slack/parallel
+//! router against the pre-change star router.
+//!
+//! Runs the full pre-implemented flow per network twice — once with the
+//! optimizations off ([`RouteOptions::star_baseline`]: distance-ordered
+//! star routing in net index order, the pre-change algorithm) and once
+//! with the defaults on (Steiner decomposition + slack-ordered
+//! negotiation) — folds each variant's telemetry into router work metrics
+//! (negotiation passes, A* expansions, rip-ups, final overuse) and writes
+//! `BENCH_router.json` plus a deterministic flowstat snapshot.
+//!
+//! The bench is self-gating: it exits 2 (the shared gate exit code) when
+//! the optimized router does more A* work than the baseline or loses
+//! Fmax — the quality claim in ROADMAP item 3 must hold on every run, not
+//! just the one that produced the checked-in numbers.
+//!
+//! Usage: `router [--networks lenet,vgg] [--seeds N] [--out PATH]
+//! [--trace PATH]`. `--trace` records the optimized variant of the first
+//! network's stream (CI diffs it against a checked-in seed snapshot).
+
+use pi_cnn::graph::Granularity;
+use pi_cnn::Network;
+use pi_fabric::Device;
+use pi_flow::{build_component_db, run_pre_implemented_flow, FlowConfig};
+use pi_obs::agg::RunReport;
+use pi_obs::{Event, EventSink, FanoutSink, FileSink, MemorySink, Obs};
+use pi_pnr::RouteOptions;
+use pi_synth::SynthOptions;
+use serde_json::json;
+use std::sync::Arc;
+
+struct VariantResult {
+    passes: u64,
+    expansions: u64,
+    ripups: u64,
+    final_overused: u64,
+    steiner_segments: u64,
+    criticality_reroutes: u64,
+    parallel_conflicts: u64,
+    fmax_mhz: f64,
+    events: Vec<Event>,
+}
+
+fn run_variant(
+    network: &Network,
+    device: &Device,
+    granularity: Granularity,
+    synth: SynthOptions,
+    seeds: u64,
+    route: RouteOptions,
+    trace: Option<&str>,
+) -> VariantResult {
+    let sink = Arc::new(MemorySink::new());
+    let obs = match trace {
+        Some(path) => {
+            let file = FileSink::create(path).unwrap_or_else(|e| panic!("--trace {path}: {e}"));
+            let tee: Vec<Arc<dyn EventSink>> = vec![sink.clone(), Arc::new(file)];
+            Obs::new(Arc::new(FanoutSink::new(tee)))
+        }
+        None => Obs::new(sink.clone()),
+    };
+    let cfg = FlowConfig::new()
+        .with_synth(synth)
+        .with_granularity(granularity)
+        .with_seeds(1..=seeds)
+        .with_route(route)
+        .with_obs(obs);
+    let (db, _) = build_component_db(network, device, &cfg).expect("component DB builds");
+    let (_, report) =
+        run_pre_implemented_flow(network, &db, device, &cfg).expect("pre-implemented flow");
+    let events = sink.snapshot();
+    let folded = RunReport::from_events(&events);
+    VariantResult {
+        passes: folded.route.iter().map(|t| t.iters()).sum(),
+        expansions: folded.route.iter().map(|t| t.total_expansions()).sum(),
+        ripups: folded.route.iter().map(|t| t.total_ripups()).sum(),
+        final_overused: folded.route.iter().map(|t| t.final_overused()).sum(),
+        steiner_segments: folded.route.iter().map(|t| t.steiner_segments).sum(),
+        criticality_reroutes: folded.route.iter().map(|t| t.criticality_reroutes).sum(),
+        parallel_conflicts: folded.route.iter().map(|t| t.parallel_conflicts).sum(),
+        fmax_mhz: report.compile.timing.fmax_mhz,
+        events,
+    }
+}
+
+fn main() {
+    let mut networks = vec!["lenet".to_string(), "vgg".to_string()];
+    let mut seeds = 3u64;
+    let mut out = "BENCH_router.json".to_string();
+    let mut trace: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--networks" => {
+                let v = argv.next().expect("--networks needs a value");
+                networks = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--seeds" => {
+                seeds = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds needs a number");
+            }
+            "--out" => out = argv.next().expect("--out needs a path"),
+            "--trace" => trace = argv.next(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let device = Device::xcku5p_like();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut sections: Vec<(String, serde_json::Value)> = Vec::new();
+    let mut all_events: Vec<Event> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    for (i, name) in networks.iter().enumerate() {
+        let (network, granularity, synth) = match name.as_str() {
+            "lenet" => (
+                pi_cnn::models::lenet5(),
+                Granularity::Layer,
+                SynthOptions::lenet_like(),
+            ),
+            "vgg" => (
+                pi_cnn::models::vgg16(),
+                Granularity::Block,
+                SynthOptions::vgg_like(),
+            ),
+            other => panic!("unknown network {other:?} (expected lenet or vgg)"),
+        };
+        eprintln!("[router] {name}: star baseline...");
+        let base = run_variant(
+            &network,
+            &device,
+            granularity,
+            synth,
+            seeds,
+            RouteOptions::star_baseline(),
+            None,
+        );
+        eprintln!("[router] {name}: steiner + slack-ordered...");
+        let opt = run_variant(
+            &network,
+            &device,
+            granularity,
+            synth,
+            seeds,
+            RouteOptions::default(),
+            (i == 0).then_some(trace.as_deref()).flatten(),
+        );
+        let pct = |b: u64, o: u64| -> f64 {
+            if b == 0 {
+                0.0
+            } else {
+                (b as f64 - o as f64) / b as f64 * 100.0
+            }
+        };
+        println!(
+            "{name:<6} passes {:>4} -> {:>4} ({:+.1}%)   expansions {:>9} -> {:>9} ({:+.1}%)   \
+             Fmax {:>6.1} -> {:>6.1} MHz   {} steiner segs, {} crit re-routes",
+            base.passes,
+            opt.passes,
+            pct(base.passes, opt.passes),
+            base.expansions,
+            opt.expansions,
+            pct(base.expansions, opt.expansions),
+            base.fmax_mhz,
+            opt.fmax_mhz,
+            opt.steiner_segments,
+            opt.criticality_reroutes,
+        );
+        if opt.expansions > base.expansions {
+            gate_failures.push(format!(
+                "{name}: optimized router expanded more nodes ({} > {})",
+                opt.expansions, base.expansions
+            ));
+        }
+        if opt.fmax_mhz < base.fmax_mhz - 1e-9 {
+            gate_failures.push(format!(
+                "{name}: optimized router lost Fmax ({:.3} < {:.3} MHz)",
+                opt.fmax_mhz, base.fmax_mhz
+            ));
+        }
+        let variant = |v: &VariantResult| {
+            json!({
+                "passes": v.passes,
+                "expansions": v.expansions,
+                "ripups": v.ripups,
+                "final_overused": v.final_overused,
+                "steiner_segments": v.steiner_segments,
+                "criticality_reroutes": v.criticality_reroutes,
+                "parallel_conflicts": v.parallel_conflicts,
+                "fmax_mhz": v.fmax_mhz,
+            })
+        };
+        sections.push((
+            name.clone(),
+            json!({
+                "baseline_star": variant(&base),
+                "steiner_slack": variant(&opt),
+                "expansions_saved_pct": pct(base.expansions, opt.expansions),
+                "passes_saved_pct": pct(base.passes, opt.passes),
+                "fmax_delta_mhz": opt.fmax_mhz - base.fmax_mhz,
+            }),
+        ));
+        all_events.extend(opt.events);
+    }
+
+    let doc = json!({
+        "bench": "router_quality_speed",
+        "host_cores": host_cores,
+        "seeds": seeds,
+        "networks": serde_json::Value::Map(sections),
+        "notes": "baseline_star is the pre-change router (RouteOptions::star_baseline()): \
+                  distance-ordered star routing, index-ordered negotiation. steiner_slack \
+                  is the shipping default. expansions is total A* open-set pops — the \
+                  router's work metric; the gate requires the optimized router to do no \
+                  more work at equal-or-better Fmax. Deterministic at any PI_THREADS.",
+    });
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&doc).expect("serialize") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    let report = RunReport::from_events(&all_events);
+    let summary_path = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.flowstat.txt"),
+        None => format!("{out}.flowstat.txt"),
+    };
+    std::fs::write(&summary_path, report.render_text())
+        .unwrap_or_else(|e| panic!("write {summary_path}: {e}"));
+    eprintln!("[router] wrote {out} + {summary_path} (host_cores = {host_cores})");
+
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("[router] GATE: {f}");
+        }
+        std::process::exit(2);
+    }
+}

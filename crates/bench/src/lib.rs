@@ -227,17 +227,32 @@ pub struct ConvergenceSummary {
     pub placer_candidates: u64,
     /// Component-placer threshold-retry events (unplace-and-retry loop).
     pub placer_retries: u64,
+    /// A* expansions summed over every router iteration (the router's
+    /// work metric — what the Steiner/slack optimizations shrink).
+    pub router_expansions: u64,
+    /// Two-pin segments routed via Steiner decomposition.
+    pub steiner_segments: u64,
+    /// Rip-ups of negative-slack nets (slack-ordered negotiation).
+    pub criticality_reroutes: u64,
+    /// Parallel-merge conflicts re-routed against the live state.
+    pub parallel_conflicts: u64,
 }
 
 impl std::fmt::Display for ConvergenceSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} router runs (slowest converged in {} iterations, final overuse {}), \
-             {} annealing rounds, {} component-placer candidates, {} threshold retries",
+            "{} router runs (slowest converged in {} iterations, final overuse {}, \
+             {} expansions, {} steiner segments, {} criticality re-routes, \
+             {} merge conflicts), {} annealing rounds, \
+             {} component-placer candidates, {} threshold retries",
             self.route_runs,
             self.max_router_iters,
             self.final_overuse,
+            self.router_expansions,
+            self.steiner_segments,
+            self.criticality_reroutes,
+            self.parallel_conflicts,
             self.anneal_rounds,
             self.placer_candidates,
             self.placer_retries
@@ -272,6 +287,10 @@ pub fn convergence_summary(events: &[Event]) -> ConvergenceSummary {
                 }
                 summary.max_router_iters = summary.max_router_iters.max(iter + 1);
                 summary.final_overuse = field_u64(e, "overused").unwrap_or(0);
+                summary.router_expansions += field_u64(e, "expansions").unwrap_or(0);
+                summary.steiner_segments += field_u64(e, "steiner_segments").unwrap_or(0);
+                summary.criticality_reroutes += field_u64(e, "criticality_reroutes").unwrap_or(0);
+                summary.parallel_conflicts += field_u64(e, "parallel_conflicts").unwrap_or(0);
             }
             ("pnr::place", "anneal_round") => summary.anneal_rounds += 1,
             ("stitch::placer", "candidate") => summary.placer_candidates += 1,
@@ -347,6 +366,10 @@ mod tests {
                 vec![
                     ("iter".to_string(), Value::U64(0)),
                     ("overused".to_string(), Value::U64(5)),
+                    ("expansions".to_string(), Value::U64(120)),
+                    ("steiner_segments".to_string(), Value::U64(4)),
+                    ("criticality_reroutes".to_string(), Value::U64(2)),
+                    ("parallel_conflicts".to_string(), Value::U64(1)),
                 ],
             ),
             mk(
@@ -355,6 +378,8 @@ mod tests {
                 vec![
                     ("iter".to_string(), Value::U64(1)),
                     ("overused".to_string(), Value::U64(0)),
+                    ("expansions".to_string(), Value::U64(30)),
+                    ("steiner_segments".to_string(), Value::U64(1)),
                 ],
             ),
             mk("pnr::place", "anneal_round", vec![]),
@@ -368,7 +393,12 @@ mod tests {
         assert_eq!(s.anneal_rounds, 1);
         assert_eq!(s.placer_candidates, 1);
         assert_eq!(s.placer_retries, 1);
+        assert_eq!(s.router_expansions, 150);
+        assert_eq!(s.steiner_segments, 5);
+        assert_eq!(s.criticality_reroutes, 2);
+        assert_eq!(s.parallel_conflicts, 1);
         let line = s.to_string();
         assert!(line.contains("converged in 2 iterations"));
+        assert!(line.contains("5 steiner segments"));
     }
 }

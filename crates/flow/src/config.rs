@@ -254,6 +254,8 @@ impl FlowConfig {
         h.write_bool(self.plan_partpins);
         h.write_usize(self.route.max_iters);
         h.write_u16(self.route.capacity);
+        h.write_bool(self.route.steiner);
+        h.write_bool(self.route.slack_order);
         h.finish()
     }
 
@@ -428,6 +430,14 @@ mod tests {
         );
         let mut route = base.route;
         route.capacity += 1;
+        assert_ne!(fp, base.clone().with_route(route).cache_fingerprint());
+        // The Steiner/slack router knobs change routed checkpoints, so the
+        // cache must miss when they flip.
+        let mut route = base.route;
+        route.steiner = !route.steiner;
+        assert_ne!(fp, base.clone().with_route(route).cache_fingerprint());
+        let mut route = base.route;
+        route.slack_order = !route.slack_order;
         assert_ne!(fp, base.clone().with_route(route).cache_fingerprint());
         // Scheduling, telemetry and the cache location itself do not.
         assert_eq!(fp, base.clone().with_threads(4).cache_fingerprint());

@@ -91,6 +91,8 @@ impl FlowConfig {
                 "capacity".into(),
                 Value::U64(u64::from(self.route.capacity)),
             ),
+            ("steiner".into(), Value::Bool(self.route.steiner)),
+            ("slack_order".into(), Value::Bool(self.route.slack_order)),
         ]);
         m["placer"] = Value::Map(vec![
             (
@@ -340,7 +342,7 @@ fn synth_from_json(value: &Value) -> Result<SynthOptions, String> {
 fn route_from_json(value: &Value) -> Result<RouteOptions, String> {
     let map = as_map(value, "route")?;
     for (k, _) in map {
-        if !["max_iters", "capacity"].contains(&k.as_str()) {
+        if !["max_iters", "capacity", "steiner", "slack_order"].contains(&k.as_str()) {
             return Err(format!("route: unknown key {k:?}"));
         }
     }
@@ -350,6 +352,12 @@ fn route_from_json(value: &Value) -> Result<RouteOptions, String> {
     }
     if let Some(v) = get(map, "capacity") {
         route.capacity = as_u64(v, "route.capacity")? as u16;
+    }
+    if let Some(v) = get(map, "steiner") {
+        route.steiner = as_bool(v, "route.steiner")?;
+    }
+    if let Some(v) = get(map, "slack_order") {
+        route.slack_order = as_bool(v, "route.slack_order")?;
     }
     Ok(route)
 }
@@ -487,6 +495,8 @@ mod tests {
             .with_route(RouteOptions {
                 max_iters: 11,
                 capacity: 48,
+                steiner: false,
+                slack_order: false,
             })
             .with_placer(ComponentPlacerOptions {
                 timing_threshold: 123.5,

@@ -117,6 +117,22 @@ pub const REGISTRY: &[LintCode] = &[
         summary: "a net's endpoint count exceeds the configured fan-out \
                   threshold",
     },
+    LintCode {
+        code: "PL0140",
+        name: "undecomposed-fanout",
+        default: Level::Warn,
+        summary: "a routed net's fan-out exceeds the Steiner-worthwhile \
+                  threshold but its wirelength tracks the fan-out star, not \
+                  the Steiner-tree estimate (routed without decomposition)",
+    },
+    LintCode {
+        code: "PL0141",
+        name: "uncriticalized-critical-net",
+        default: Level::Warn,
+        summary: "a routed design has negative-slack nets whose routes \
+                  detour beyond the direct-path estimate (the router left \
+                  timing-critical nets uncriticalized)",
+    },
     // ---- PL02xx: CNN dataflow graph ----
     LintCode {
         code: "PL0201",
@@ -397,6 +413,9 @@ pub struct LintConfig {
     pub waivers: Vec<Waiver>,
     /// `PL0107` trips when a net's endpoint count exceeds this.
     pub fanout_threshold: usize,
+    /// `PL0140` considers a routed net's fan-out Steiner-worthwhile when
+    /// it has at least this many located terminals.
+    pub steiner_fanout: usize,
     /// `PL0206` trips when a component-boundary tensor has more elements
     /// than this per-frame cycle budget.
     pub frame_cycle_budget: u64,
@@ -410,6 +429,7 @@ impl Default for LintConfig {
             levels: BTreeMap::new(),
             waivers: Vec::new(),
             fanout_threshold: 64,
+            steiner_fanout: 4,
             frame_cycle_budget: pi_synth::cost::TARGET_FRAME_CYCLES,
             deny_warnings: false,
         }
@@ -452,6 +472,12 @@ impl LintConfig {
     /// Set the `PL0107` fan-out threshold.
     pub fn with_fanout_threshold(mut self, threshold: usize) -> Self {
         self.fanout_threshold = threshold;
+        self
+    }
+
+    /// Set the `PL0140` Steiner-worthwhile terminal-count threshold.
+    pub fn with_steiner_fanout(mut self, threshold: usize) -> Self {
+        self.steiner_fanout = threshold;
         self
     }
 

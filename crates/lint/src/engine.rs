@@ -177,7 +177,84 @@ impl LintEngine {
                 format!("physical DRC could not run: {e}"),
             )),
         }
+        criticality_lints(&base, design, device, &mut raw);
         self.finalize("design", raw, obs)
+    }
+}
+
+/// PL0141: timing-critical nets the router left uncriticalized — a net in
+/// the negative-slack cone (STA against the 5%-tightened target clock)
+/// whose route detours beyond its direct-path estimate. A slack-ordered
+/// router gives exactly these nets first pick of the fabric, so a detour
+/// here means the criticality feedback was off (or defeated) when the
+/// design was routed. 25% allowance for unavoidable congestion detours.
+fn criticality_lints(base: &str, design: &Design, device: &Device, out: &mut Vec<Diagnostic>) {
+    let Ok((inst_slacks, top_slacks, _period)) = pi_pnr::net_slacks_design(design, device, None)
+    else {
+        return; // unplaced/unroutable designs are reported by other passes
+    };
+    let mut check = |origin: String,
+                     name: &str,
+                     slack: f64,
+                     route: &Option<pi_netlist::Route>,
+                     terminals: Vec<pi_fabric::TileCoord>| {
+        if slack >= 0.0 {
+            return;
+        }
+        let Some(route) = route else { return };
+        if terminals.len() < 2 {
+            return;
+        }
+        let direct: u64 = pi_pnr::steiner_topology(&terminals)
+            .iter()
+            .map(|(a, b)| u64::from(a.manhattan(b)))
+            .sum();
+        let actual = route.tiles.len().saturating_sub(1) as u64;
+        if actual * 4 > direct * 5 {
+            out.push(Diagnostic::new(
+                "PL0141",
+                origin,
+                format!(
+                    "critical net `{name}` (slack {slack:.3} ns) detours: \
+                     routed {actual} tiles vs direct-path estimate {direct} \
+                     — the router left it uncriticalized"
+                ),
+            ));
+        }
+    };
+    for (ii, inst) in design.instances().iter().enumerate() {
+        for (ni, net) in inst.module.nets().iter().enumerate() {
+            if net.is_clock {
+                continue;
+            }
+            let terminals: Vec<pi_fabric::TileCoord> = net
+                .endpoints()
+                .filter_map(|e| match e {
+                    pi_netlist::Endpoint::Cell(c) => inst.module.cells()[c.index()].placement,
+                    pi_netlist::Endpoint::Port(p) => inst.module.ports()[p.index()].partpin,
+                })
+                .collect();
+            check(
+                format!("{base}/inst:{}/net:{}", inst.name, net.name),
+                &net.name,
+                inst_slacks[ii][ni],
+                &net.route,
+                terminals,
+            );
+        }
+    }
+    for (ni, tnet) in design.top_nets().iter().enumerate() {
+        let terminals: Vec<pi_fabric::TileCoord> = tnet
+            .endpoints()
+            .filter_map(|ep| design.top_endpoint_coord(ep))
+            .collect();
+        check(
+            format!("{base}/net:{}", tnet.name),
+            &tnet.name,
+            top_slacks[ni],
+            &tnet.route,
+            terminals,
+        );
     }
 }
 
@@ -186,6 +263,79 @@ mod tests {
     use super::*;
     use pi_obs::{MemorySink, Obs};
     use std::sync::Arc;
+
+    #[test]
+    fn flags_uncriticalized_critical_detours() {
+        use pi_netlist::{Cell, CellKind, DesignKind, Endpoint, ModuleBuilder, StreamRole};
+        let device = Device::test_part();
+        let mut b = ModuleBuilder::new("chain");
+        let din = b.input("din", StreamRole::Source, 8);
+        let dout = b.output("dout", StreamRole::Sink, 8);
+        let ids: Vec<_> = (0..4)
+            .map(|i| b.cell(Cell::new(format!("s{i}"), CellKind::full_slice())))
+            .collect();
+        b.connect("in", Endpoint::Port(din), [Endpoint::Cell(ids[0])]);
+        for i in 1..ids.len() {
+            b.connect(
+                format!("n{i}"),
+                Endpoint::Cell(ids[i - 1]),
+                [Endpoint::Cell(ids[i])],
+            );
+        }
+        b.connect(
+            "out",
+            Endpoint::Cell(ids[ids.len() - 1]),
+            [Endpoint::Port(dout)],
+        );
+        let mut m = b.finish().unwrap();
+        // Long spans (~20 tiles) push the critical path past the timing
+        // model's 500 ps floor so the tightened target yields a non-empty
+        // negative-slack cone.
+        let spots = [(1u16, 1u16), (21, 1), (1, 9), (21, 9)];
+        for (&id, &(c, r)) in ids.iter().zip(&spots) {
+            m.set_placement(id, pi_fabric::TileCoord::new(c, r))
+                .unwrap();
+        }
+        pi_pnr::route_module(&mut m, &device, &pi_pnr::RouteOptions::default()).unwrap();
+
+        // Freshly routed: every critical net is direct, no PL0141.
+        let engine = LintEngine::new(LintConfig::new());
+        let mk_design = |m: pi_netlist::Module| {
+            let mut d = Design::new("d", device.name(), DesignKind::Assembled);
+            d.add_instance("a", m);
+            d
+        };
+        let clean = engine.lint_design(&mk_design(m.clone()), &device, &Obs::null());
+        assert!(
+            !clean.diagnostics.iter().any(|d| d.code == "PL0141"),
+            "{clean:?}"
+        );
+
+        // Inflate a negative-slack net's route to 3x its length: the lint
+        // must call out the uncriticalized detour.
+        let (slacks, _) = pi_pnr::net_slacks_module(&m, &device, None).unwrap();
+        let victim = (0..m.nets().len())
+            .find(|&ni| {
+                slacks[ni] < 0.0
+                    && m.nets()[ni]
+                        .route
+                        .as_ref()
+                        .is_some_and(|r| r.tiles.len() >= 2)
+            })
+            .expect("the critical cone is non-empty on a routed module");
+        {
+            let nets = m.nets_mut().unwrap();
+            let tiles = &mut nets[victim].route.as_mut().unwrap().tiles;
+            let last = *tiles.last().unwrap();
+            let pad = 2 * tiles.len();
+            tiles.extend(std::iter::repeat_n(last, pad));
+        }
+        let report = engine.lint_design(&mk_design(m), &device, &Obs::null());
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "PL0141"),
+            "{report:?}"
+        );
+    }
 
     #[test]
     fn pass_emits_telemetry_point() {

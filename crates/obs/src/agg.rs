@@ -225,6 +225,12 @@ impl AnnealTrace {
 pub struct RouteTrace {
     /// Per-pass `(overused, ripups, expansions)` samples, in pass order.
     pub passes: Vec<(u64, u64, u64)>,
+    /// Two-pin segments routed through Steiner decomposition across the run.
+    pub steiner_segments: u64,
+    /// Rip-ups of negative-slack (timing-critical) nets across the run.
+    pub criticality_reroutes: u64,
+    /// Parallel-merge conflicts re-routed against the live state.
+    pub parallel_conflicts: u64,
 }
 
 impl RouteTrace {
@@ -453,6 +459,9 @@ impl RunReport {
                     field_u64(&e.fields, "ripups").unwrap_or(0),
                     field_u64(&e.fields, "expansions").unwrap_or(0),
                 ));
+                t.steiner_segments += field_u64(&e.fields, "steiner_segments").unwrap_or(0);
+                t.criticality_reroutes += field_u64(&e.fields, "criticality_reroutes").unwrap_or(0);
+                t.parallel_conflicts += field_u64(&e.fields, "parallel_conflicts").unwrap_or(0);
             }
             ("stitch::placer", "threshold_retry") => {
                 self.stitch_retries.push(StitchRetry {
@@ -533,6 +542,21 @@ impl RunReport {
                 .iter()
                 .map(RouteTrace::final_overused)
                 .sum::<u64>() as f64,
+        );
+        m.insert(
+            "trace route steiner_segments".to_string(),
+            self.route.iter().map(|t| t.steiner_segments).sum::<u64>() as f64,
+        );
+        m.insert(
+            "trace route criticality_reroutes".to_string(),
+            self.route
+                .iter()
+                .map(|t| t.criticality_reroutes)
+                .sum::<u64>() as f64,
+        );
+        m.insert(
+            "trace route parallel_conflicts".to_string(),
+            self.route.iter().map(|t| t.parallel_conflicts).sum::<u64>() as f64,
         );
         m.insert(
             "trace stitch retries".to_string(),
@@ -638,6 +662,9 @@ impl RunReport {
                     n["final_overused"] = J::U64(t.final_overused());
                     n["ripups"] = J::U64(t.total_ripups());
                     n["expansions"] = J::U64(t.total_expansions());
+                    n["steiner_segments"] = J::U64(t.steiner_segments);
+                    n["criticality_reroutes"] = J::U64(t.criticality_reroutes);
+                    n["parallel_conflicts"] = J::U64(t.parallel_conflicts);
                     n["passes"] = J::Seq(
                         t.passes
                             .iter()
@@ -772,6 +799,15 @@ impl RunReport {
                 .iter()
                 .map(RouteTrace::final_overused)
                 .sum::<u64>()
+        ));
+        out.push_str(&format!(
+            "  route opt: {} steiner segments, {} criticality re-routes, {} merge conflicts\n",
+            self.route.iter().map(|t| t.steiner_segments).sum::<u64>(),
+            self.route
+                .iter()
+                .map(|t| t.criticality_reroutes)
+                .sum::<u64>(),
+            self.route.iter().map(|t| t.parallel_conflicts).sum::<u64>()
         ));
         out.push_str(&format!(
             "  stitch: {} threshold retries\n",
@@ -961,6 +997,9 @@ mod tests {
                 ("overused", 3u64.into()),
                 ("ripups", 2u64.into()),
                 ("expansions", 100u64.into()),
+                ("steiner_segments", 5u64.into()),
+                ("criticality_reroutes", 1u64.into()),
+                ("parallel_conflicts", 0u64.into()),
             ],
         );
         route.point(
@@ -970,6 +1009,9 @@ mod tests {
                 ("overused", 0u64.into()),
                 ("ripups", 0u64.into()),
                 ("expansions", 40u64.into()),
+                ("steiner_segments", 2u64.into()),
+                ("criticality_reroutes", 0u64.into()),
+                ("parallel_conflicts", 1u64.into()),
             ],
         );
         rspan.end();
@@ -1018,6 +1060,13 @@ mod tests {
         assert_eq!(r.route[0].iters(), 2);
         assert_eq!(r.route[0].total_expansions(), 140);
         assert_eq!(r.route[0].final_overused(), 0);
+        assert_eq!(r.route[0].steiner_segments, 7);
+        assert_eq!(r.route[0].criticality_reroutes, 1);
+        assert_eq!(r.route[0].parallel_conflicts, 1);
+        let m = r.metrics();
+        assert_eq!(m["trace route steiner_segments"], 7.0);
+        assert_eq!(m["trace route criticality_reroutes"], 1.0);
+        assert_eq!(m["trace route parallel_conflicts"], 1.0);
         assert_eq!(r.stitch_retries.len(), 1);
         assert_eq!(r.stitch_retries[0].component, "conv1");
     }

@@ -7,9 +7,11 @@
 //!   monolithic designs spread over the chip do not — the mechanism behind
 //!   the paper's "vendor tools achieve better QoR on small modules".
 //! * [`route`] — PathFinder-style negotiated-congestion routing on a
-//!   tile-level routing-resource graph, with an incremental mode that only
-//!   touches unrouted nets (locked pre-implemented modules keep their
-//!   internal routing — the paper's key productivity lever).
+//!   tile-level routing-resource graph: Steiner-decomposed multi-terminal
+//!   nets, STA-slack-ordered rip-up, and net-level parallel waves with a
+//!   deterministic merge, plus an incremental mode that only touches
+//!   unrouted nets (locked pre-implemented modules keep their internal
+//!   routing — the paper's key productivity lever).
 //! * [`timing`] — static timing analysis over the placed/routed design;
 //!   produces Fmax and critical-path reports.
 //! * [`power`] — an activity/wirelength-based power estimate.
@@ -33,9 +35,10 @@ pub use place::{
     PlaceOptions, PlaceStats,
 };
 pub use route::{
-    route_design, route_design_obs, route_module, route_module_obs, RouteOptions, RouteStats,
+    criticality_order, route_design, route_design_obs, route_module, route_module_obs,
+    steiner_topology, RouteOptions, RouteStats,
 };
-pub use timing::{sta_design, sta_module, TimingReport};
+pub use timing::{net_slacks_design, net_slacks_module, sta_design, sta_module, TimingReport};
 
 /// Errors from the backend.
 #[derive(Debug)]

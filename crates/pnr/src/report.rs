@@ -110,6 +110,27 @@ pub fn timing_summary(timing: &TimingReport) -> String {
     out
 }
 
+/// Render a routing summary: net counts, wirelength, the router's work
+/// metric (A* expansions) and the optimization counters (Steiner segments,
+/// criticality-driven re-routes, parallel-merge conflicts).
+pub fn routing_summary(stats: &crate::route::RouteStats) -> String {
+    let mut out = format!(
+        "routing: {} nets ({} trivial), wirelength {}, {} iterations, {} expansions\n",
+        stats.routed_nets, stats.trivial_nets, stats.wirelength, stats.iterations, stats.expansions
+    );
+    out.push_str(&format!(
+        "  steiner segments {}, criticality re-routes {}, merge conflicts {}\n",
+        stats.steiner_segments, stats.criticality_reroutes, stats.parallel_conflicts
+    ));
+    if stats.overused_tiles > 0 {
+        out.push_str(&format!(
+            "  WARNING: {} tiles remain overused\n",
+            stats.overused_tiles
+        ));
+    }
+    out
+}
+
 /// Render a power summary.
 pub fn power_summary(power: &PowerReport) -> String {
     format!(
@@ -213,5 +234,22 @@ mod tests {
             300.0,
         );
         assert!(power_summary(&p).contains("mW"));
+        let stats = crate::route::RouteStats {
+            routed_nets: 12,
+            trivial_nets: 2,
+            wirelength: 340,
+            overused_tiles: 1,
+            iterations: 3,
+            expansions: 9000,
+            steiner_segments: 7,
+            criticality_reroutes: 4,
+            parallel_conflicts: 1,
+        };
+        let r = routing_summary(&stats);
+        assert!(r.contains("12 nets"));
+        assert!(r.contains("steiner segments 7"));
+        assert!(r.contains("criticality re-routes 4"));
+        assert!(r.contains("merge conflicts 1"));
+        assert!(r.contains("WARNING: 1 tiles"));
     }
 }

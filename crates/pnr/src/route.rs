@@ -1,18 +1,43 @@
 //! PathFinder-style negotiated-congestion routing on a tile-level
 //! routing-resource graph.
 //!
-//! Every tile boundary offers [`RouteOptions::capacity`] wires. A first
-//! pass routes each net with A* (multi-sink nets grow a Steiner-ish tree,
-//! one A* per sink). Overused tiles then get history costs, the nets through
-//! them are ripped up and rerouted, and the loop repeats — the classic
-//! negotiation. The **incremental mode** is the flow's productivity lever:
-//! locked routes seed the occupancy map and are never touched, so an
-//! assembled design only pays for its inter-component nets.
+//! Every tile boundary offers [`RouteOptions::capacity`] wires. Each
+//! negotiation iteration routes the still-unrouted nets **in parallel**
+//! against a frozen snapshot of the congestion state, then merges the
+//! proposed routes sequentially in a deterministic (criticality) order —
+//! a proposal that lands on a tile the merge has already filled to
+//! capacity is re-routed on the spot against the live state. Overused
+//! tiles then get history costs, the nets through them are ripped up, and
+//! the loop repeats — the classic negotiation, parallelized without
+//! giving up byte-identical results at any `PI_THREADS`.
+//!
+//! Two quality levers ride on top of the negotiation
+//! ([`RouteOptions::steiner`], [`RouteOptions::slack_order`]):
+//!
+//! * **Steiner decomposition** — multi-terminal nets are decomposed into a
+//!   rectilinear Steiner topology ([`steiner_topology`]: Prim over the
+//!   terminals plus greedy Hanan-point insertion) before any A* runs, so
+//!   the router walks short two-pin segments with tight per-segment
+//!   bounding boxes instead of one fan-out star over the whole net bbox.
+//!   Already-routed tree tiles are zero-cost sources for every later
+//!   segment.
+//! * **Slack-aware ordering** — per-net STA slacks (see
+//!   `timing::net_slacks_module`) are refreshed from the live congestion
+//!   map every iteration; nets route most-negative-slack first
+//!   ([`criticality_order`]) and the history/congestion share of
+//!   [`Costs::node_cost`] is priced by criticality, so critical nets take
+//!   direct paths and non-critical nets absorb the detours.
+//!
+//! The **incremental mode** is the flow's productivity lever: locked
+//! routes seed the occupancy map and are never touched, so an assembled
+//! design only pays for its inter-component nets.
 
 use crate::PnrError;
 use pi_fabric::{Device, TileCoord, TileKind};
 use pi_netlist::{Design, Endpoint, Module, Route};
 use pi_obs::Obs;
+use rayon::prelude::*;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -23,6 +48,18 @@ pub struct RouteOptions {
     pub max_iters: usize,
     /// Wires available per tile.
     pub capacity: u16,
+    /// Decompose multi-terminal nets into a rectilinear Steiner topology
+    /// and route it as two-pin segments (tight per-segment bounding boxes)
+    /// instead of a distance-ordered fan-out star. Segment A* prefers the
+    /// deepest node on f-score ties, collapsing the zero-congestion
+    /// plateau two-pin searches otherwise sweep.
+    pub steiner: bool,
+    /// Re-order rip-up/re-route by STA criticality every iteration and
+    /// scale congestion pricing per net (critical nets route first and
+    /// straight; non-critical nets detour). The reworked negotiation loop
+    /// also stops once overuse is no longer attributable to any net it
+    /// owns, instead of spinning to `max_iters`.
+    pub slack_order: bool,
 }
 
 impl Default for RouteOptions {
@@ -32,6 +69,21 @@ impl Default for RouteOptions {
             // Wires per tile. Sized so a chip-filling monolithic design
             // (~26 average occupancy) negotiates to legality with headroom.
             capacity: 64,
+            steiner: true,
+            slack_order: true,
+        }
+    }
+}
+
+impl RouteOptions {
+    /// The pre-Steiner, pre-slack router: distance-ordered star routing in
+    /// net index order. The quality/speed baseline the `router` bench
+    /// compares against.
+    pub fn star_baseline() -> Self {
+        RouteOptions {
+            steiner: false,
+            slack_order: false,
+            ..RouteOptions::default()
         }
     }
 }
@@ -49,6 +101,16 @@ pub struct RouteStats {
     pub overused_tiles: usize,
     /// Negotiation iterations used.
     pub iterations: usize,
+    /// A* open-set pops across the whole run — the router's work metric.
+    pub expansions: u64,
+    /// Two-pin segments routed through Steiner decomposition.
+    pub steiner_segments: u64,
+    /// Rip-ups of timing-critical (negative-slack) nets — these route
+    /// first, at reduced congestion pricing, in the next iteration.
+    pub criticality_reroutes: u64,
+    /// Snapshot proposals that collided with an earlier merge (tile at
+    /// capacity) and were re-routed against the live state.
+    pub parallel_conflicts: u64,
 }
 
 /// Post-routing channel-occupancy map, consumed by the timing model's
@@ -99,30 +161,20 @@ impl CongestionMap {
     }
 }
 
-struct Grid {
+/// The shared congestion state: per-tile occupancy, history and base
+/// costs. Frozen (shared immutably) while a wave of nets routes in
+/// parallel; mutated only by the sequential merge and rip-up phases.
+struct Costs {
     cols: u16,
     rows: u16,
     occ: Vec<u16>,
     hist: Vec<f32>,
     /// Per-tile base cost: 1 for fabric, higher for discontinuities.
     base: Vec<f32>,
-    // A* scratch, generation-stamped to avoid clearing.
-    gen: Vec<u32>,
-    gscore: Vec<f32>,
-    came: Vec<u32>,
-    generation: u32,
-    /// Open-set heap, kept here so one allocation serves the thousands of
-    /// A* calls a routing run makes (cleared, not dropped, between calls).
-    heap: BinaryHeap<Reverse<(u64, usize)>>,
-    /// Nodes popped off the open set across every A* call — the router's
-    /// true work metric, reported per negotiation iteration.
-    expansions: u64,
-    /// A* invocations (one per net sink attempted).
-    astar_calls: u64,
 }
 
-impl Grid {
-    fn new(device: &Device) -> Grid {
+impl Costs {
+    fn new(device: &Device) -> Costs {
         let cols = device.cols();
         let rows = device.rows();
         let n = cols as usize * rows as usize;
@@ -140,20 +192,17 @@ impl Grid {
                 }
             }
         }
-        Grid {
+        Costs {
             cols,
             rows,
             occ: vec![0; n],
             hist: vec![0.0; n],
             base,
-            gen: vec![0; n],
-            gscore: vec![0.0; n],
-            came: vec![u32::MAX; n],
-            generation: 0,
-            heap: BinaryHeap::new(),
-            expansions: 0,
-            astar_calls: 0,
         }
+    }
+
+    fn tiles(&self) -> usize {
+        self.base.len()
     }
 
     #[inline]
@@ -169,7 +218,12 @@ impl Grid {
         )
     }
 
-    fn node_cost(&self, idx: usize, capacity: u16) -> f32 {
+    /// Tile cost for one step. `pricing` scales the negotiated share
+    /// (history + congestion) by net criticality: 1.0 is the neutral
+    /// PathFinder price, <1 lets a critical net shoulder through
+    /// congestion for a direct path, >1 pushes a non-critical net around
+    /// it. The base cost is never scaled — distance stays distance.
+    fn node_cost(&self, idx: usize, capacity: u16, pricing: f32) -> f32 {
         let occ = self.occ[idx];
         let over = if occ >= capacity {
             8.0 + 4.0 * f32::from(occ - capacity)
@@ -177,27 +231,90 @@ impl Grid {
             // Soft pressure keeps channels balanced before they overflow.
             f32::from(occ) / f32::from(capacity)
         };
-        self.base[idx] + self.hist[idx] + over
+        self.base[idx] + pricing * (self.hist[idx] + over)
+    }
+
+    /// A read-only snapshot in the map form the timing model consumes.
+    fn congestion_snapshot(&self, capacity: u16) -> CongestionMap {
+        CongestionMap {
+            cols: self.cols,
+            rows: self.rows,
+            capacity,
+            occ: self.occ.clone(),
+        }
+    }
+}
+
+/// Per-worker A* scratch, generation-stamped to avoid clearing. One lives
+/// per OS thread (thread-local) so parallel waves never contend; results
+/// depend only on [`Costs`], never on which scratch ran the search.
+struct Scratch {
+    gen: Vec<u32>,
+    gscore: Vec<f32>,
+    came: Vec<u32>,
+    generation: u32,
+    /// Open-set heap, kept here so one allocation serves the thousands of
+    /// A* calls a routing run makes (cleared, not dropped, between calls).
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Reconstructed path of the last successful A* (sink→tree order).
+    path: Vec<usize>,
+    /// Nodes popped off the open set across every A* call on this scratch.
+    expansions: u64,
+    /// A* invocations (one per two-pin segment or net sink attempted).
+    astar_calls: u64,
+}
+
+impl Scratch {
+    fn new(tiles: usize) -> Scratch {
+        Scratch {
+            gen: vec![0; tiles],
+            gscore: vec![0.0; tiles],
+            came: vec![u32::MAX; tiles],
+            generation: 0,
+            heap: BinaryHeap::new(),
+            path: Vec::new(),
+            expansions: 0,
+            astar_calls: 0,
+        }
     }
 
     /// A* from any of `sources` to `sink`, restricted to a bounding box.
-    /// On success fills `path` with the tiles sink→source-tree (inclusive)
-    /// and returns `true`; on failure returns `false` with `path` empty.
-    /// Both the open heap and the path vector are reused allocations — the
-    /// router's inner loop runs allocation-free after warm-up.
+    /// On success fills `self.path` with the tiles sink→source-tree
+    /// (inclusive) and returns `true`; on failure returns `false` with the
+    /// path empty. Both the open heap and the path vector are reused
+    /// allocations — the router's inner loop runs allocation-free after
+    /// warm-up.
+    #[allow(clippy::too_many_arguments)]
     fn astar(
         &mut self,
+        costs: &Costs,
         sources: &[usize],
         sink: usize,
         bbox: (u16, u16, u16, u16),
         capacity: u16,
-        path: &mut Vec<usize>,
+        pricing: f32,
+        deep_ties: bool,
     ) -> bool {
-        path.clear();
+        self.path.clear();
         self.astar_calls += 1;
         self.generation += 1;
         let gen = self.generation;
-        let sink_at = self.coord(sink);
+        let rows = costs.rows as usize;
+        let sink_at = costs.coord(sink);
+        // On uncongested fabric every tile in the monotone rectangle
+        // between the endpoints shares the same f = g + h, and index-order
+        // ties make A* sweep that whole plateau. Preferring the deepest
+        // node (largest g) on f-ties marches straight at the sink instead:
+        // same path cost, a fraction of the pops. Off in the baseline so
+        // `star_baseline()` reproduces the pre-change router exactly
+        // (`(f, 0, node)` orders identically to the old `(f, node)` key).
+        let tie = |g: f32| -> u64 {
+            if deep_ties {
+                u64::MAX - to_key(g)
+            } else {
+                0
+            }
+        };
         // Take the heap out so pushing/popping does not alias the borrows
         // of the scratch arrays below; returned (cleared) on every exit.
         let mut heap = std::mem::take(&mut self.heap);
@@ -205,40 +322,40 @@ impl Grid {
             self.gen[s] = gen;
             self.gscore[s] = 0.0;
             self.came[s] = u32::MAX;
-            let h = self.coord(s).manhattan(&sink_at) as f32;
-            heap.push(Reverse((to_key(h), s)));
+            let h = costs.coord(s).manhattan(&sink_at) as f32;
+            heap.push(Reverse((to_key(h), tie(0.0), s)));
         }
         let (c0, c1, r0, r1) = bbox;
         let mut found = false;
-        while let Some(Reverse((_, node))) = heap.pop() {
+        while let Some(Reverse((_, _, node))) = heap.pop() {
             self.expansions += 1;
             if node == sink {
                 // Reconstruct.
-                path.push(node);
+                self.path.push(node);
                 let mut cur = node;
                 while self.came[cur] != u32::MAX {
                     cur = self.came[cur] as usize;
-                    path.push(cur);
+                    self.path.push(cur);
                 }
                 found = true;
                 break;
             }
-            let at = self.coord(node);
+            let at = costs.coord(node);
             let g = self.gscore[node];
             let neighbours = [
-                (at.col > c0).then(|| node - self.rows as usize),
-                (at.col < c1).then(|| node + self.rows as usize),
+                (at.col > c0).then(|| node - rows),
+                (at.col < c1).then(|| node + rows),
                 (at.row > r0).then(|| node - 1),
                 (at.row < r1).then(|| node + 1),
             ];
             for n in neighbours.into_iter().flatten() {
-                let ng = g + self.node_cost(n, capacity);
+                let ng = g + costs.node_cost(n, capacity, pricing);
                 if self.gen[n] != gen || ng < self.gscore[n] {
                     self.gen[n] = gen;
                     self.gscore[n] = ng;
                     self.came[n] = node as u32;
-                    let h = self.coord(n).manhattan(&sink_at) as f32;
-                    heap.push(Reverse((to_key(ng + h), n)));
+                    let h = costs.coord(n).manhattan(&sink_at) as f32;
+                    heap.push(Reverse((to_key(ng + h), tie(ng), n)));
                 }
             }
         }
@@ -246,6 +363,24 @@ impl Grid {
         self.heap = heap;
         found
     }
+}
+
+thread_local! {
+    /// One scratch per worker thread, sized lazily for the current grid.
+    /// Scratch identity cannot influence results (generation stamps make
+    /// every A* self-contained), so thread scheduling stays invisible.
+    static TL_SCRATCH: RefCell<Option<Scratch>> = const { RefCell::new(None) };
+}
+
+fn with_scratch<R>(tiles: usize, f: impl FnOnce(&mut Scratch) -> R) -> R {
+    TL_SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let scratch = slot.get_or_insert_with(|| Scratch::new(tiles));
+        if scratch.gen.len() != tiles {
+            *scratch = Scratch::new(tiles);
+        }
+        f(scratch)
+    })
 }
 
 /// Order-preserving f32 → u64 key for the binary heap.
@@ -267,6 +402,131 @@ fn to_key(f: f32) -> u64 {
     (f.max(0.0) * 1024.0) as u64
 }
 
+/// Rectilinear Steiner topology over a set of terminals (first terminal =
+/// driver). Returns tree edges `(from, to)` in route order: every edge's
+/// `from` point is already connected when the edge comes up, so a router
+/// can walk the list and treat the accumulated tree as its source set.
+///
+/// Construction: Prim's MST over Manhattan distance (deterministic
+/// index-order tie-breaks), then one greedy pass of Hanan-point insertion
+/// — for each tree node with two or more neighbours, the median point of
+/// the node and its two best neighbours replaces the two edges when that
+/// strictly shortens the tree. Total edge length never exceeds the star
+/// topology (every spanning tree is at most the star; insertion only
+/// shortens), which is the wirelength bound `tests/router_props.rs`
+/// property-checks.
+pub fn steiner_topology(terminals: &[TileCoord]) -> Vec<(TileCoord, TileCoord)> {
+    // Dedup by tile, preserving first-seen order (driver stays first).
+    let mut pts: Vec<TileCoord> = Vec::with_capacity(terminals.len());
+    for t in terminals {
+        if !pts.contains(t) {
+            pts.push(*t);
+        }
+    }
+    if pts.len() < 2 {
+        return Vec::new();
+    }
+    let dist = |a: TileCoord, b: TileCoord| a.manhattan(&b) as u64;
+
+    // Prim from the driver; ties break toward the lower index.
+    let n_terms = pts.len();
+    let mut in_tree = vec![false; n_terms];
+    let mut best: Vec<(u64, usize)> = (0..n_terms).map(|i| (dist(pts[0], pts[i]), 0)).collect();
+    in_tree[0] = true;
+    // adj over `pts` indices; Steiner points are appended as they appear.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_terms];
+    for _ in 1..n_terms {
+        let mut pick = usize::MAX;
+        for i in 0..n_terms {
+            if !in_tree[i] && (pick == usize::MAX || best[i].0 < best[pick].0) {
+                pick = i;
+            }
+        }
+        let (_, from) = best[pick];
+        in_tree[pick] = true;
+        adj[from].push(pick);
+        adj[pick].push(from);
+        for i in 0..n_terms {
+            if !in_tree[i] {
+                let d = dist(pts[pick], pts[i]);
+                if d < best[i].0 {
+                    best[i] = (d, pick);
+                }
+            }
+        }
+    }
+
+    // Greedy Hanan-point insertion: for node b and neighbours a, c, the
+    // median point strictly shortens d(a,b)+d(b,c) whenever the three
+    // spans overlap. One pass in index order keeps it deterministic.
+    let med = |a: u16, b: u16, c: u16| {
+        let mut v = [a, b, c];
+        v.sort_unstable();
+        v[1]
+    };
+    for b in 0..n_terms {
+        loop {
+            let nbrs = adj[b].clone();
+            if nbrs.len() < 2 {
+                break;
+            }
+            let mut cut = None;
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &c in nbrs.iter().skip(i + 1) {
+                    let s = TileCoord::new(
+                        med(pts[a].col, pts[b].col, pts[c].col),
+                        med(pts[a].row, pts[b].row, pts[c].row),
+                    );
+                    let old = dist(pts[a], pts[b]) + dist(pts[b], pts[c]);
+                    let new = dist(pts[a], s) + dist(pts[b], s) + dist(pts[c], s);
+                    if new < old && cut.map(|(g, _, _, _)| old - new > g).unwrap_or(true) {
+                        cut = Some((old - new, a, c, s));
+                    }
+                }
+            }
+            let Some((_, a, c, s)) = cut else { break };
+            let si = pts.len();
+            pts.push(s);
+            adj.push(Vec::new());
+            for (x, y) in [(a, b), (b, c)] {
+                adj[x].retain(|&v| v != y);
+                adj[y].retain(|&v| v != x);
+            }
+            for x in [a, b, c] {
+                adj[x].push(si);
+                adj[si].push(x);
+            }
+        }
+    }
+
+    // Orient: BFS from the driver, neighbours in index order.
+    let mut order = Vec::with_capacity(pts.len().saturating_sub(1));
+    let mut seen = vec![false; pts.len()];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    seen[0] = true;
+    while let Some(u) = queue.pop_front() {
+        let mut nbrs = adj[u].clone();
+        nbrs.sort_unstable();
+        for v in nbrs {
+            if !seen[v] {
+                seen[v] = true;
+                order.push((pts[u], pts[v]));
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Deterministic criticality order: indices sorted most-negative-slack
+/// first, ties broken by index. Always a permutation of `0..slacks.len()`
+/// (property-checked in `tests/router_props.rs`).
+pub fn criticality_order(slacks: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..slacks.len()).collect();
+    order.sort_by(|&a, &b| slacks[a].total_cmp(&slacks[b]).then(a.cmp(&b)));
+    order
+}
+
 /// One routable net: located endpoints (source first) and where to write
 /// the result.
 struct Task {
@@ -274,64 +534,87 @@ struct Task {
     slot: Slot,
 }
 
+#[derive(Clone, Copy)]
 enum Slot {
     Intra { inst: usize, net: usize },
     Top { net: usize },
 }
 
-/// The negotiation engine shared by module- and design-level entry points.
-/// Emits one `pathfinder_iter` point per negotiation iteration when the
-/// handle is enabled.
-fn run(
-    grid: &mut Grid,
-    tasks: &mut [Task],
-    opts: &RouteOptions,
-    obs: &Obs,
-) -> (Vec<Option<Route>>, RouteStats) {
-    let mut stats = RouteStats::default();
-    let mut routes: Vec<Option<Route>> = (0..tasks.len()).map(|_| None).collect();
-    // Per-net scratch, reused across every net and iteration so the inner
-    // loop allocates only for the `Route` it actually keeps.
-    let mut tree: Vec<usize> = Vec::new();
-    let mut sinks: Vec<TileCoord> = Vec::new();
-    let mut path: Vec<usize> = Vec::new();
-    let pathfinder_span = obs.span_with("pathfinder", &[("tasks", tasks.len().into())]);
+/// One net's routing attempt against a (frozen or live) cost state.
+struct NetAttempt {
+    /// Tree tiles in growth order, first = driver tile; `None` = failed
+    /// (nothing was applied — attempts never mutate the cost state).
+    tree: Option<Vec<usize>>,
+    expansions: u64,
+    astar_calls: u64,
+    steiner_segments: u64,
+}
 
-    // Margin grows with negotiation iterations so desperate nets may detour.
-    for iter in 0..opts.max_iters.max(1) {
-        stats.iterations = iter + 1;
-        let exp_start = grid.expansions;
-        let calls_start = grid.astar_calls;
-        let margin = 6 + 6 * iter as i32;
-        // Route everything that has no route yet.
-        for (ti, task) in tasks.iter().enumerate() {
-            if routes[ti].is_some() {
-                continue;
-            }
-            if task.endpoints.len() < 2 {
-                routes[ti] = Some(Route::default());
-                stats.trivial_nets += 1;
-                continue;
-            }
-            let bbox = bbox_of(&task.endpoints, margin, grid.cols, grid.rows);
-            tree.clear();
-            tree.push(grid.idx(task.endpoints[0]));
-            let mut ok = true;
-            sinks.clear();
-            sinks.extend_from_slice(&task.endpoints[1..]);
-            sinks.sort_by_key(|s| s.manhattan(&task.endpoints[0]));
-            for &sink in &sinks {
-                let sidx = grid.idx(sink);
-                if tree.contains(&sidx) {
+/// Route one net against `costs` without mutating anything. Multi-terminal
+/// nets take the Steiner path when enabled; two-pin nets and the disabled
+/// path reproduce the classic distance-ordered star.
+fn route_net(
+    costs: &Costs,
+    scratch: &mut Scratch,
+    endpoints: &[TileCoord],
+    opts: &RouteOptions,
+    margin: i32,
+    pricing: f32,
+) -> NetAttempt {
+    let exp0 = scratch.expansions;
+    let calls0 = scratch.astar_calls;
+    let mut tree: Vec<usize> = Vec::new();
+    tree.push(costs.idx(endpoints[0]));
+    let mut steiner_segments = 0u64;
+    let mut ok = true;
+
+    let segments = if opts.steiner {
+        let topo = steiner_topology(endpoints);
+        if topo.len() >= 2 {
+            Some(topo)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    match segments {
+        Some(segs) => {
+            // Two-pin segments with tight per-segment boxes. The segment's
+            // `from` end is already in the tree; every tree tile inside the
+            // box is a free source, so segments share trunks.
+            let mut seg_sources: Vec<usize> = Vec::new();
+            for (a, b) in segs {
+                let sink = costs.idx(b);
+                if tree.contains(&sink) {
                     continue;
                 }
-                if grid.astar(&tree, sidx, bbox, opts.capacity, &mut path) {
-                    // A* reconstructs sink→tree; append in reverse so the
-                    // route tiles read as a forward (tree→sink) path.
-                    for &p in path.iter().rev() {
+                let bbox = bbox_of(&[a, b], margin, costs.cols, costs.rows);
+                let (c0, c1, r0, r1) = bbox;
+                seg_sources.clear();
+                seg_sources.extend(tree.iter().copied().filter(|&t| {
+                    let at = costs.coord(t);
+                    at.col >= c0 && at.col <= c1 && at.row >= r0 && at.row <= r1
+                }));
+                if seg_sources.is_empty() {
+                    // `a` is a bbox corner and always in the tree.
+                    seg_sources.push(costs.idx(a));
+                }
+                if scratch.astar(
+                    costs,
+                    &seg_sources,
+                    sink,
+                    bbox,
+                    opts.capacity,
+                    pricing,
+                    true,
+                ) {
+                    steiner_segments += 1;
+                    for i in (0..scratch.path.len()).rev() {
+                        let p = scratch.path[i];
                         if !tree.contains(&p) {
                             tree.push(p);
-                            grid.occ[p] += 1;
                         }
                     }
                 } else {
@@ -339,20 +622,206 @@ fn run(
                     break;
                 }
             }
-            if ok {
-                // The tile list mirrors `tree` (pushed in lockstep above).
-                let tiles: Vec<TileCoord> = tree.iter().map(|&p| grid.coord(p)).collect();
-                routes[ti] = Some(Route { tiles });
-            } else {
-                // Rip partial usage and retry next iteration with a wider box.
-                for &t in &tree[1..] {
-                    grid.occ[t] = grid.occ[t].saturating_sub(1);
+        }
+        None => {
+            // Star: sinks by distance from the driver, whole-net box.
+            let bbox = bbox_of(endpoints, margin, costs.cols, costs.rows);
+            let mut sinks: Vec<TileCoord> = endpoints[1..].to_vec();
+            sinks.sort_by_key(|s| s.manhattan(&endpoints[0]));
+            for &sink in &sinks {
+                let sidx = costs.idx(sink);
+                if tree.contains(&sidx) {
+                    continue;
+                }
+                if scratch.astar(
+                    costs,
+                    &tree,
+                    sidx,
+                    bbox,
+                    opts.capacity,
+                    pricing,
+                    opts.steiner,
+                ) {
+                    // A* reconstructs sink→tree; append in reverse so the
+                    // route tiles read as a forward (tree→sink) path.
+                    for i in (0..scratch.path.len()).rev() {
+                        let p = scratch.path[i];
+                        if !tree.contains(&p) {
+                            tree.push(p);
+                        }
+                    }
+                } else {
+                    ok = false;
+                    break;
                 }
             }
         }
+    }
+
+    NetAttempt {
+        tree: ok.then_some(tree),
+        expansions: scratch.expansions - exp0,
+        astar_calls: scratch.astar_calls - calls0,
+        steiner_segments,
+    }
+}
+
+/// Per-iteration slack feedback: maps the live congestion state to
+/// `(per-task slack ps, clock period ps)`. `None` means "no timing data
+/// this iteration" (e.g. STA failed on a combinational loop) and the
+/// router falls back to index order at neutral pricing.
+type SlackFn<'a> = &'a dyn Fn(&CongestionMap) -> Option<(Vec<f64>, f64)>;
+
+/// The negotiation engine shared by module- and design-level entry points.
+/// Emits one `pathfinder_iter` point per negotiation iteration when the
+/// handle is enabled, plus one `steiner_net` point per decomposed
+/// multi-terminal net (buffered per net, flushed in merge order, so the
+/// stream is byte-identical at any `PI_THREADS`).
+fn run(
+    costs: &mut Costs,
+    tasks: &[Task],
+    opts: &RouteOptions,
+    obs: &Obs,
+    slack_fn: Option<SlackFn>,
+) -> (Vec<Option<Route>>, RouteStats) {
+    let mut stats = RouteStats::default();
+    let mut routes: Vec<Option<Route>> = (0..tasks.len()).map(|_| None).collect();
+    let tiles = costs.tiles();
+    // Merge-phase scratch for conflict re-routes (workers use their own).
+    let mut merge_scratch = Scratch::new(tiles);
+    let pathfinder_span = obs.span_with("pathfinder", &[("tasks", tasks.len().into())]);
+
+    // Margin grows with negotiation iterations so desperate nets may detour.
+    for iter in 0..opts.max_iters.max(1) {
+        stats.iterations = iter + 1;
+        let margin = 6 + 6 * iter as i32;
+
+        // Trivial nets (fewer than two located endpoints) route once.
+        if iter == 0 {
+            for (ti, task) in tasks.iter().enumerate() {
+                if task.endpoints.len() < 2 {
+                    routes[ti] = Some(Route::default());
+                    stats.trivial_nets += 1;
+                }
+            }
+        }
+        let mut pending: Vec<usize> = (0..tasks.len())
+            .filter(|&ti| routes[ti].is_none())
+            .collect();
+
+        // Slack feedback: refresh per-net criticality from the live
+        // congestion state, order this wave most-critical-first and price
+        // each net's congestion share by its criticality.
+        let mut slacks: Option<Vec<f64>> = None;
+        let mut pricing: Vec<f32> = Vec::new();
+        if opts.slack_order && !pending.is_empty() {
+            if let Some(f) = slack_fn {
+                if let Some((s, period)) = f(&costs.congestion_snapshot(opts.capacity)) {
+                    debug_assert_eq!(s.len(), tasks.len());
+                    let period = period.max(1.0);
+                    pricing = s
+                        .iter()
+                        .map(|&sl| {
+                            let crit = (1.0 - sl / period).clamp(0.0, 1.0) as f32;
+                            1.25 - 0.75 * crit
+                        })
+                        .collect();
+                    let pending_slacks: Vec<f64> = pending.iter().map(|&ti| s[ti]).collect();
+                    pending = criticality_order(&pending_slacks)
+                        .into_iter()
+                        .map(|i| pending[i])
+                        .collect();
+                    slacks = Some(s);
+                }
+            }
+        }
+        let price_of = |ti: usize| -> f32 {
+            if pricing.is_empty() {
+                1.0
+            } else {
+                pricing[ti]
+            }
+        };
+
+        // Proposal wave: every pending net routes against the frozen
+        // iteration-start snapshot, in parallel. Results are collected in
+        // wave order (the pool guarantees index order), so the schedule
+        // cannot leak into routes or telemetry.
+        let snap: &Costs = costs;
+        let items: Vec<(usize, pi_obs::BufferedObs)> =
+            pending.iter().map(|&ti| (ti, obs.buffered())).collect();
+        let proposals: Vec<(usize, NetAttempt, pi_obs::BufferedObs)> = items
+            .into_par_iter()
+            .map(|(ti, buf)| {
+                let attempt = with_scratch(tiles, |scratch| {
+                    route_net(
+                        snap,
+                        scratch,
+                        &tasks[ti].endpoints,
+                        opts,
+                        margin,
+                        price_of(ti),
+                    )
+                });
+                if buf.obs().enabled() && attempt.steiner_segments >= 2 {
+                    buf.obs().point(
+                        "steiner_net",
+                        &[
+                            ("net", ti.into()),
+                            ("segments", attempt.steiner_segments.into()),
+                            ("expansions", attempt.expansions.into()),
+                        ],
+                    );
+                }
+                (ti, attempt, buf)
+            })
+            .collect();
+
+        // Deterministic merge, in wave (criticality) order: apply each
+        // proposal unless an earlier merge already filled one of its tiles
+        // to capacity — those conflicts re-route immediately against the
+        // live state.
+        let mut iter_exp = 0u64;
+        let mut iter_calls = 0u64;
+        let mut iter_steiner = 0u64;
+        let mut iter_conflicts = 0u64;
+        for (ti, attempt, buf) in proposals {
+            buf.flush_into(obs);
+            iter_exp += attempt.expansions;
+            iter_calls += attempt.astar_calls;
+            iter_steiner += attempt.steiner_segments;
+            let mut tree = attempt.tree;
+            if let Some(t) = &tree {
+                if t[1..].iter().any(|&x| costs.occ[x] >= opts.capacity) {
+                    iter_conflicts += 1;
+                    let retry = route_net(
+                        costs,
+                        &mut merge_scratch,
+                        &tasks[ti].endpoints,
+                        opts,
+                        margin,
+                        price_of(ti),
+                    );
+                    iter_exp += retry.expansions;
+                    iter_calls += retry.astar_calls;
+                    iter_steiner += retry.steiner_segments;
+                    tree = retry.tree;
+                }
+            }
+            if let Some(t) = tree {
+                for &x in &t[1..] {
+                    costs.occ[x] += 1;
+                }
+                let tiles: Vec<TileCoord> = t.iter().map(|&p| costs.coord(p)).collect();
+                routes[ti] = Some(Route { tiles });
+            }
+        }
+        stats.expansions += iter_exp;
+        stats.steiner_segments += iter_steiner;
+        stats.parallel_conflicts += iter_conflicts;
 
         // Negotiate: find overused tiles, rip up offenders, raise history.
-        let overused: Vec<usize> = grid
+        let overused: Vec<usize> = costs
             .occ
             .iter()
             .enumerate()
@@ -361,10 +830,11 @@ fn run(
             .collect();
         let done = overused.is_empty() && routes.iter().all(|r| r.is_some());
         for &t in &overused {
-            grid.hist[t] += 1.5;
+            costs.hist[t] += 1.5;
         }
         let overused_count = overused.len();
         let mut ripups = 0usize;
+        let mut crit_reroutes = 0u64;
         if !done && iter + 1 < opts.max_iters {
             let over_set: std::collections::HashSet<usize> = overused.into_iter().collect();
             for (ti, route) in routes.iter_mut().enumerate() {
@@ -372,17 +842,31 @@ fn run(
                 if r.tiles.is_empty() {
                     continue;
                 }
-                if r.tiles.iter().any(|&t| over_set.contains(&grid.idx(t))) {
+                if r.tiles.iter().any(|&t| over_set.contains(&costs.idx(t))) {
                     for &t in &r.tiles[1..] {
-                        let i = grid.idx(t);
-                        grid.occ[i] = grid.occ[i].saturating_sub(1);
+                        let i = costs.idx(t);
+                        costs.occ[i] = costs.occ[i].saturating_sub(1);
                     }
                     *route = None;
                     ripups += 1;
-                    let _ = ti;
+                    if slacks.as_ref().map(|s| s[ti] < 0.0).unwrap_or(false) {
+                        // A timing-critical net goes back in the queue; it
+                        // routes first, at reduced congestion pricing, next
+                        // iteration.
+                        crit_reroutes += 1;
+                    }
                 }
             }
         }
+        stats.criticality_reroutes += crit_reroutes;
+        // Stall detection (slack-ordered negotiation only): when every net
+        // is routed and the rip-up pass found nothing to rip, the residual
+        // overuse is not attributable to any net this run owns (it was
+        // seeded by locked instance routes) — further iterations can only
+        // raise history on tiles nobody crosses. The pre-change router
+        // spins to max_iters here; the reworked loop stops.
+        let stalled =
+            opts.slack_order && !done && ripups == 0 && routes.iter().all(|r| r.is_some());
         if obs.enabled() {
             obs.point(
                 "pathfinder_iter",
@@ -390,26 +874,29 @@ fn run(
                     ("iter", iter.into()),
                     ("overused", overused_count.into()),
                     ("ripups", ripups.into()),
-                    ("expansions", (grid.expansions - exp_start).into()),
-                    ("astar_calls", (grid.astar_calls - calls_start).into()),
+                    ("expansions", iter_exp.into()),
+                    ("astar_calls", iter_calls.into()),
                     (
                         "unrouted",
                         routes.iter().filter(|r| r.is_none()).count().into(),
                     ),
                     (
                         "hist_total",
-                        grid.hist.iter().map(|&h| f64::from(h)).sum::<f64>().into(),
+                        costs.hist.iter().map(|&h| f64::from(h)).sum::<f64>().into(),
                     ),
+                    ("steiner_segments", iter_steiner.into()),
+                    ("criticality_reroutes", crit_reroutes.into()),
+                    ("parallel_conflicts", iter_conflicts.into()),
                 ],
             );
         }
-        if done {
+        if done || stalled {
             break;
         }
     }
     pathfinder_span.end();
 
-    stats.overused_tiles = grid.occ.iter().filter(|&&o| o > opts.capacity).count();
+    stats.overused_tiles = costs.occ.iter().filter(|&&o| o > opts.capacity).count();
     stats.routed_nets = routes.iter().filter(|r| r.is_some()).count() - stats.trivial_nets;
     stats.wirelength = routes.iter().flatten().map(|r| r.tiles.len() as u64).sum();
     (routes, stats)
@@ -454,8 +941,8 @@ pub fn route_module(
 }
 
 /// [`route_module`] with telemetry: one `pathfinder_iter` point per
-/// negotiation iteration (overused tiles, rip-ups, history-cost growth)
-/// under the `pnr::route` scope.
+/// negotiation iteration (overused tiles, rip-ups, history-cost growth,
+/// Steiner/criticality/conflict counters) under the `pnr::route` scope.
 pub fn route_module_obs(
     module: &mut Module,
     device: &Device,
@@ -463,7 +950,7 @@ pub fn route_module_obs(
     obs: &Obs,
 ) -> Result<(RouteStats, CongestionMap), PnrError> {
     let obs = obs.scoped("pnr::route");
-    let mut grid = Grid::new(device);
+    let mut costs = Costs::new(device);
     // Seed occupancy with whatever is already routed (locked or not).
     let mut tasks = Vec::new();
     for (ni, net) in module.nets().iter().enumerate() {
@@ -473,8 +960,8 @@ pub fn route_module_obs(
         match &net.route {
             Some(r) => {
                 for t in &r.tiles {
-                    let i = grid.idx(*t);
-                    grid.occ[i] += 1;
+                    let i = costs.idx(*t);
+                    costs.occ[i] += 1;
                 }
             }
             None => tasks.push(Task {
@@ -483,7 +970,19 @@ pub fn route_module_obs(
             }),
         }
     }
-    let (routes, stats) = run(&mut grid, &mut tasks, opts, &obs);
+    let task_nets: Vec<usize> = tasks
+        .iter()
+        .map(|t| match t.slot {
+            Slot::Intra { net, .. } | Slot::Top { net } => net,
+        })
+        .collect();
+    let m_ref: &Module = module;
+    let slack_fn = move |map: &CongestionMap| -> Option<(Vec<f64>, f64)> {
+        let (net_slacks, period) =
+            crate::timing::net_slacks_module(m_ref, device, Some(map)).ok()?;
+        Some((task_nets.iter().map(|&ni| net_slacks[ni]).collect(), period))
+    };
+    let (routes, stats) = run(&mut costs, &tasks, opts, &obs, Some(&slack_fn));
     let nets = module.nets_mut()?;
     for (task, route) in tasks.iter().zip(routes) {
         let Slot::Intra { net, .. } = task.slot else {
@@ -492,10 +991,10 @@ pub fn route_module_obs(
         nets[net].route = route;
     }
     let map = CongestionMap {
-        cols: grid.cols,
-        rows: grid.rows,
+        cols: costs.cols,
+        rows: costs.rows,
         capacity: opts.capacity,
-        occ: grid.occ,
+        occ: costs.occ,
     };
     Ok((stats, map))
 }
@@ -519,7 +1018,7 @@ pub fn route_design_obs(
     obs: &Obs,
 ) -> Result<(RouteStats, CongestionMap), PnrError> {
     let obs = obs.scoped("pnr::route");
-    let mut grid = Grid::new(device);
+    let mut costs = Costs::new(device);
     let mut tasks = Vec::new();
     for (ii, inst) in design.instances().iter().enumerate() {
         for (ni, net) in inst.module.nets().iter().enumerate() {
@@ -529,8 +1028,8 @@ pub fn route_design_obs(
             match &net.route {
                 Some(r) => {
                     for t in &r.tiles {
-                        let i = grid.idx(*t);
-                        grid.occ[i] += 1;
+                        let i = costs.idx(*t);
+                        costs.occ[i] += 1;
                     }
                 }
                 None => tasks.push(Task {
@@ -543,8 +1042,8 @@ pub fn route_design_obs(
     for (ni, tnet) in design.top_nets().iter().enumerate() {
         if let Some(route) = &tnet.route {
             for t in &route.tiles {
-                let i = grid.idx(*t);
-                grid.occ[i] += 1;
+                let i = costs.idx(*t);
+                costs.occ[i] += 1;
             }
             continue;
         }
@@ -558,7 +1057,23 @@ pub fn route_design_obs(
         });
     }
 
-    let (routes, stats) = run(&mut grid, &mut tasks, opts, &obs);
+    let slots: Vec<Slot> = tasks.iter().map(|t| t.slot).collect();
+    let d_ref: &Design = design;
+    let slack_fn = move |map: &CongestionMap| -> Option<(Vec<f64>, f64)> {
+        let (inst_slacks, top_slacks, period) =
+            crate::timing::net_slacks_design(d_ref, device, Some(map)).ok()?;
+        Some((
+            slots
+                .iter()
+                .map(|s| match *s {
+                    Slot::Intra { inst, net } => inst_slacks[inst][net],
+                    Slot::Top { net } => top_slacks[net],
+                })
+                .collect(),
+            period,
+        ))
+    };
+    let (routes, stats) = run(&mut costs, &tasks, opts, &obs, Some(&slack_fn));
     for (task, route) in tasks.iter().zip(routes) {
         match task.slot {
             Slot::Intra { inst, net } => {
@@ -575,10 +1090,10 @@ pub fn route_design_obs(
         }
     }
     let map = CongestionMap {
-        cols: grid.cols,
-        rows: grid.rows,
+        cols: costs.cols,
+        rows: costs.rows,
         capacity: opts.capacity,
-        occ: grid.occ,
+        occ: costs.occ,
     };
     Ok((stats, map))
 }
@@ -627,6 +1142,7 @@ mod tests {
         assert!(m.fully_routed());
         assert_eq!(stats.overused_tiles, 0);
         assert!(stats.wirelength > 0);
+        assert!(stats.expansions > 0);
         // The port-connected nets are trivial (no partpins planned).
         assert_eq!(stats.trivial_nets, 2);
     }
@@ -704,20 +1220,21 @@ mod tests {
         // paying the wall (a broken key quantization would pop wall tiles
         // as if they were cheap).
         let device = Device::test_part();
-        let mut grid = Grid::new(&device);
+        let mut costs = Costs::new(&device);
+        let mut scratch = Scratch::new(costs.tiles());
         let wall_col = 5u16;
-        for r in 1..grid.rows {
-            let i = grid.idx(TileCoord::new(wall_col, r));
-            grid.hist[i] = 1.0e6;
+        for r in 1..costs.rows {
+            let i = costs.idx(TileCoord::new(wall_col, r));
+            costs.hist[i] = 1.0e6;
         }
-        let src = grid.idx(TileCoord::new(2, 3));
-        let sink = grid.idx(TileCoord::new(8, 3));
-        let bbox = (0, grid.cols - 1, 0, grid.rows - 1);
-        let mut path = Vec::new();
-        assert!(grid.astar(&[src], sink, bbox, 64, &mut path));
-        let crossings: Vec<TileCoord> = path
+        let src = costs.idx(TileCoord::new(2, 3));
+        let sink = costs.idx(TileCoord::new(8, 3));
+        let bbox = (0, costs.cols - 1, 0, costs.rows - 1);
+        assert!(scratch.astar(&costs, &[src], sink, bbox, 64, 1.0, false));
+        let crossings: Vec<TileCoord> = scratch
+            .path
             .iter()
-            .map(|&p| grid.coord(p))
+            .map(|&p| costs.coord(p))
             .filter(|c| c.col == wall_col)
             .collect();
         assert_eq!(
@@ -726,8 +1243,63 @@ mod tests {
             "path must cross the wall exactly once, through the gap"
         );
         // The reused path buffer serves a second query unchanged.
-        assert!(grid.astar(&[src], sink, bbox, 64, &mut path));
-        assert!(!path.is_empty());
+        assert!(scratch.astar(&costs, &[src], sink, bbox, 64, 1.0, false));
+        assert!(!scratch.path.is_empty());
+    }
+
+    #[test]
+    fn deep_ties_collapse_the_zero_congestion_plateau() {
+        // On empty fabric every tile in the monotone rectangle between the
+        // endpoints shares the same f-score; index-order ties sweep the
+        // plateau, depth-preferring ties march straight at the sink. Same
+        // path cost, strictly fewer pops.
+        let device = Device::test_part();
+        let mut costs = Costs::new(&device);
+        // Uniform fabric: the plateau argument is about equal step costs
+        // (Io/Gap columns would perturb f and hide the effect).
+        costs.base.fill(1.0);
+        let src = costs.idx(TileCoord::new(1, 1));
+        let sink = costs.idx(TileCoord::new(20, 14));
+        let bbox = (0, costs.cols - 1, 0, costs.rows - 1);
+        let mut flat = Scratch::new(costs.tiles());
+        assert!(flat.astar(&costs, &[src], sink, bbox, 64, 1.0, false));
+        let flat_len = flat.path.len();
+        let mut deep = Scratch::new(costs.tiles());
+        assert!(deep.astar(&costs, &[src], sink, bbox, 64, 1.0, true));
+        assert_eq!(
+            deep.path.len(),
+            flat_len,
+            "tie-break must not change path cost"
+        );
+        assert!(
+            deep.expansions < flat.expansions,
+            "deep ties must pop fewer nodes ({} !< {})",
+            deep.expansions,
+            flat.expansions
+        );
+    }
+
+    #[test]
+    fn negotiation_stops_when_overuse_is_not_rippable() {
+        // Overuse seeded by locked instance routes cannot be fixed by
+        // ripping up nets this run owns: the slack-ordered loop detects the
+        // stall and stops after one iteration, the baseline spins to
+        // max_iters raising history on tiles nobody crosses.
+        let device = Device::test_part();
+        let tasks = vec![Task {
+            endpoints: vec![TileCoord::new(1, 1), TileCoord::new(4, 1)],
+            slot: Slot::Top { net: 0 },
+        }];
+        let run_with = |opts: RouteOptions| -> usize {
+            let mut costs = Costs::new(&device);
+            let far = costs.idx(TileCoord::new(20, 10));
+            costs.occ[far] = opts.capacity + 1;
+            let (routes, stats) = run(&mut costs, &tasks, &opts, &Obs::null(), None);
+            assert!(routes[0].is_some());
+            stats.iterations
+        };
+        assert_eq!(run_with(RouteOptions::star_baseline()), 8);
+        assert_eq!(run_with(RouteOptions::default()), 1);
     }
 
     #[test]
@@ -767,9 +1339,84 @@ mod tests {
         let opts = RouteOptions {
             max_iters: 10,
             capacity: 8,
+            ..RouteOptions::default()
         };
         let (stats, map) = route_module(&mut m, &device, &opts).unwrap();
         assert_eq!(stats.overused_tiles, 0, "negotiation failed");
         assert_eq!(map.overused(), 0);
+    }
+
+    #[test]
+    fn steiner_topology_spans_terminals_within_star_length() {
+        // A T-shaped terminal set: the Steiner point (5,5) saves wire over
+        // both the star and the terminal-only MST.
+        let terms = [
+            TileCoord::new(5, 0),
+            TileCoord::new(0, 5),
+            TileCoord::new(10, 5),
+            TileCoord::new(5, 10),
+        ];
+        let edges = steiner_topology(&terms);
+        let total: u64 = edges.iter().map(|(a, b)| a.manhattan(b) as u64).sum();
+        let star: u64 = terms[1..]
+            .iter()
+            .map(|t| t.manhattan(&terms[0]) as u64)
+            .sum();
+        assert!(total <= star, "steiner {total} > star {star}");
+        // The optimal rectilinear Steiner tree here is 20 (three arms of 5
+        // plus the stem); the greedy insertion must find it.
+        assert_eq!(total, 20);
+        // Every terminal is reachable through the edge list.
+        let mut reach: Vec<TileCoord> = vec![terms[0]];
+        for (a, b) in &edges {
+            assert!(reach.contains(a), "edge source {a:?} not yet in tree");
+            reach.push(*b);
+        }
+        for t in &terms {
+            assert!(reach.contains(t), "terminal {t:?} not spanned");
+        }
+    }
+
+    #[test]
+    fn steiner_routing_connects_high_fanout_nets() {
+        let device = Device::test_part();
+        let mut b = ModuleBuilder::new("fan");
+        let din = b.input("din", StreamRole::Source, 8);
+        let src = b.cell(Cell::new("src", CellKind::full_slice()));
+        let sinks: Vec<_> = (0..6)
+            .map(|i| b.cell(Cell::new(format!("k{i}"), CellKind::full_slice())))
+            .collect();
+        b.connect("in", Endpoint::Port(din), [Endpoint::Cell(src)]);
+        b.connect(
+            "fan",
+            Endpoint::Cell(src),
+            sinks.iter().map(|&s| Endpoint::Cell(s)).collect::<Vec<_>>(),
+        );
+        let mut m = b.finish().unwrap();
+        m.set_placement(src, TileCoord::new(12, 10)).unwrap();
+        let spots = [(2, 2), (2, 18), (22, 2), (22, 18), (12, 2), (12, 18)];
+        for (&id, &(c, r)) in sinks.iter().zip(spots.iter()) {
+            m.set_placement(id, TileCoord::new(c, r)).unwrap();
+        }
+        let (stats, _) = route_module(&mut m, &device, &RouteOptions::default()).unwrap();
+        assert!(stats.steiner_segments > 0, "fan-out net not decomposed");
+        let net = m.nets().iter().find(|n| n.name == "fan").unwrap();
+        let route = net.route.as_ref().unwrap();
+        for t in [TileCoord::new(12, 10)].iter().chain(
+            spots
+                .iter()
+                .map(|&(c, r)| TileCoord::new(c, r))
+                .collect::<Vec<_>>()
+                .iter(),
+        ) {
+            assert!(route.tiles.contains(t), "terminal {t:?} not on the route");
+        }
+    }
+
+    #[test]
+    fn criticality_order_sorts_most_negative_first() {
+        let slacks = [120.0, -450.0, 0.0, -450.0, f64::INFINITY];
+        assert_eq!(criticality_order(&slacks), vec![1, 3, 2, 0, 4]);
+        assert!(criticality_order(&[]).is_empty());
     }
 }

@@ -19,6 +19,15 @@ use pi_netlist::{Design, Endpoint, Module};
 /// Launch allowance for paths entering an OOC module boundary, picoseconds.
 const IO_LAUNCH_PS: f64 = 150.0;
 
+/// Slack is reported against a 5 %-tightened target clock
+/// (`critical_path_ps * 0.95`), not the achieved period. Against the
+/// achieved period the worst path would always read exactly zero slack and
+/// no net would ever be "critical"; tightening the target makes the whole
+/// near-critical cone read negative, giving downstream consumers — the
+/// router's criticality ordering, lint's PL0141 — a non-empty critical
+/// set to act on.
+const CRIT_TARGET_RATIO: f64 = 0.95;
+
 /// The result of a timing run.
 #[derive(Debug, Clone)]
 pub struct TimingReport {
@@ -148,6 +157,18 @@ fn analyze(
     device: &Device,
     congestion: Option<&CongestionMap>,
 ) -> Result<TimingReport, PnrError> {
+    analyze_full(graph, device, congestion).map(|(report, _)| report)
+}
+
+/// Forward arrival pass (Kahn) plus backward required-time pass. Returns
+/// the report and the per-node *output* slack against the tightened target
+/// clock (see [`CRIT_TARGET_RATIO`]): `required_out - arrival`, `+inf` for
+/// unconstrained nodes. The node index space matches [`TGraph::nodes`].
+fn analyze_full(
+    graph: &TGraph,
+    device: &Device,
+    congestion: Option<&CongestionMap>,
+) -> Result<(TimingReport, Vec<f64>), PnrError> {
     let n = graph.nodes.len();
     // Adjacency.
     let mut out_edges: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
@@ -207,8 +228,13 @@ fn analyze(
     // slot per *endpoint*: a register captures many paths but reports its
     // worst.
     let mut worst_at: std::collections::HashMap<u32, (f64, u32)> = std::collections::HashMap::new();
+    // Pop order is a valid topological order of every processed node
+    // (a node only becomes ready once all its fanins have been popped);
+    // reversed, it drives the backward required-time pass.
+    let mut pop_order: Vec<u32> = Vec::with_capacity(n);
 
     while let Some(node) = ready.pop() {
+        pop_order.push(node);
         let i = node as usize;
         let out_arr = arrival[i];
         for &(t, wire) in &out_edges[i] {
@@ -287,6 +313,41 @@ fn analyze(
 
     // Floors: even an empty design runs at the clock network's limit.
     let critical = critical.max(500.0);
+
+    // Backward required-time pass against the tightened target clock.
+    // Reverse pop order guarantees a combinational sink's requirement is
+    // final before any of its fanins is visited; registered sinks need no
+    // requirement of their own (capture is `target - setup` directly).
+    let target = critical * CRIT_TARGET_RATIO;
+    let setup = f64::from(delay::SETUP_PS);
+    let mut required: Vec<f64> = vec![f64::INFINITY; n];
+    for &node in pop_order.iter().rev() {
+        let i = node as usize;
+        let mut req = f64::INFINITY;
+        for &(t, wire) in &out_edges[i] {
+            let ti = t as usize;
+            let cand = if graph.nodes[ti].registered {
+                target - setup - wire
+            } else {
+                required[ti] - graph.nodes[ti].comb_delay_ps - wire
+            };
+            req = req.min(cand);
+        }
+        if !graph.nodes[i].registered && !has_fanout[i] {
+            req = req.min(target - setup);
+        }
+        required[i] = req;
+    }
+    let slacks: Vec<f64> = (0..n)
+        .map(|i| {
+            if arrival[i] == f64::NEG_INFINITY || required[i] == f64::INFINITY {
+                f64::INFINITY
+            } else {
+                required[i] - arrival[i]
+            }
+        })
+        .collect();
+
     let top_paths = events
         .into_iter()
         .map(|(ps, end, via)| PathSummary {
@@ -300,14 +361,116 @@ fn analyze(
             },
         })
         .collect();
-    Ok(TimingReport {
-        critical_path_ps: critical,
-        fmax_mhz: 1.0e6 / critical,
-        worst_path,
-        top_paths,
-        nodes: n,
-        edges: graph.edges.len(),
-    })
+    Ok((
+        TimingReport {
+            critical_path_ps: critical,
+            fmax_mhz: 1.0e6 / critical,
+            worst_path,
+            top_paths,
+            nodes: n,
+            edges: graph.edges.len(),
+        },
+        slacks,
+    ))
+}
+
+/// Worst output slack across a net's endpoints (`+inf` for clock nets —
+/// the clock network is not a routed resource here).
+fn net_slack(
+    node_slacks: &[f64],
+    cell_base: usize,
+    port_base: usize,
+    net: &pi_netlist::Net,
+) -> f64 {
+    if net.is_clock {
+        return f64::INFINITY;
+    }
+    let node = |e: Endpoint| -> usize {
+        match e {
+            Endpoint::Cell(c) => cell_base + c.index(),
+            Endpoint::Port(p) => port_base + p.index(),
+        }
+    };
+    let mut s = node_slacks[node(net.source)];
+    for &sink in &net.sinks {
+        s = s.min(node_slacks[node(sink)]);
+    }
+    s
+}
+
+/// Per-net slack for a module's nets, in net index order, against the
+/// tightened target clock (second return value, ps). Negative slack marks
+/// the near-critical cone (see [`CRIT_TARGET_RATIO`]); clock nets report
+/// `+inf`. This is the router's slack-ordering feed — it needs only
+/// placements, not routes, so it is valid mid-negotiation.
+pub fn net_slacks_module(
+    module: &Module,
+    device: &Device,
+    congestion: Option<&CongestionMap>,
+) -> Result<(Vec<f64>, f64), PnrError> {
+    let mut g = TGraph::new();
+    let (cell_base, port_base) = g.add_module(module, "");
+    let (report, node_slacks) = analyze_full(&g, device, congestion)?;
+    let target = report.critical_path_ps * CRIT_TARGET_RATIO;
+    let slacks = module
+        .nets()
+        .iter()
+        .map(|net| net_slack(&node_slacks, cell_base, port_base, net))
+        .collect();
+    Ok((slacks, target))
+}
+
+/// Per-instance net slacks (outer index = instance, inner = net),
+/// top-level net slacks, and the target clock period (ps).
+pub type DesignSlacks = (Vec<Vec<f64>>, Vec<f64>, f64);
+
+/// [`net_slacks_module`] for an assembled design: see [`DesignSlacks`]
+/// for the return shape.
+pub fn net_slacks_design(
+    design: &Design,
+    device: &Device,
+    congestion: Option<&CongestionMap>,
+) -> Result<DesignSlacks, PnrError> {
+    let mut g = TGraph::new();
+    let mut bases = Vec::with_capacity(design.instances().len());
+    for inst in design.instances() {
+        bases.push(g.add_module(&inst.module, &format!("{}/", inst.name)));
+    }
+    for tnet in design.top_nets() {
+        let (si, sp) = tnet.source;
+        let src = (bases[si.index()].1 + sp.index()) as u32;
+        for &(ti, tp) in &tnet.sinks {
+            let dst = (bases[ti.index()].1 + tp.index()) as u32;
+            g.edges.push((src, dst, tnet.pipeline_stages.max(1)));
+        }
+    }
+    let (report, node_slacks) = analyze_full(&g, device, congestion)?;
+    let target = report.critical_path_ps * CRIT_TARGET_RATIO;
+    let inst_slacks = design
+        .instances()
+        .iter()
+        .zip(&bases)
+        .map(|(inst, &(cb, pb))| {
+            inst.module
+                .nets()
+                .iter()
+                .map(|net| net_slack(&node_slacks, cb, pb, net))
+                .collect()
+        })
+        .collect();
+    let top_slacks = design
+        .top_nets()
+        .iter()
+        .map(|tnet| {
+            let (si, sp) = tnet.source;
+            let mut s = node_slacks[bases[si.index()].1 + sp.index()];
+            for &(ti, tp) in &tnet.sinks {
+                s = s.min(node_slacks[bases[ti.index()].1 + tp.index()]);
+            }
+            s
+        })
+        .collect();
+    Ok((inst_slacks, top_slacks, target))
 }
 
 /// STA over a single module (OOC component analysis).
@@ -540,11 +703,73 @@ mod tests {
             &crate::route::RouteOptions {
                 max_iters: 1,
                 capacity: 1,
+                ..crate::route::RouteOptions::default()
             },
         )
         .unwrap();
         let congested = sta_module(&m, &device, Some(&map)).unwrap();
         assert!(congested.fmax_mhz <= clean.fmax_mhz);
+    }
+
+    #[test]
+    fn net_slacks_mark_the_critical_cone_negative() {
+        let device = Device::test_part();
+        let m = pipeline(250, 1);
+        let (slacks, target) = net_slacks_module(&m, &device, None).unwrap();
+        assert_eq!(slacks.len(), m.nets().len());
+        let report = sta_module(&m, &device, None).unwrap();
+        assert!((target - report.critical_path_ps * CRIT_TARGET_RATIO).abs() < 1e-9);
+        // The critical chain runs through every data net, so against the
+        // tightened target the worst nets must read negative.
+        let worst = slacks.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(worst < 0.0, "no negative slack in {slacks:?}");
+        // Worst slack equals target minus the achieved critical path.
+        assert!(
+            (worst - (target - report.critical_path_ps)).abs() < 1e-6,
+            "worst {worst} vs target {target} critical {}",
+            report.critical_path_ps
+        );
+        // Every slack is finite or +inf, never NaN.
+        assert!(slacks.iter().all(|s| !s.is_nan()));
+    }
+
+    #[test]
+    fn design_net_slacks_cover_instances_and_top_nets() {
+        let device = Device::test_part();
+        let make = |name: &str, col: u16, pp: TileCoord| {
+            let mut b = ModuleBuilder::new(name);
+            let din = b.input("din", StreamRole::Source, 16);
+            let dout = b.output("dout", StreamRole::Sink, 16);
+            let c = b.cell(Cell::new("c", CellKind::full_slice()));
+            b.connect("i", Endpoint::Port(din), [Endpoint::Cell(c)]);
+            b.connect("o", Endpoint::Cell(c), [Endpoint::Port(dout)]);
+            let mut m = b.finish().unwrap();
+            m.set_placement(pi_netlist::CellId(0), TileCoord::new(col, 1))
+                .unwrap();
+            m.ports_mut().unwrap()[din.index()].partpin = Some(pp);
+            m.ports_mut().unwrap()[dout.index()].partpin = Some(pp);
+            m
+        };
+        let mut d = Design::new("d", "test-part", pi_netlist::DesignKind::Assembled);
+        let a = d.add_instance("a", make("a", 1, TileCoord::new(2, 1)));
+        let bb = d.add_instance("b", make("b", 10, TileCoord::new(9, 1)));
+        let (pa, _) = d.instance(a).module.port_by_name("dout").unwrap();
+        let (pb, _) = d.instance(bb).module.port_by_name("din").unwrap();
+        d.connect_top("link", (a, pa), vec![(bb, pb)], 16).unwrap();
+        let (inst_slacks, top_slacks, target) = net_slacks_design(&d, &device, None).unwrap();
+        assert_eq!(inst_slacks.len(), 2);
+        for (inst, slacks) in d.instances().iter().zip(&inst_slacks) {
+            assert_eq!(slacks.len(), inst.module.nets().len());
+        }
+        assert_eq!(top_slacks.len(), 1);
+        assert!(target > 0.0);
+        let worst = inst_slacks
+            .iter()
+            .flatten()
+            .chain(top_slacks.iter())
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(worst < 0.0, "tightened target must leave a critical cone");
     }
 
     #[test]

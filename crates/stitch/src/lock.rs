@@ -5,8 +5,10 @@
 //! writers: process A can read the manifest, process B can read the same
 //! bytes, and whichever renames last silently drops the other's entries.
 //! [`LockFile`] closes that window: every manifest read-modify-write cycle
-//! runs under an exclusive advisory lock, taken by atomically creating
-//! `manifest.lock` (`O_CREAT | O_EXCL`) with the owner's PID inside.
+//! runs under an exclusive advisory lock, taken by writing the owner's
+//! PID to a private scratch file and hard-linking it to `manifest.lock`
+//! — link succeeds for exactly one contender, and the lock is never
+//! observable without its PID already inside.
 //!
 //! The protocol is crash-safe and never deadlocks:
 //!
@@ -52,24 +54,26 @@ impl LockFile {
         let path = root.join(LOCK_FILE);
         let deadline = Instant::now() + timeout;
         loop {
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut f) => {
-                    // Best-effort: an empty lock file still locks; the PID
-                    // is only advisory metadata for staleness detection.
-                    let _ = write!(f, "{}", std::process::id());
-                    let _ = f.flush();
-                    return Ok(LockFile { path });
-                }
+            // Publish the PID atomically: write it to a private scratch
+            // file, then hard-link that into place. `create_new` + write
+            // would expose a created-but-still-empty lock, which a
+            // contender reads as torn garbage and "steals" while the
+            // owner is live — the lost-update race this lock exists to
+            // prevent.
+            let scratch = scratch_path(&path);
+            let written = std::fs::File::create(&scratch)
+                .and_then(|mut f| write!(f, "{}", std::process::id()));
+            if let Err(e) = written {
+                let _ = std::fs::remove_file(&scratch);
+                return Err(StitchError::Io(e));
+            }
+            let linked = std::fs::hard_link(&scratch, &path);
+            let _ = std::fs::remove_file(&scratch);
+            match linked {
+                Ok(()) => return Ok(LockFile { path }),
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     if owner_is_stale(&path) {
-                        // Steal: remove and retry immediately. A race where
-                        // another process steals first just loops back into
-                        // create_new.
-                        let _ = std::fs::remove_file(&path);
+                        steal(&path);
                         continue;
                     }
                     if Instant::now() >= deadline {
@@ -85,6 +89,40 @@ impl LockFile {
             }
         }
     }
+}
+
+/// Steal a stale lock by capture, not blind removal: rename it to a
+/// private name first, so of N racing stealers exactly one wins the
+/// rename (the rest see the path gone and loop back into acquisition).
+/// Removing in place would let a slow stealer delete the *fresh* lock
+/// the rename winner has already re-created.
+///
+/// The captured file is re-verified: if it turns out to be a live lock
+/// (the owner released and re-acquired between our staleness check and
+/// the rename), it is linked back into place best-effort.
+fn steal(path: &Path) {
+    let captured = scratch_path(path);
+    if std::fs::rename(path, &captured).is_ok() {
+        if !owner_is_stale(&captured) {
+            let _ = std::fs::hard_link(&captured, path);
+        }
+        let _ = std::fs::remove_file(&captured);
+    }
+}
+
+/// A sibling path unique per process *and* per call, for atomic-publish
+/// scratch files and steal captures. Crash leftovers never collide with
+/// [`LOCK_FILE`] and are harmless clutter.
+fn scratch_path(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(
+        ".{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    PathBuf::from(name)
 }
 
 impl Drop for LockFile {
@@ -180,6 +218,36 @@ mod tests {
         std::fs::write(root.join(LOCK_FILE), "not a pid\0\0").unwrap();
         let lock = LockFile::acquire(&root, Duration::from_millis(200)).unwrap();
         drop(lock);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// A stampede of acquisitions must never overlap two holders. The
+    /// pre-fix protocol wrote the PID *after* `O_CREAT | O_EXCL`, so a
+    /// contender could read the empty window as torn garbage and steal a
+    /// live lock — two threads then mutate the manifest concurrently.
+    #[test]
+    fn stampede_never_steals_a_live_lock() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let root = tmp_root("exclusive");
+        let busy = Arc::new(AtomicBool::new(false));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let root = root.clone();
+                let busy = busy.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let lock = LockFile::acquire(&root, DEFAULT_LOCK_TIMEOUT).unwrap();
+                        assert!(!busy.swap(true, Ordering::SeqCst), "two live holders");
+                        busy.store(false, Ordering::SeqCst);
+                        drop(lock);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
         std::fs::remove_dir_all(&root).ok();
     }
 

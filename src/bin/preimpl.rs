@@ -43,7 +43,8 @@ use std::sync::Arc;
 const USAGE: &str = "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> \
                      <archdef> [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] \
                      [--lint] [--deny-warnings] [--trace PATH] [--report PATH] [--db-dir PATH] \
-                     [--db-budget-bytes N] [--remote ADDR]";
+                     [--db-budget-bytes N] [--remote ADDR] [--router-steiner on|off] \
+                     [--router-slack-order on|off] [--router-max-iters N]";
 
 const FLAGS: &[Flag] = &[
     Flag::switch("--block"),
@@ -57,6 +58,9 @@ const FLAGS: &[Flag] = &[
     Flag::value("--db-dir"),
     Flag::value("--db-budget-bytes"),
     Flag::value("--remote"),
+    Flag::value("--router-steiner"),
+    Flag::value("--router-slack-order"),
+    Flag::value("--router-max-iters"),
 ];
 
 fn main() -> ExitCode {
@@ -219,6 +223,10 @@ fn run() -> Result<ExitCode, String> {
                     "{}",
                     preimpl_cnn::pnr::report::utilization_table(&design.resources(), &device)
                 );
+                print!(
+                    "{}",
+                    preimpl_cnn::pnr::report::routing_summary(&report.compile.route_stats)
+                );
             }
             maybe_write_report(&args, &cfg)?;
             Ok(ExitCode::SUCCESS)
@@ -304,12 +312,34 @@ fn wire_config(args: &Cli, granularity: Granularity) -> Result<FlowConfig, Strin
     let mut cfg = FlowConfig::new()
         .with_granularity(granularity)
         .with_seeds(1..=seeds(args)?);
+    let mut route = cfg.route;
+    if let Some(v) = args.value("--router-steiner") {
+        route.steiner = on_off(v, "--router-steiner")?;
+    }
+    if let Some(v) = args.value("--router-slack-order") {
+        route.slack_order = on_off(v, "--router-slack-order")?;
+    }
+    if let Some(n) = args.parsed::<usize>("--router-max-iters", "a number")? {
+        if n == 0 {
+            return Err("--router-max-iters must be at least 1".into());
+        }
+        route.max_iters = n;
+    }
+    cfg = cfg.with_route(route);
     if args.switch("--lint") {
         cfg = cfg.with_lint(
             preimpl_cnn::lint::LintConfig::new().with_deny_warnings(args.switch("--deny-warnings")),
         );
     }
     Ok(cfg)
+}
+
+fn on_off(v: &str, flag: &str) -> Result<bool, String> {
+    match v {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("{flag} expects on|off, got {other:?}")),
+    }
 }
 
 fn config(args: &Cli, granularity: Granularity) -> Result<FlowConfig, String> {

@@ -84,7 +84,7 @@ fn config_strategy() -> impl Strategy<Value = FlowConfig> {
     );
     let engines = (
         pbool(),                                             // plan partpins
-        (1usize..40, 1u64..200),                             // route knobs
+        (1usize..40, 1u64..200, pbool(), pbool()),           // route knobs
         (0.0f64..500.0, 0.0f64..20.0, 0u64..16, 0usize..12), // placer knobs
         0usize..10,                                          // phys-opt passes
         0.5f64..16.0,                                        // baseline effort
@@ -98,7 +98,7 @@ fn config_strategy() -> impl Strategy<Value = FlowConfig> {
     (shape, engines, synth, cache, lint_strategy()).prop_map(
         |(
             (block, seeds, target, util, effort),
-            (partpins, (max_iters, capacity), placer, passes, baseline),
+            (partpins, (max_iters, capacity, steiner, slack_order), placer, passes, baseline),
             (mono, width, on_chip),
             (threads, db_dir, budget),
             lint,
@@ -125,6 +125,8 @@ fn config_strategy() -> impl Strategy<Value = FlowConfig> {
                 .with_route(RouteOptions {
                     max_iters,
                     capacity: capacity as u16,
+                    steiner,
+                    slack_order,
                 })
                 .with_placer(ComponentPlacerOptions {
                     timing_threshold: placer.0,
