@@ -156,6 +156,30 @@ set -e
     || { echo "broken fixture exited $lint_rc, want 2"; exit 1; }
 echo "    both models clean, broken fixture tripped the gate (exit 2)"
 
+# Model-descriptor gate: every checked-in descriptor under models/ must
+# import and lint clean (exit 0) through `pilint model`, and the LeNet
+# that enters through the JSON descriptor must hold the line against the
+# checked-in seed trace `ci/model_lenet.seed.jsonl` — zero deltas, so the
+# descriptor frontend cannot silently change what the flow builds.
+echo "==> model gate: descriptors lint clean, descriptor LeNet matches seed"
+mdl_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$mdl_dir"' EXIT
+for m in models/*; do
+    cargo run --release --quiet --bin pilint -- \
+        model "$m" --deny-warnings >/dev/null \
+        || { echo "descriptor $m did not lint clean"; exit 1; }
+done
+cargo run --release --quiet --bin preimpl -- \
+    compose --model models/lenet.json --db-dir "$mdl_dir/db" --seeds 1 \
+    --trace "$mdl_dir/lenet_model.jsonl" >/dev/null
+mdl_diff="$(cargo run --release --quiet --bin flowstat -- \
+    diff ci/model_lenet.seed.jsonl "$mdl_dir/lenet_model.jsonl" \
+    --fail-on-regression 0)" \
+    || { echo "descriptor LeNet regressed vs checked-in seed: $mdl_diff"; exit 1; }
+echo "$mdl_diff" | grep -F 'identical' >/dev/null \
+    || { echo "descriptor LeNet drifted from checked-in seed: $mdl_diff"; exit 1; }
+echo "    all descriptors lint clean, descriptor LeNet matches the seed trace"
+
 # pi-serve gate: a daemon on an ephemeral port must serve the same LeNet-5
 # compose job `preimpl` runs locally — the remote trace diffs to zero
 # deltas against the local cold run above — and a warm follow-up must be
@@ -163,7 +187,7 @@ echo "    both models clean, broken fixture tripped the gate (exit 2)"
 echo "==> pi-serve gate: remote compose matches local run"
 srv_dir="$(mktemp -d)"
 serve_pid=""
-trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$srv_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$mdl_dir" "$srv_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 cargo run --release --quiet --bin pi-serve -- \
     serve --bind 127.0.0.1:0 --db-dir "$srv_dir/db" --workers 2 \
     > "$srv_dir/serve.log" &

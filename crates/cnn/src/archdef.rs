@@ -13,10 +13,20 @@
 //! ```
 //!
 //! Layers chain in file order, matching the layer-by-layer execution
-//! schedule of the streaming architectures the paper targets.
+//! schedule of the streaming architectures the paper targets. Non-linear
+//! topologies override the implicit chain edge with `from=`, naming one or
+//! more earlier layers as producers:
+//!
+//! ```text
+//! conv skip kernel=1 stride=1 pad=0 out=16 from=input
+//! add  join from=relu2,skip
+//! ```
+//!
+//! `avgpool` declares average pooling (same keys as `pool`); `add`/`mul`
+//! declare element-wise two-input joins.
 
-use crate::graph::Network;
-use crate::layer::{ConvParams, FcParams, Layer, PoolParams, Shape};
+use crate::graph::{Network, NodeId};
+use crate::layer::{ConvParams, EltwiseOp, FcParams, Layer, PoolParams, Shape};
 use crate::CnnError;
 use std::collections::HashMap;
 
@@ -71,12 +81,22 @@ pub fn parse_archdef_lenient(text: &str) -> Result<Network, CnnError> {
                 }
                 net.push_layer("input", Layer::Input(Shape::new(dims[0], dims[1], dims[2])));
             }
-            "conv" | "pool" | "relu" | "fc" => {
+            "conv" | "pool" | "avgpool" | "relu" | "fc" | "add" | "mul" => {
                 let net = network
                     .as_mut()
                     .ok_or_else(|| err("layer before network"))?;
                 let name = words.next().ok_or_else(|| err("missing layer name"))?;
-                let kv = parse_kv(words, lineno + 1)?;
+                // `from=` carries layer names, not numbers — peel it off
+                // before the numeric key=value parse.
+                let mut from: Option<&str> = None;
+                let mut kv_words = Vec::new();
+                for w in words {
+                    match w.strip_prefix("from=") {
+                        Some(list) => from = Some(list),
+                        None => kv_words.push(w),
+                    }
+                }
+                let kv = parse_kv(kv_words.into_iter(), lineno + 1)?;
                 let get = |key: &str| -> Result<u32, CnnError> {
                     kv.get(key)
                         .copied()
@@ -89,17 +109,44 @@ pub fn parse_archdef_lenient(text: &str) -> Result<Network, CnnError> {
                         padding: kv.get("pad").copied().unwrap_or(0),
                         out_channels: get("out")?,
                     }),
-                    "pool" => Layer::Pool(PoolParams {
-                        window: get("window")?,
-                        stride: kv.get("stride").copied().unwrap_or_else(|| kv["window"]),
-                    }),
+                    "pool" => Layer::Pool(PoolParams::max(
+                        get("window")?,
+                        kv.get("stride").copied().unwrap_or_else(|| kv["window"]),
+                    )),
+                    "avgpool" => Layer::Pool(PoolParams::average(
+                        get("window")?,
+                        kv.get("stride").copied().unwrap_or_else(|| kv["window"]),
+                    )),
                     "relu" => Layer::Relu,
                     "fc" => Layer::Fc(FcParams {
                         out_features: get("out")?,
                     }),
+                    "add" => Layer::Eltwise(EltwiseOp::Add),
+                    "mul" => Layer::Eltwise(EltwiseOp::Mul),
                     _ => unreachable!(),
                 };
-                net.push_layer(name, layer);
+                match from {
+                    None => {
+                        net.push_layer(name, layer);
+                    }
+                    Some(list) => {
+                        let mut sources = Vec::new();
+                        for producer in list.split(',') {
+                            let src = net
+                                .nodes()
+                                .iter()
+                                .position(|n| n.name == producer)
+                                .ok_or_else(|| {
+                                    err(&format!("from= references unknown layer '{producer}'"))
+                                })?;
+                            sources.push(NodeId(src as u32));
+                        }
+                        let id = net.add_node(name, layer);
+                        for src in sources {
+                            net.add_edge(src, id);
+                        }
+                    }
+                }
             }
             other => {
                 return Err(err(&format!("unknown directive '{other}'")));
@@ -113,24 +160,51 @@ pub fn parse_archdef_lenient(text: &str) -> Result<Network, CnnError> {
 }
 
 /// Render a network back to the archdef format (round-trip support).
+/// Chain networks render exactly as before; where a node's predecessors
+/// differ from the implicit previous-line chain, an explicit `from=` is
+/// emitted so branching topologies round-trip too.
 pub fn to_archdef(network: &Network) -> String {
+    use crate::layer::PoolKind;
     let mut out = format!("network {}\n", network.name);
-    for node in network.nodes() {
-        match node.layer {
-            Layer::Input(s) => {
-                out.push_str(&format!("input {}x{}x{}\n", s.channels, s.height, s.width))
-            }
-            Layer::Conv(p) => out.push_str(&format!(
-                "conv {} kernel={} stride={} pad={} out={}\n",
+    for (i, node) in network.nodes().iter().enumerate() {
+        let line = match node.layer {
+            Layer::Input(s) => format!("input {}x{}x{}", s.channels, s.height, s.width),
+            Layer::Conv(p) => format!(
+                "conv {} kernel={} stride={} pad={} out={}",
                 node.name, p.kernel, p.stride, p.padding, p.out_channels
-            )),
-            Layer::Pool(p) => out.push_str(&format!(
-                "pool {} window={} stride={}\n",
-                node.name, p.window, p.stride
-            )),
-            Layer::Relu => out.push_str(&format!("relu {}\n", node.name)),
-            Layer::Fc(p) => out.push_str(&format!("fc {} out={}\n", node.name, p.out_features)),
+            ),
+            Layer::Pool(p) => format!(
+                "{} {} window={} stride={}",
+                match p.kind {
+                    PoolKind::Max => "pool",
+                    PoolKind::Average => "avgpool",
+                },
+                node.name,
+                p.window,
+                p.stride
+            ),
+            Layer::Relu => format!("relu {}", node.name),
+            Layer::Fc(p) => format!("fc {} out={}", node.name, p.out_features),
+            Layer::Eltwise(op) => format!(
+                "{} {}",
+                match op {
+                    EltwiseOp::Add => "add",
+                    EltwiseOp::Mul => "mul",
+                },
+                node.name
+            ),
+        };
+        out.push_str(&line);
+        let preds: Vec<NodeId> = network.predecessors(NodeId(i as u32)).collect();
+        let implicit_chain = preds.is_empty() || (preds.len() == 1 && preds[0].index() + 1 == i);
+        if !implicit_chain {
+            let names: Vec<&str> = preds
+                .iter()
+                .map(|p| network.node(*p).name.as_str())
+                .collect();
+            out.push_str(&format!(" from={}", names.join(",")));
         }
+        out.push('\n');
     }
     out
 }

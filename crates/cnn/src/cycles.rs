@@ -47,6 +47,8 @@ pub fn layer_pipeline_depth(layer: &Layer, input: Shape) -> u64 {
             let _ = p;
             ceil_log2(input.elements()) + 6
         }
+        // Join: one stream-alignment stage plus the ALU stage.
+        Layer::Eltwise(_) => 2,
     }
 }
 

@@ -1,9 +1,10 @@
 //! Network data-flow graphs, fusion into components, and workload statistics.
 
-use crate::layer::{Layer, Shape};
+use crate::layer::{Layer, PoolKind, Shape};
 use crate::CnnError;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Index of a node in a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -138,10 +139,49 @@ impl Network {
         Ok(order)
     }
 
+    /// Deterministic topological order (Kahn's algorithm, smallest ready
+    /// node id first). Unlike [`Network::bfs`], every predecessor of a node
+    /// appears before the node itself, which branching topologies need for
+    /// shape propagation — BFS can reach a join through its short branch
+    /// before the long branch has been computed. On chains the two orders
+    /// coincide.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, CnnError> {
+        let mut indeg = vec![0usize; self.nodes.len()];
+        for (_, t) in &self.edges {
+            indeg[t.index()] += 1;
+        }
+        let mut ready: BinaryHeap<Reverse<u32>> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| Reverse(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(Reverse(i)) = ready.pop() {
+            let id = NodeId(i);
+            order.push(id);
+            for s in self.successors(id) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push(Reverse(s.0));
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(CnnError::BadGraph(format!(
+                "{} nodes trapped in a dependency cycle",
+                self.nodes.len() - order.len()
+            )));
+        }
+        Ok(order)
+    }
+
     /// Input shape of every node, propagated from the network input.
-    /// For multi-predecessor nodes the first predecessor's output is used.
+    /// For multi-predecessor nodes the first predecessor's output is used
+    /// (joins are shape-preserving; pi-lint PL0201 flags disagreement).
     pub fn input_shapes(&self) -> Result<Vec<Shape>, CnnError> {
-        let order = self.bfs()?;
+        self.bfs()?; // reachability + unique-input validation
+        let order = self.topo_order()?;
         let mut out_shapes: Vec<Option<Shape>> = vec![None; self.nodes.len()];
         let mut in_shapes: Vec<Option<Shape>> = vec![None; self.nodes.len()];
         for id in order {
@@ -169,11 +209,13 @@ impl Network {
         Ok(in_shapes.into_iter().map(|s| s.unwrap()).collect())
     }
 
-    /// Output shape of the final node(s); for a chain, the network output.
+    /// Output shape of the final node; for a chain, the network output. The
+    /// last node in topological order is always a sink, even when branches
+    /// rejoin.
     pub fn output_shape(&self) -> Result<Shape, CnnError> {
         let shapes = self.input_shapes()?;
         let last = self
-            .bfs()?
+            .topo_order()?
             .into_iter()
             .last()
             .ok_or_else(|| CnnError::BadGraph("empty network".to_string()))?;
@@ -209,11 +251,21 @@ impl Network {
     /// layers (ReLU) always fuse into the producing component; with
     /// [`Granularity::Block`], consecutive convolutions also fuse (the
     /// granularity the paper uses for VGG's conv blocks).
+    ///
+    /// Fusion is adjacency-aware so branching topologies partition
+    /// correctly: a node joins its predecessor's component only when it is
+    /// that predecessor's sole consumer and the predecessor is the current
+    /// tail of its component. On a chain this reduces to the original
+    /// consecutive-layer rule, so existing signatures (and therefore
+    /// database cache keys) are unchanged. Joins and fanout points always
+    /// start a fresh component. Components are emitted in topological
+    /// order, so every producer component precedes its consumers.
     pub fn components(&self, granularity: Granularity) -> Result<Vec<Component>, CnnError> {
-        let order = self.bfs()?;
         let shapes = self.input_shapes()?;
+        let order = self.topo_order()?;
         let mut components: Vec<Component> = Vec::new();
-        let mut current: Option<Component> = None;
+        // Component index each node landed in (None for the input node).
+        let mut comp_of: Vec<Option<usize>> = vec![None; self.nodes.len()];
 
         for id in order {
             let node = self.node(id);
@@ -222,38 +274,50 @@ impl Network {
             }
             let input_shape = shapes[id.index()];
             let output_shape = node.layer.output_shape(input_shape)?;
-            let fuses = match (&current, &node.layer) {
-                (None, _) => false,
-                // ReLU streams element-wise: never needs a memory controller.
-                (Some(_), Layer::Relu) => true,
-                // Block granularity: conv directly following conv keeps
-                // streaming through the same CLE chain.
-                (Some(c), Layer::Conv(_)) => {
-                    granularity == Granularity::Block && c.kind_tag == "conv"
+            let preds: Vec<NodeId> = self.predecessors(id).collect();
+            let target = match preds.as_slice() {
+                // Single producer whose only consumer is this node: the wire
+                // between them carries the whole stream, so fusion needs no
+                // memory controller.
+                [p] if self.successors(*p).count() == 1 => {
+                    comp_of[p.index()].filter(|&ci| {
+                        let c = &components[ci];
+                        c.nodes.last() == Some(p)
+                            && match node.layer {
+                                // ReLU streams element-wise.
+                                Layer::Relu => true,
+                                // Block granularity: conv directly following
+                                // conv keeps streaming through the same CLE
+                                // chain.
+                                Layer::Conv(_) => {
+                                    granularity == Granularity::Block && c.kind_tag == "conv"
+                                }
+                                _ => false,
+                            }
+                    })
                 }
-                _ => false,
+                _ => None,
             };
-            if fuses {
-                let c = current.as_mut().expect("fuses implies current");
-                c.nodes.push(id);
-                c.output_shape = output_shape;
-                c.name.push('+');
-                c.name.push_str(&node.name);
-            } else {
-                if let Some(c) = current.take() {
-                    components.push(c);
+            match target {
+                Some(ci) => {
+                    let c = &mut components[ci];
+                    c.nodes.push(id);
+                    c.output_shape = output_shape;
+                    c.name.push('+');
+                    c.name.push_str(&node.name);
+                    comp_of[id.index()] = Some(ci);
                 }
-                current = Some(Component {
-                    name: node.name.clone(),
-                    kind_tag: node.layer.kind_tag().to_string(),
-                    nodes: vec![id],
-                    input_shape,
-                    output_shape,
-                });
+                None => {
+                    comp_of[id.index()] = Some(components.len());
+                    components.push(Component {
+                        name: node.name.clone(),
+                        kind_tag: node.layer.kind_tag().to_string(),
+                        nodes: vec![id],
+                        input_shape,
+                        output_shape,
+                    });
+                }
             }
-        }
-        if let Some(c) = current.take() {
-            components.push(c);
         }
         if components.is_empty() {
             return Err(CnnError::BadGraph(
@@ -314,12 +378,17 @@ impl Component {
                         p.kernel, p.stride, p.padding, p.out_channels
                     ));
                 }
-                Layer::Pool(p) => {
-                    sig.push_str(&format!("pool_w{}s{}", p.window, p.stride));
-                }
+                // Max pooling keeps the historical spelling so signatures of
+                // pre-existing networks (and their cached checkpoints) are
+                // stable; average pooling is new hardware and gets its own.
+                Layer::Pool(p) => match p.kind {
+                    PoolKind::Max => sig.push_str(&format!("pool_w{}s{}", p.window, p.stride)),
+                    PoolKind::Average => sig.push_str(&format!("apool_w{}s{}", p.window, p.stride)),
+                },
                 Layer::Relu => sig.push_str("relu"),
                 Layer::Fc(p) => sig.push_str(&format!("fc_o{}", p.out_features)),
                 Layer::Input(_) => sig.push_str("input"),
+                Layer::Eltwise(op) => sig.push_str(Layer::Eltwise(op).kind_tag()),
             }
         }
         format!(
@@ -367,13 +436,7 @@ mod tests {
                 out_channels: 2,
             }),
         );
-        n.push_layer(
-            "p1",
-            Layer::Pool(PoolParams {
-                window: 2,
-                stride: 2,
-            }),
-        );
+        n.push_layer("p1", Layer::Pool(PoolParams::max(2, 2)));
         n.push_layer("r1", Layer::Relu);
         n.push_layer("f1", Layer::Fc(FcParams { out_features: 4 }));
         n
@@ -427,13 +490,7 @@ mod tests {
         n.push_layer("r1", Layer::Relu);
         n.push_layer("c2", conv(4));
         n.push_layer("r2", Layer::Relu);
-        n.push_layer(
-            "p1",
-            Layer::Pool(PoolParams {
-                window: 2,
-                stride: 2,
-            }),
-        );
+        n.push_layer("p1", Layer::Pool(PoolParams::max(2, 2)));
         assert_eq!(n.components(Granularity::Layer).unwrap().len(), 3);
         let blocks = n.components(Granularity::Block).unwrap();
         assert_eq!(blocks.len(), 2); // c1+r1+c2+r2 / p1

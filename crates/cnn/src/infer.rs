@@ -15,7 +15,7 @@
 //! like the parallel regions in `pi-flow`.
 
 use crate::graph::{Network, NodeId};
-use crate::layer::{ConvParams, FcParams, Layer, PoolParams};
+use crate::layer::{ConvParams, EltwiseOp, FcParams, Layer, PoolKind, PoolParams};
 use crate::tensor::{requantize_acc, Tensor};
 use crate::CnnError;
 use rand::rngs::StdRng;
@@ -209,6 +209,58 @@ pub fn maxpool(input: &Tensor, p: &PoolParams) -> Result<Tensor, CnnError> {
     Ok(out)
 }
 
+/// Average pooling: window mean in Q8.8 (floor division — the hardware's
+/// adder tree feeds a truncating constant divider).
+pub fn avgpool(input: &Tensor, p: &PoolParams) -> Result<Tensor, CnnError> {
+    let out_shape = p.output_shape(input.shape())?;
+    let mut out = Tensor::zeros(out_shape.channels, out_shape.height, out_shape.width);
+    let count = i32::from(p.window as u16) * i32::from(p.window as u16);
+    for c in 0..out_shape.channels {
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                let mut acc = 0i32;
+                for wy in 0..p.window {
+                    for wx in 0..p.window {
+                        acc += i32::from(input.get(c, oy * p.stride + wy, ox * p.stride + wx));
+                    }
+                }
+                out.set(c, oy, ox, acc.div_euclid(count) as i16);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Pooling, dispatched on the reduction kind.
+pub fn pool(input: &Tensor, p: &PoolParams) -> Result<Tensor, CnnError> {
+    match p.kind {
+        PoolKind::Max => maxpool(input, p),
+        PoolKind::Average => avgpool(input, p),
+    }
+}
+
+/// Element-wise two-input join in Q8.8: saturating add, or multiply with
+/// requantization.
+pub fn eltwise(op: EltwiseOp, a: &Tensor, b: &Tensor) -> Result<Tensor, CnnError> {
+    if a.shape() != b.shape() {
+        return Err(CnnError::ShapeMismatch(format!(
+            "join operands disagree: {} vs {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let data = a
+        .raw()
+        .iter()
+        .zip(b.raw())
+        .map(|(&x, &y)| match op {
+            EltwiseOp::Add => x.saturating_add(y),
+            EltwiseOp::Mul => requantize_acc(i32::from(x) * i32::from(y)),
+        })
+        .collect();
+    Ok(Tensor::from_raw(a.channels, a.height, a.width, data))
+}
+
 /// Rectified linear unit.
 pub fn relu(input: &Tensor) -> Tensor {
     let data = input.raw().iter().map(|&v| v.max(0)).collect();
@@ -261,36 +313,54 @@ pub fn apply_layer(
             p,
             weights.ok_or_else(|| CnnError::BadGraph("conv missing weights".to_string()))?,
         ),
-        Layer::Pool(p) => maxpool(input, p),
+        Layer::Pool(p) => pool(input, p),
         Layer::Relu => Ok(relu(input)),
         Layer::Fc(p) => fully_connected(
             input,
             p,
             weights.ok_or_else(|| CnnError::BadGraph("fc missing weights".to_string()))?,
         ),
+        // Joins take two operands; forward_trace feeds them via `eltwise`.
+        Layer::Eltwise(_) => Err(CnnError::BadGraph(
+            "join layer needs two operands (use forward_trace)".to_string(),
+        )),
     }
 }
 
 /// Forward propagation through the whole network, returning the output of
-/// every node in BFS order (last entry = network output).
+/// every node in topological order (last entry = network output). Joins
+/// receive both predecessor outputs; every other layer follows the
+/// first-predecessor rule.
 pub fn forward_trace(
     network: &Network,
     weights: &Weights,
     input: &Tensor,
 ) -> Result<Vec<(NodeId, Tensor)>, CnnError> {
-    let order = network.bfs()?;
+    network.bfs()?; // reachability + unique-input validation
+    let order = network.topo_order()?;
     let mut outputs: HashMap<NodeId, Tensor> = HashMap::with_capacity(order.len());
     let mut trace = Vec::with_capacity(order.len());
     for id in order {
         let node = network.node(id);
-        let feed = match network.predecessors(id).next() {
-            Some(p) => outputs
-                .get(&p)
+        let preds: Vec<NodeId> = network.predecessors(id).collect();
+        let fetch = |p: &NodeId| -> Result<Tensor, CnnError> {
+            outputs
+                .get(p)
                 .cloned()
-                .ok_or_else(|| CnnError::BadGraph("predecessor not yet computed".to_string()))?,
-            None => input.clone(),
+                .ok_or_else(|| CnnError::BadGraph("predecessor not yet computed".to_string()))
         };
-        let out = apply_layer(&node.layer, &feed, weights.get(id))?;
+        let out = match (&node.layer, preds.as_slice()) {
+            (Layer::Eltwise(op), [a, b]) => eltwise(*op, &fetch(a)?, &fetch(b)?)?,
+            (Layer::Eltwise(_), _) => {
+                return Err(CnnError::BadGraph(format!(
+                    "join {} has {} predecessors, needs exactly 2",
+                    node.name,
+                    preds.len()
+                )))
+            }
+            (_, []) => apply_layer(&node.layer, input, weights.get(id))?,
+            (_, [p, ..]) => apply_layer(&node.layer, &fetch(p)?, weights.get(id))?,
+        };
         outputs.insert(id, out.clone());
         trace.push((id, out));
     }
@@ -394,14 +464,41 @@ mod tests {
     #[test]
     fn maxpool_and_relu() {
         let input = Tensor::from_raw(1, 2, 2, vec![-5, 9, 3, 1]);
-        let p = PoolParams {
-            window: 2,
-            stride: 2,
-        };
+        let p = PoolParams::max(2, 2);
         let pooled = maxpool(&input, &p).unwrap();
         assert_eq!(pooled.get(0, 0, 0), 9);
         let r = relu(&input);
         assert_eq!(r.raw(), &[0, 9, 3, 1]);
+    }
+
+    #[test]
+    fn avgpool_and_eltwise() {
+        let input = Tensor::from_raw(1, 2, 2, vec![-4, 8, 4, 0]);
+        let p = PoolParams::average(2, 2);
+        assert_eq!(avgpool(&input, &p).unwrap().get(0, 0, 0), 2);
+        let a = Tensor::from_f32(1, 1, 2, &[1.0, -2.0]);
+        let b = Tensor::from_f32(1, 1, 2, &[0.5, 3.0]);
+        let sum = eltwise(EltwiseOp::Add, &a, &b).unwrap();
+        assert_eq!(sum.raw(), &[quantize(1.5), quantize(1.0)]);
+        let prod = eltwise(EltwiseOp::Mul, &a, &b).unwrap();
+        assert_eq!(prod.raw(), &[quantize(0.5), quantize(-6.0)]);
+        // Operand shape disagreement is an error, not a panic.
+        let c = Tensor::zeros(1, 2, 2);
+        assert!(eltwise(EltwiseOp::Add, &a, &c).is_err());
+    }
+
+    #[test]
+    fn forward_through_resnet_joins_both_branches() {
+        let net = models::resnet_small();
+        let weights = Weights::random(&net, 11).unwrap();
+        let input = Tensor::zeros(3, 32, 32);
+        let trace = forward_trace(&net, &weights, &input).unwrap();
+        assert_eq!(trace.len(), net.nodes().len());
+        let out = &trace.last().unwrap().1;
+        assert_eq!(out.shape(), Shape::new(10, 1, 1));
+        // Determinism across runs.
+        let again = forward(&net, &weights, &input).unwrap();
+        assert_eq!(*out, again);
     }
 
     #[test]

@@ -72,19 +72,56 @@ impl ConvParams {
     }
 }
 
-/// Max-pooling layer parameters.
+/// Pooling reduction: max (comparator tree) or average (adder tree +
+/// constant scale). The hardware differs, so the kind is part of the
+/// component signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    Max,
+    Average,
+}
+
+/// Pooling layer parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PoolParams {
     pub window: u32,
     pub stride: u32,
+    pub kind: PoolKind,
 }
 
 impl PoolParams {
+    /// Max pooling, the variant the paper's networks use.
+    pub const fn max(window: u32, stride: u32) -> Self {
+        PoolParams {
+            window,
+            stride,
+            kind: PoolKind::Max,
+        }
+    }
+
+    /// Average pooling (also covers GlobalAveragePool once the importer
+    /// resolves the window against the propagated input shape).
+    pub const fn average(window: u32, stride: u32) -> Self {
+        PoolParams {
+            window,
+            stride,
+            kind: PoolKind::Average,
+        }
+    }
+
     pub fn output_shape(&self, input: Shape) -> Result<Shape, CnnError> {
         let h = conv_dim(input.height, self.window, self.stride, 0)?;
         let w = conv_dim(input.width, self.window, self.stride, 0)?;
         Ok(Shape::new(input.channels, h, w))
     }
+}
+
+/// Element-wise join operation (ResNet-style skip connections): two
+/// same-shaped streams combined value by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EltwiseOp {
+    Add,
+    Mul,
 }
 
 /// Fully connected layer parameters. The paper implements FC as a
@@ -120,6 +157,9 @@ pub enum Layer {
     Pool(PoolParams),
     Relu,
     Fc(FcParams),
+    /// Element-wise two-input join (skip-connection add/mul). Shape
+    /// preserving; both predecessors must produce the same shape.
+    Eltwise(EltwiseOp),
 }
 
 impl Layer {
@@ -131,6 +171,7 @@ impl Layer {
             Layer::Pool(p) => p.output_shape(input),
             Layer::Relu => Ok(input),
             Layer::Fc(p) => Ok(p.output_shape(input)),
+            Layer::Eltwise(_) => Ok(input),
         }
     }
 
@@ -160,14 +201,23 @@ impl Layer {
             Layer::Pool(_) => "pool",
             Layer::Relu => "relu",
             Layer::Fc(_) => "fc",
+            Layer::Eltwise(EltwiseOp::Add) => "add",
+            Layer::Eltwise(EltwiseOp::Mul) => "mul",
         }
     }
 
     /// True for layers that compute element-wise on the stream and therefore
     /// need no memory controller at their input boundary (the paper's fusion
     /// rule: ReLU can be applied directly to intermediate pooling results).
+    /// Joins are also element-wise but synchronize two streams, so they keep
+    /// their own component and are excluded here.
     pub fn is_elementwise(&self) -> bool {
         matches!(self, Layer::Relu)
+    }
+
+    /// True for two-input join layers (skip-connection add/mul).
+    pub fn is_join(&self) -> bool {
+        matches!(self, Layer::Eltwise(_))
     }
 }
 
@@ -221,14 +271,23 @@ mod tests {
 
     #[test]
     fn pool_and_relu_shapes() {
-        let p = PoolParams {
-            window: 2,
-            stride: 2,
-        };
+        let p = PoolParams::max(2, 2);
         let out = p.output_shape(Shape::new(6, 28, 28)).unwrap();
         assert_eq!(out, Shape::new(6, 14, 14));
         assert_eq!(
             Layer::Relu.output_shape(out).unwrap(),
+            Shape::new(6, 14, 14)
+        );
+        // Average pooling reduces the same geometry; the join preserves it.
+        let a = PoolParams::average(2, 2);
+        assert_eq!(
+            a.output_shape(Shape::new(6, 28, 28)).unwrap(),
+            Shape::new(6, 14, 14)
+        );
+        assert_eq!(
+            Layer::Eltwise(EltwiseOp::Add)
+                .output_shape(Shape::new(6, 14, 14))
+                .unwrap(),
             Shape::new(6, 14, 14)
         );
     }

@@ -19,7 +19,7 @@ pub mod tensor;
 
 pub use archdef::{parse_archdef, parse_archdef_lenient};
 pub use graph::{Component, Network, NetworkStats, NodeId};
-pub use layer::{ConvParams, FcParams, Layer, PoolParams, Shape};
+pub use layer::{ConvParams, EltwiseOp, FcParams, Layer, PoolKind, PoolParams, Shape};
 pub use tensor::Tensor;
 
 /// Errors from CNN graph construction and the archdef parser.
@@ -31,6 +31,10 @@ pub enum CnnError {
     Parse { line: usize, msg: String },
     /// Graph structure error (e.g. no input layer).
     BadGraph(String),
+    /// Model-descriptor import error. `loc` locates the defect in the
+    /// source descriptor: a `line N` for line-oriented formats, a JSON
+    /// field path like `nodes[3].attrs.kernel` otherwise.
+    Import { loc: String, msg: String },
 }
 
 impl std::fmt::Display for CnnError {
@@ -39,6 +43,7 @@ impl std::fmt::Display for CnnError {
             CnnError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
             CnnError::Parse { line, msg } => write!(f, "archdef parse error at line {line}: {msg}"),
             CnnError::BadGraph(m) => write!(f, "bad network graph: {m}"),
+            CnnError::Import { loc, msg } => write!(f, "model import error at {loc}: {msg}"),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! paper, plus small synthetic networks for tests and examples.
 
 use crate::graph::Network;
-use crate::layer::{ConvParams, FcParams, Layer, PoolParams, Shape};
+use crate::layer::{ConvParams, EltwiseOp, FcParams, Layer, PoolParams, Shape};
 
 fn conv(out_channels: u32, kernel: u32, padding: u32) -> Layer {
     Layer::Conv(ConvParams {
@@ -14,10 +14,7 @@ fn conv(out_channels: u32, kernel: u32, padding: u32) -> Layer {
 }
 
 fn pool2() -> Layer {
-    Layer::Pool(PoolParams {
-        window: 2,
-        stride: 2,
-    })
+    Layer::Pool(PoolParams::max(2, 2))
 }
 
 fn fc(out_features: u32) -> Layer {
@@ -86,13 +83,7 @@ pub fn alexnet_like() -> Network {
         }),
     );
     n.push_layer("relu1", Layer::Relu);
-    n.push_layer(
-        "pool1",
-        Layer::Pool(PoolParams {
-            window: 3,
-            stride: 2,
-        }),
-    );
+    n.push_layer("pool1", Layer::Pool(PoolParams::max(3, 2)));
     n.push_layer(
         "conv2",
         Layer::Conv(ConvParams {
@@ -103,26 +94,14 @@ pub fn alexnet_like() -> Network {
         }),
     );
     n.push_layer("relu2", Layer::Relu);
-    n.push_layer(
-        "pool2",
-        Layer::Pool(PoolParams {
-            window: 3,
-            stride: 2,
-        }),
-    );
+    n.push_layer("pool2", Layer::Pool(PoolParams::max(3, 2)));
     n.push_layer("conv3", conv(384, 3, 1));
     n.push_layer("relu3", Layer::Relu);
     n.push_layer("conv4", conv(384, 3, 1));
     n.push_layer("relu4", Layer::Relu);
     n.push_layer("conv5", conv(256, 3, 1));
     n.push_layer("relu5", Layer::Relu);
-    n.push_layer(
-        "pool5",
-        Layer::Pool(PoolParams {
-            window: 3,
-            stride: 2,
-        }),
-    );
+    n.push_layer("pool5", Layer::Pool(PoolParams::max(3, 2)));
     n.push_layer("fc1", fc(4096));
     n.push_layer("relu_fc1", Layer::Relu);
     n.push_layer("fc2", fc(4096));
@@ -150,6 +129,57 @@ pub fn vgg_tiny() -> Network {
     n
 }
 
+/// CIFAR-10 "quick" network (the Caffe example the fpgaConvNet-style
+/// prototxt descriptor in `models/cifar10_quick.prototxt` mirrors): three
+/// 5×5 same-padded convolutions with 3×3 stride-2 pooling — max after
+/// conv1, average after conv2/conv3 — and a 64-wide classifier head.
+pub fn cifar10_quick() -> Network {
+    let mut n = Network::new("cifar10-quick");
+    n.push_layer("input", Layer::Input(Shape::new(3, 32, 32)));
+    n.push_layer("conv1", conv(32, 5, 2));
+    n.push_layer("pool1", Layer::Pool(PoolParams::max(3, 2)));
+    n.push_layer("relu1", Layer::Relu);
+    n.push_layer("conv2", conv(32, 5, 2));
+    n.push_layer("relu2", Layer::Relu);
+    n.push_layer("pool2", Layer::Pool(PoolParams::average(3, 2)));
+    n.push_layer("conv3", conv(64, 5, 2));
+    n.push_layer("relu3", Layer::Relu);
+    n.push_layer("pool3", Layer::Pool(PoolParams::average(3, 2)));
+    n.push_layer("fc1", fc(64));
+    n.push_layer("fc2", fc(10));
+    n
+}
+
+/// A small ResNet: stem convolution, two residual blocks with identity
+/// skip connections (the branching topology that forces the flow off the
+/// linear-chain assumption), average pooling and a 10-class head.
+pub fn resnet_small() -> Network {
+    let mut n = Network::new("resnet-small");
+    n.push_layer("input", Layer::Input(Shape::new(3, 32, 32)));
+    n.push_layer("conv1", conv(16, 3, 1));
+    let mut tail = n.push_layer("relu1", Layer::Relu);
+    for b in 1..=2u32 {
+        let ca = n.add_node(format!("conv{b}a"), conv(16, 3, 1));
+        n.add_edge(tail, ca);
+        let ra = n.add_node(format!("relu{b}a"), Layer::Relu);
+        n.add_edge(ca, ra);
+        let cb = n.add_node(format!("conv{b}b"), conv(16, 3, 1));
+        n.add_edge(ra, cb);
+        // Main path first so shape propagation reads the conv output;
+        // the identity skip joins as the second operand.
+        let join = n.add_node(format!("add{b}"), Layer::Eltwise(EltwiseOp::Add));
+        n.add_edge(cb, join);
+        n.add_edge(tail, join);
+        tail = n.add_node(format!("relu{b}b"), Layer::Relu);
+        n.add_edge(join, tail);
+    }
+    let pool = n.add_node("pool1", Layer::Pool(PoolParams::average(2, 2)));
+    n.add_edge(tail, pool);
+    let head = n.add_node("fc1", fc(10));
+    n.add_edge(pool, head);
+    n
+}
+
 /// Minimal two-layer network for unit tests.
 pub fn toy() -> Network {
     let mut n = Network::new("toy");
@@ -164,7 +194,7 @@ pub fn toy() -> Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Granularity;
+    use crate::graph::{Granularity, NodeId};
 
     #[test]
     fn lenet_structure_matches_paper() {
@@ -239,5 +269,42 @@ mod tests {
         assert!(vgg_tiny().validate().is_ok());
         assert!(toy().validate().is_ok());
         assert_eq!(toy().output_shape().unwrap(), Shape::new(4, 1, 1));
+    }
+
+    #[test]
+    fn cifar10_quick_shapes_match_caffe() {
+        let n = cifar10_quick();
+        let shapes = n.input_shapes().unwrap();
+        // conv1 same-padded, pools are 3x3 stride 2: 32 -> 15 -> 7 -> 3.
+        assert_eq!(shapes[2], Shape::new(32, 32, 32));
+        assert_eq!(shapes[4], Shape::new(32, 15, 15));
+        assert_eq!(shapes[7], Shape::new(32, 7, 7));
+        assert_eq!(shapes[10], Shape::new(64, 3, 3));
+        assert_eq!(n.output_shape().unwrap(), Shape::new(10, 1, 1));
+    }
+
+    #[test]
+    fn resnet_small_branches_and_rejoins() {
+        let n = resnet_small();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.output_shape().unwrap(), Shape::new(10, 1, 1));
+        // Each residual block keeps 16x32x32 through the join.
+        let shapes = n.input_shapes().unwrap();
+        let join = n
+            .nodes()
+            .iter()
+            .position(|node| node.name == "add1")
+            .unwrap();
+        assert_eq!(shapes[join], Shape::new(16, 32, 32));
+        // The skip source fans out to two consumers.
+        let relu1 = NodeId(2);
+        assert_eq!(n.successors(relu1).count(), 2);
+        // Components: conv1+relu1 / (conva+relua / convb / add+relub) x2 /
+        // pool / fc — joins and fanout points never fuse across branches.
+        let comps = n.components(Granularity::Layer).unwrap();
+        assert_eq!(comps.len(), 9);
+        assert_eq!(comps[0].name, "conv1+relu1");
+        assert_eq!(comps[3].name, "add1+relu1b");
+        assert!(comps[3].signature(&n).starts_with("add+relu"));
     }
 }

@@ -133,6 +133,36 @@ pub const REGISTRY: &[LintCode] = &[
                   detour beyond the direct-path estimate (the router left \
                   timing-critical nets uncriticalized)",
     },
+    // ---- PL015x: model-descriptor import (pi-model findings) ----
+    LintCode {
+        code: "PL0150",
+        name: "unsupported-op",
+        default: Level::Deny,
+        summary: "a model descriptor uses an operator the flow cannot map \
+                  (the message carries the nearest supported spelling)",
+    },
+    LintCode {
+        code: "PL0151",
+        name: "unfoldable-batchnorm",
+        default: Level::Warn,
+        summary: "a BatchNormalization does not exclusively follow a Conv, \
+                  so it cannot fold into the conv weights and is treated as \
+                  identity",
+    },
+    LintCode {
+        code: "PL0152",
+        name: "join-channel-mismatch",
+        default: Level::Deny,
+        summary: "an element-wise join merges streams with different channel \
+                  counts",
+    },
+    LintCode {
+        code: "PL0153",
+        name: "model-malformed",
+        default: Level::Deny,
+        summary: "any other malformed-descriptor defect: syntax error, \
+                  dangling edge, duplicate name, missing attribute",
+    },
     // ---- PL02xx: CNN dataflow graph ----
     LintCode {
         code: "PL0201",

@@ -71,6 +71,20 @@ impl LintEngine {
         )
     }
 
+    /// Model-import pass (`PL015x`) over a descriptor text, chaining the
+    /// graph-family pass when the import yields a network. Returns the
+    /// imported network alongside the report so callers can keep it.
+    pub fn lint_model(
+        &self,
+        text: &str,
+        format: pi_model::ModelFormat,
+        granularity: Granularity,
+        obs: &Obs,
+    ) -> (Option<Network>, LintReport) {
+        let (network, raw) = crate::model::lint_model(text, format, granularity, &self.config);
+        (network, self.finalize("model", raw, obs))
+    }
+
     /// Netlist-family pass (`PL01xx`) over a single module.
     pub fn lint_module(
         &self,

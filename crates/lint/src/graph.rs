@@ -103,6 +103,18 @@ fn degenerate_layer_lints(base: &str, network: &Network, out: &mut Vec<Diagnosti
                 }
             }
             Layer::Relu => None,
+            Layer::Eltwise(_) => {
+                let preds = network.predecessors(NodeId(i as u32)).count();
+                if preds != 2 {
+                    Some(format!(
+                        "join `{}` has {} input stream(s) — element-wise joins \
+                         need exactly 2",
+                        node.name, preds
+                    ))
+                } else {
+                    None
+                }
+            }
         };
         if let Some(msg) = defect {
             out.push(Diagnostic::new("PL0205", origin, msg));
@@ -333,20 +345,8 @@ mod tests {
     fn detects_interface_disagreement() {
         let mut net = Network::new("fork");
         let input = net.add_node("in", Layer::Input(Shape::new(1, 8, 8)));
-        let a = net.add_node(
-            "a",
-            Layer::Pool(PoolParams {
-                window: 2,
-                stride: 2,
-            }),
-        );
-        let b = net.add_node(
-            "b",
-            Layer::Pool(PoolParams {
-                window: 4,
-                stride: 4,
-            }),
-        );
+        let a = net.add_node("a", Layer::Pool(PoolParams::max(2, 2)));
+        let b = net.add_node("b", Layer::Pool(PoolParams::max(4, 4)));
         let join = net.add_node("join", Layer::Relu);
         net.add_edge(input, a);
         net.add_edge(input, b);

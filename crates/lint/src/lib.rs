@@ -26,6 +26,7 @@ pub mod checkpoint;
 pub mod diag;
 pub mod engine;
 pub mod graph;
+pub mod model;
 pub mod netlist;
 pub mod report;
 
@@ -35,6 +36,7 @@ pub use diag::{
 };
 pub use engine::LintEngine;
 pub use graph::lint_network;
+pub use model::lint_model;
 pub use netlist::{lint_design_structure, lint_module};
 pub use report::LintReport;
 

@@ -14,6 +14,7 @@
 //! [`FlowConfig`]: pi_flow::FlowConfig
 
 use pi_flow::{DbCacheStats, FlowConfig};
+use pi_model::ModelFormat;
 use pi_netlist::StableHasher;
 use serde_json::Value;
 use std::path::Path;
@@ -69,11 +70,17 @@ impl JobStatus {
 /// A compile job (see module docs).
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    /// Architecture definition text (`parse_archdef` input).
+    /// Network description text. By default this is archdef syntax
+    /// (`parse_archdef` input); [`JobSpec::format`] selects one of the
+    /// `pi-model` descriptor dialects instead.
     pub archdef: String,
     /// Device catalog name (`xcku5p-like`, ...).
     pub device: String,
     pub command: JobCommand,
+    /// How to interpret [`JobSpec::archdef`]. `Archdef` (the default)
+    /// keeps the historical wire form and job IDs; `Json`/`Prototxt`
+    /// route the text through the `pi-model` importer.
+    pub format: ModelFormat,
     /// Flow configuration; carries no telemetry sink (the daemon installs
     /// its own capture per run).
     pub config: FlowConfig,
@@ -86,12 +93,18 @@ impl JobSpec {
             archdef: archdef.into(),
             device: device.into(),
             command: JobCommand::Compose,
+            format: ModelFormat::Archdef,
             config,
         }
     }
 
     pub fn with_command(mut self, command: JobCommand) -> Self {
         self.command = command;
+        self
+    }
+
+    pub fn with_format(mut self, format: ModelFormat) -> Self {
+        self.format = format;
         self
     }
 
@@ -114,6 +127,11 @@ impl JobSpec {
         h.write_str(&self.archdef);
         h.write_str(&self.device);
         h.write_str(self.command.as_str());
+        // Only non-default formats move the hash, so every archdef job ID
+        // minted before descriptor support stays valid.
+        if self.format != ModelFormat::Archdef {
+            h.write_str(self.format.as_str());
+        }
         h.write_str(&self.config.to_json());
         format!("{:016x}", h.finish())
     }
@@ -124,6 +142,9 @@ impl JobSpec {
         m["archdef"] = Value::Str(self.archdef.clone());
         m["device"] = Value::Str(self.device.clone());
         m["command"] = Value::Str(self.command.as_str().to_string());
+        if self.format != ModelFormat::Archdef {
+            m["format"] = Value::Str(self.format.as_str().to_string());
+        }
         m["config"] = self.config.to_json_value();
         serde_json::to_string(&m).expect("job spec serializes")
     }
@@ -153,6 +174,13 @@ impl JobSpec {
             None => JobCommand::Compose,
             Some(_) => return Err("job: command must be a string".to_string()),
         };
+        let format = match v.get("format") {
+            Some(Value::Str(s)) => {
+                ModelFormat::parse(s).ok_or_else(|| format!("job: unknown format {s:?}"))?
+            }
+            None => ModelFormat::Archdef,
+            Some(_) => return Err("job: format must be a string".to_string()),
+        };
         let config = match v.get("config") {
             Some(c) => FlowConfig::from_json_value(c)?,
             None => FlowConfig::default(),
@@ -161,6 +189,7 @@ impl JobSpec {
             archdef,
             device,
             command,
+            format,
             config,
         })
     }
@@ -294,6 +323,20 @@ mod tests {
         assert!(JobSpec::from_json("{}").is_err());
         assert!(JobSpec::from_json("[1,2]").is_err());
         assert!(JobSpec::from_json("{\"archdef\":\"x\",\"command\":\"explode\"}").is_err());
+    }
+
+    #[test]
+    fn descriptor_formats_ride_the_wire_and_move_the_id() {
+        // Default format leaves both the wire body and the job ID exactly
+        // as they were before descriptor support existed.
+        assert!(!spec().to_json().contains("\"format\""));
+        let json_spec = spec().with_format(ModelFormat::Json);
+        assert!(json_spec.to_json().contains("\"format\":\"json\""));
+        assert_ne!(json_spec.job_id(), spec().job_id());
+        let back = JobSpec::from_json(&json_spec.to_json()).unwrap();
+        assert_eq!(back.format, ModelFormat::Json);
+        assert_eq!(back.job_id(), json_spec.job_id());
+        assert!(JobSpec::from_json("{\"archdef\":\"x\",\"format\":\"onnx\"}").is_err());
     }
 
     #[test]

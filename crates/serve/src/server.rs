@@ -327,7 +327,16 @@ fn fold_db(totals: &DbTotals, stats: &DbCacheStats) {
 /// client can read — a broken archdef must 500 its job, never kill a
 /// worker.
 fn run_job(id: &str, spec: &JobSpec) -> Result<JobResult, String> {
-    let network = pi_cnn::parse_archdef(&spec.archdef).map_err(|e| e.to_string())?;
+    let network = match spec.format {
+        pi_model::ModelFormat::Archdef => {
+            pi_cnn::parse_archdef(&spec.archdef).map_err(|e| e.to_string())?
+        }
+        format => {
+            pi_model::import(&spec.archdef, format)
+                .map_err(|e| e.to_string())?
+                .network
+        }
+    };
     let device = Device::catalog(&spec.device).map_err(|e| e.to_string())?;
     // Capture the run's own telemetry; the stripped JSONL goes back to
     // the client for flowstat comparison against local runs.

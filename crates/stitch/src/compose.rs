@@ -60,8 +60,9 @@ pub fn compose_obs(
     opts: &ComposeOptions,
     obs: &Obs,
 ) -> Result<(Design, ComposeReport), StitchError> {
-    // Component extraction (components() walks the DFG in BFS order, so the
-    // queue-based discovery of Algorithm 1 is the iteration order here).
+    // Component extraction (components() walks the DFG in topological
+    // order — Algorithm 1's queue-based discovery, refined so producers
+    // always precede consumers even across branches).
     let components = network.components(opts.granularity)?;
     let signatures: Vec<String> = components.iter().map(|c| c.signature(network)).collect();
 
@@ -103,12 +104,50 @@ pub fn compose_obs(
         design.add_instance(comp.name.clone(), module);
     }
 
-    // Stitching: create the inter-component stream nets (single-source,
-    // single-sink FIFO links of the paper's Fig. 5).
+    // Stitching: create the inter-component stream nets (the FIFO links of
+    // the paper's Fig. 5). A chain yields one single-sink net per edge,
+    // exactly as before. Branching topologies need two generalizations:
+    // a fanout source drives all its consumers through one multi-sink net
+    // (the router's Steiner decomposition handles the tree), and a join
+    // component receives its second operand on `din2`. Input ports are
+    // assigned deterministically: a join's incoming edges sorted by source
+    // component index map to `din`, `din2`.
+    let mut in_port: std::collections::HashMap<(usize, usize), &'static str> =
+        std::collections::HashMap::new();
+    for (cb, comp) in components.iter().enumerate() {
+        let mut incoming: Vec<usize> = edges
+            .iter()
+            .filter(|(_, b)| *b == cb)
+            .map(|(a, _)| *a)
+            .collect();
+        incoming.sort_unstable();
+        for (k, ca) in incoming.iter().enumerate() {
+            let port = match k {
+                0 => "din",
+                1 => "din2",
+                _ => {
+                    return Err(StitchError::MissingComponent(format!(
+                        "{}: {} input streams, components accept at most two",
+                        comp.name,
+                        incoming.len()
+                    )))
+                }
+            };
+            in_port.insert((*ca, cb), port);
+        }
+    }
     let mut stitched = 0usize;
-    for &(ca, cb) in &edges {
+    for ca in 0..components.len() {
+        let mut sinks: Vec<usize> = edges
+            .iter()
+            .filter(|(a, _)| *a == ca)
+            .map(|(_, b)| *b)
+            .collect();
+        if sinks.is_empty() {
+            continue;
+        }
+        sinks.sort_unstable();
         let src_inst = pi_netlist::InstId(ca as u32);
-        let dst_inst = pi_netlist::InstId(cb as u32);
         let (src_port, sw) = {
             let (pid, p) = design
                 .instance(src_inst)
@@ -119,17 +158,28 @@ pub fn compose_obs(
                 })?;
             (pid, p.width)
         };
-        let (dst_port, _) = design
-            .instance(dst_inst)
-            .module
-            .port_by_name("din")
-            .ok_or_else(|| {
-                StitchError::MissingComponent(format!("{}: no din port", components[cb].name))
-            })?;
+        let mut sink_pins = Vec::with_capacity(sinks.len());
+        let mut sink_names = Vec::with_capacity(sinks.len());
+        for &cb in &sinks {
+            let want = in_port[&(ca, cb)];
+            let dst_inst = pi_netlist::InstId(cb as u32);
+            let (dst_port, _) = design
+                .instance(dst_inst)
+                .module
+                .port_by_name(want)
+                .ok_or_else(|| {
+                    StitchError::MissingComponent(format!(
+                        "{}: no {want} port (second input stream requires a join component)",
+                        components[cb].name
+                    ))
+                })?;
+            sink_pins.push((dst_inst, dst_port));
+            sink_names.push(components[cb].name.as_str());
+        }
         design.connect_top(
-            format!("link_{}_{}", components[ca].name, components[cb].name),
+            format!("link_{}_{}", components[ca].name, sink_names.join("+")),
             (src_inst, src_port),
-            vec![(dst_inst, dst_port)],
+            sink_pins,
             sw,
         )?;
         stitched += 1;
@@ -225,6 +275,42 @@ mod tests {
             assert!(inst.module.locked);
         }
         assert_eq!(design.unrouted_nets(), 2);
+    }
+
+    #[test]
+    fn composes_branching_resnet_and_routes_it() {
+        let device = Device::xcku5p_like();
+        let network = models::resnet_small();
+        let db = toy_db(&device, &network);
+        let (mut design, report) =
+            compose(&network, &db, &device, &ComposeOptions::default()).unwrap();
+        // 9 components: conv1+relu1 / (conv{b}a+relu{b}a / conv{b}b /
+        // add{b}+relu{b}b) x2 / pool1 / fc1.
+        assert_eq!(design.instances().len(), 9);
+        // 10 component edges collapse onto 8 source-grouped nets, two of
+        // which fan out to two sinks (the skip connections).
+        assert_eq!(report.stitched_nets, 8);
+        let multi = design
+            .top_nets()
+            .iter()
+            .filter(|n| n.sinks.len() == 2)
+            .count();
+        assert_eq!(multi, 2);
+        assert!(design.validate().is_ok());
+        // Joins receive both operands: each add component has its din and
+        // din2 pins among the net sinks.
+        let joined: usize = design
+            .top_nets()
+            .iter()
+            .flat_map(|n| n.sinks.iter())
+            .filter(|&&(inst, pid)| design.instance(inst).module.port(pid).name == "din2")
+            .count();
+        assert_eq!(joined, 2);
+        // The assembled branching design routes end-to-end.
+        let route = pi_pnr::route_assembled(&mut design, &device, &pi_pnr::RouteOptions::default())
+            .unwrap();
+        assert_eq!(route.route_stats.routed_nets, 8);
+        assert!(design.fully_routed());
     }
 
     #[test]

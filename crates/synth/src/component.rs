@@ -2,6 +2,7 @@
 //! paper's standard interface (clock, source, sink, control).
 
 use crate::conv::emit_conv_engine;
+use crate::eltwise::emit_eltwise_stage;
 use crate::fc::emit_fc_engine;
 use crate::memctrl::{emit_memctrl, CtrlSide};
 use crate::pool::{emit_pool_engine, emit_relu_stage};
@@ -18,6 +19,10 @@ use pi_netlist::{Endpoint, Module, ModuleBuilder, Net, StreamRole};
 /// * `en`  — control input,
 /// * `dout` — the *sink* stream.
 ///
+/// Join components (leading layer is an element-wise add/mul) additionally
+/// expose `din2`, the second operand stream, with its own source
+/// controller — the stitcher routes the skip connection there.
+///
 /// Internally: source memory controller → the fused layer engines in
 /// schedule order → sink controller.
 pub fn synth_component(
@@ -31,6 +36,13 @@ pub fn synth_component(
     let din = b.input("din", StreamRole::Source, opts.data_width);
     let en = b.input("en", StreamRole::Control, 1);
     let dout = b.output("dout", StreamRole::Sink, opts.data_width);
+    // Joins never fuse into a producer, so an Eltwise node is always the
+    // component's leading node.
+    let is_join = component
+        .nodes
+        .first()
+        .is_some_and(|id| network.node(*id).layer.is_join());
+    let din2 = is_join.then(|| b.input("din2", StreamRole::Source, opts.data_width));
 
     // Source interface.
     let mut cursor = emit_memctrl(&mut b, "src", CtrlSide::Source, Endpoint::Port(din));
@@ -60,6 +72,16 @@ pub fn synth_component(
             Layer::Relu => emit_relu_stage(&mut b, &prefix, input_shape, cursor),
             Layer::Fc(p) => emit_fc_engine(&mut b, &prefix, p, input_shape, opts, cursor),
             Layer::Input(_) => cursor,
+            Layer::Eltwise(_) => {
+                let din2 = din2.expect("join component declares din2");
+                let src2 = emit_memctrl(
+                    &mut b,
+                    &format!("{prefix}_src2"),
+                    CtrlSide::Source,
+                    Endpoint::Port(din2),
+                );
+                emit_eltwise_stage(&mut b, &prefix, input_shape, cursor, src2)
+            }
         };
     }
 

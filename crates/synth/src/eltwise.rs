@@ -1,0 +1,72 @@
+//! Element-wise join engine generator: the two-stream add/mul stage behind
+//! ResNet-style skip connections. Each operand passes through a
+//! synchronization register (the short stream must wait for the long one),
+//! then per-lane ALU slices combine them and a merge stage re-serializes
+//! the lanes.
+
+use crate::cost;
+use crate::emit::{emit_merge, out_slice, tree_slice};
+use pi_cnn::layer::Shape;
+use pi_netlist::{Cell, Endpoint, ModuleBuilder};
+
+/// Emit an element-wise join stage combining operands `a` and `b`.
+pub fn emit_eltwise_stage(
+    builder: &mut ModuleBuilder,
+    prefix: &str,
+    input_shape: Shape,
+    a: Endpoint,
+    b: Endpoint,
+) -> Endpoint {
+    // Stream-alignment registers on both operands.
+    let sync_a = builder.cell(Cell::new(format!("{prefix}_synca"), out_slice()));
+    builder.connect(format!("{prefix}_ia"), a, [Endpoint::Cell(sync_a)]);
+    let sync_b = builder.cell(Cell::new(format!("{prefix}_syncb"), out_slice()));
+    builder.connect(format!("{prefix}_ib"), b, [Endpoint::Cell(sync_b)]);
+
+    // Per-lane ALU slices, same lane count heuristic as the other
+    // element-wise stage (ReLU).
+    let lanes = cost::pool_lanes(input_shape.channels).min(4);
+    let mut outs = Vec::with_capacity(lanes as usize);
+    for l in 0..lanes {
+        let c = builder.cell(Cell::new(format!("{prefix}_alu{l}"), tree_slice()));
+        builder.connect(
+            format!("{prefix}_a{l}"),
+            Endpoint::Cell(sync_a),
+            [Endpoint::Cell(c)],
+        );
+        builder.connect(
+            format!("{prefix}_b{l}"),
+            Endpoint::Cell(sync_b),
+            [Endpoint::Cell(c)],
+        );
+        outs.push(Endpoint::Cell(c));
+    }
+    emit_merge(builder, &format!("{prefix}_join"), &outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_netlist::StreamRole;
+
+    #[test]
+    fn eltwise_stage_is_small_and_valid() {
+        let mut b = ModuleBuilder::new("elt");
+        let da = b.input("da", StreamRole::Source, 16);
+        let db = b.input("db", StreamRole::Source, 16);
+        let dout = b.output("dout", StreamRole::Sink, 16);
+        let out = emit_eltwise_stage(
+            &mut b,
+            "e",
+            Shape::new(16, 32, 32),
+            Endpoint::Port(da),
+            Endpoint::Port(db),
+        );
+        b.connect("o", out, [Endpoint::Port(dout)]);
+        let m = b.finish().unwrap();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.resources().dsps, 0);
+        assert_eq!(m.resources().brams, 0);
+        assert!(m.resources().luts <= 128);
+    }
+}

@@ -64,6 +64,12 @@ pub fn synth_network_flat(
                 Layer::Relu => emit_relu_stage(&mut b, &prefix, input_shape, cursor),
                 Layer::Fc(p) => emit_fc_engine(&mut b, &prefix, p, input_shape, opts, cursor),
                 Layer::Input(_) => cursor,
+                // The flat baseline threads components linearly; a join's
+                // second operand arrives over the same stream (the monolithic
+                // flow models resources and timing, not function).
+                Layer::Eltwise(_) => {
+                    crate::eltwise::emit_eltwise_stage(&mut b, &prefix, input_shape, cursor, cursor)
+                }
             };
         }
         cursor = emit_memctrl(&mut b, &format!("c{ci}_snk"), CtrlSide::Sink, cursor);

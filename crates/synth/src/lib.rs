@@ -28,6 +28,7 @@ pub mod cle;
 pub mod component;
 pub mod conv;
 pub mod cost;
+pub mod eltwise;
 pub mod emit;
 pub mod fc;
 pub mod flat;

@@ -109,10 +109,7 @@ mod tests {
         let mut b = ModuleBuilder::new("pool");
         let din = b.input("din", StreamRole::Source, 16);
         let dout = b.output("dout", StreamRole::Sink, 16);
-        let p = PoolParams {
-            window: 2,
-            stride: 2,
-        };
+        let p = PoolParams::max(2, 2);
         let out = emit_pool_engine(
             &mut b,
             "p",

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pilint archdef <file>               lint a CNN architecture definition
+//! pilint model   <file>               import + lint a model descriptor (.json/.prototxt)
 //! pilint db      <db-dir> [archdef]   lint a checkpoint database (+ coverage)
 //! pilint design  <archdef> <db-dir>   compose + route, lint the assembled design
 //! pilint codes                        print the lint-code registry
@@ -25,7 +26,7 @@ use preimpl_cnn::lint::{lookup, parse_waivers, Level, LintConfig, LintEngine, Li
 use preimpl_cnn::prelude::*;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: pilint <archdef|db|design|codes> <inputs...> [--block] [--json] \
+const USAGE: &str = "usage: pilint <archdef|model|db|design|codes> <inputs...> [--block] [--json] \
                      [--deny-warnings] [--waivers FILE] [--allow CODE] [--warn CODE] \
                      [--deny CODE] [--device NAME] [--threads N]";
 
@@ -118,6 +119,14 @@ fn run() -> Result<ExitCode, String> {
         "archdef" => {
             let network = load_network(args.positional(0, "archdef", USAGE)?)?;
             let report = engine.lint_network(&network, granularity, &obs);
+            finish(&report, &args)
+        }
+        "model" => {
+            let path = args.positional(0, "model", USAGE)?;
+            let format = preimpl_cnn::model::ModelFormat::from_path(path)
+                .unwrap_or(preimpl_cnn::model::ModelFormat::Json);
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let (_, report) = engine.lint_model(&text, format, granularity, &obs);
             finish(&report, &args)
         }
         "db" => {

@@ -25,12 +25,20 @@
 //! `<db-dir>` and build misses on demand) and `--db-budget-bytes N`
 //! (LRU-evict the cache beyond N bytes).
 //!
+//! Every archdef-taking command also accepts `--model FILE` instead of
+//! the positional `<archdef>`: FILE is a model descriptor (`.json` op
+//! graph or `.prototxt` layer config — see `pi-model`) imported into the
+//! flow, with importer findings printed as warnings and the `pi-lint`
+//! graph passes (shape propagation included) run as a gate before
+//! anything is built. With `--model`, `<db-dir>` becomes the first
+//! positional.
+//!
 //! `compose` and `build-db` also accept `--remote ADDR`: instead of
-//! running locally, the job (archdef text + full serialized config) is
-//! submitted to a `pi-serve` compile farm at ADDR, which builds off its
-//! shared component cache; `--trace`/`--report` then write the trace and
-//! report the daemon returned. Run `cargo run --release --bin preimpl --
-//! <cmd>`.
+//! running locally, the job (archdef or descriptor text + full
+//! serialized config) is submitted to a `pi-serve` compile farm at ADDR,
+//! which builds off its shared component cache; `--trace`/`--report`
+//! then write the trace and report the daemon returned. Run `cargo run
+//! --release --bin preimpl -- <cmd>`.
 
 use pi_serve::{JobCommand, JobSpec};
 use preimpl_cnn::cli::{self, Cli, Flag};
@@ -41,15 +49,17 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: preimpl <stats|build-db|compose|baseline|floorplan|devices> \
-                     <archdef> [db-dir] [--device NAME] [--seeds N] [--threads N] [--block] \
-                     [--lint] [--deny-warnings] [--trace PATH] [--report PATH] [--db-dir PATH] \
-                     [--db-budget-bytes N] [--remote ADDR] [--router-steiner on|off] \
-                     [--router-slack-order on|off] [--router-max-iters N]";
+                     <archdef> [db-dir] [--model FILE] [--device NAME] [--seeds N] [--threads N] \
+                     [--block] [--lint] [--deny-warnings] [--trace PATH] [--report PATH] \
+                     [--db-dir PATH] [--db-budget-bytes N] [--remote ADDR] \
+                     [--router-steiner on|off] [--router-slack-order on|off] \
+                     [--router-max-iters N]";
 
 const FLAGS: &[Flag] = &[
     Flag::switch("--block"),
     Flag::switch("--lint"),
     Flag::switch("--deny-warnings"),
+    Flag::value("--model"),
     Flag::value("--device"),
     Flag::value("--seeds"),
     Flag::value("--threads"),
@@ -100,13 +110,36 @@ fn run() -> Result<ExitCode, String> {
 
     let device = Device::catalog(args.device()).map_err(|e| e.to_string())?;
     let granularity = args.granularity();
-    let archdef_path = args.positional(0, "archdef", USAGE)?;
-    let text = std::fs::read_to_string(archdef_path)
-        .map_err(|e| format!("reading {archdef_path}: {e}"))?;
-    let network = parse_archdef(&text).map_err(|e| e.to_string())?;
+    let (text, network, format) = if let Some(model_path) = args.value("--model") {
+        let format = ModelFormat::from_path(model_path).unwrap_or(ModelFormat::Json);
+        let text = std::fs::read_to_string(model_path)
+            .map_err(|e| format!("reading {model_path}: {e}"))?;
+        let import =
+            preimpl_cnn::model::import(&text, format).map_err(|e| format!("{model_path}: {e}"))?;
+        for f in &import.findings {
+            eprintln!("preimpl: warning[{}] {}: {}", f.code, f.origin, f.message);
+        }
+        // Imported graphs pass the lint shape-propagation gate before the
+        // flow sees them; archdefs keep their opt-in `--lint` behavior.
+        let engine = preimpl_cnn::lint::LintEngine::new(preimpl_cnn::lint::LintConfig::new());
+        let report =
+            engine.lint_network(&import.network, granularity, &preimpl_cnn::obs::Obs::null());
+        if report.errors() > 0 {
+            print!("{}", report.render_text());
+            eprintln!("preimpl: model gate tripped ({})", report.summary_line());
+            return Ok(ExitCode::from(preimpl_cnn::exit::GATE));
+        }
+        (text, import.network, format)
+    } else {
+        let archdef_path = args.positional(0, "archdef", USAGE)?;
+        let text = std::fs::read_to_string(archdef_path)
+            .map_err(|e| format!("reading {archdef_path}: {e}"))?;
+        let network = parse_archdef(&text).map_err(|e| e.to_string())?;
+        (text, network, ModelFormat::Archdef)
+    };
 
     if let Some(addr) = args.value("--remote") {
-        return run_remote(addr, &args, &text, granularity);
+        return run_remote(addr, &args, &text, format, granularity);
     }
 
     match args.command.as_str() {
@@ -263,6 +296,7 @@ fn run_remote(
     addr: &str,
     args: &Cli,
     archdef_text: &str,
+    format: ModelFormat,
     granularity: Granularity,
 ) -> Result<ExitCode, String> {
     let command = match args.command.as_str() {
@@ -275,7 +309,9 @@ fn run_remote(
         }
     };
     let cfg = wire_config(args, granularity)?;
-    let spec = JobSpec::new(archdef_text, args.device(), cfg).with_command(command);
+    let spec = JobSpec::new(archdef_text, args.device(), cfg)
+        .with_command(command)
+        .with_format(format);
     let result = pi_serve::submit_and_wait(addr, &spec).map_err(|e| e.to_string())?;
     cli::emit(&format!("{}\n", result.summary))?;
     print!("{}", db_cache_line(&result.cache));
@@ -299,7 +335,13 @@ fn db_cache_line(stats: &preimpl_cnn::flow::DbCacheStats) -> String {
 }
 
 fn db_dir(args: &Cli) -> Result<PathBuf, String> {
-    args.positional(1, "db-dir", USAGE).map(PathBuf::from)
+    // With `--model` there is no positional archdef, so db-dir shifts up.
+    let idx = if args.value("--model").is_some() {
+        0
+    } else {
+        1
+    };
+    args.positional(idx, "db-dir", USAGE).map(PathBuf::from)
 }
 
 fn seeds(args: &Cli) -> Result<u64, String> {

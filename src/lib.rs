@@ -41,6 +41,7 @@ pub use pi_fabric as fabric;
 pub use pi_flow as flow;
 pub use pi_lint as lint;
 pub use pi_memalloc as memalloc;
+pub use pi_model as model;
 pub use pi_netlist as netlist;
 pub use pi_obs as obs;
 pub use pi_pnr as pnr;
@@ -77,6 +78,7 @@ pub mod prelude {
         run_baseline_flow, run_pre_implemented_flow, DbCacheStats, FlowComparison, FlowConfig,
     };
     pub use pi_lint::{parse_waivers, Diagnostic, Level, LintConfig, LintEngine, LintReport};
+    pub use pi_model::{Import, ImportFinding, ModelFormat};
     pub use pi_netlist::{Checkpoint, Design, Module};
     pub use pi_obs::agg::{ReportDiff, RunReport};
     pub use pi_obs::{parse_jsonl, EventSink, FileSink, MemorySink, NullSink, Obs};

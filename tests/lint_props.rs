@@ -272,6 +272,128 @@ fn lint_reports_render_byte_identically_across_thread_counts() {
     );
 }
 
+/// Lint a JSON model descriptor through the engine's model pass.
+fn lint_descriptor(text: &str) -> (Option<Network>, LintReport) {
+    engine().lint_model(
+        text,
+        preimpl_cnn::model::ModelFormat::Json,
+        Granularity::Layer,
+        &Obs::null(),
+    )
+}
+
+#[test]
+fn model_descriptor_defects_raise_the_pl015x_family() {
+    // PL0150: unknown op is an error, located at the node, with the
+    // nearest supported op suggested.
+    let (net, report) = lint_descriptor(
+        r#"{
+  "name": "x",
+  "input": {"name": "input", "shape": [1, 8, 8]},
+  "nodes": [{"name": "c", "op": "Convolve", "inputs": ["input"]}],
+  "outputs": ["c"]
+}"#,
+    );
+    assert!(net.is_none());
+    assert!(report.gate(false), "PL0150 must deny by default");
+    let d = &report.diagnostics[0];
+    assert_eq!(d.code, "PL0150");
+    assert!(d.origin.starts_with("model:nodes[0]"), "{}", d.origin);
+    assert!(
+        d.message.contains("Conv"),
+        "no suggestion in {:?}",
+        d.message
+    );
+
+    // PL0151: a BatchNorm that cannot fold into a producing Conv is a
+    // warning — the import still succeeds (BN treated as identity).
+    let (net, report) = lint_descriptor(
+        r#"{
+  "name": "x",
+  "input": {"name": "input", "shape": [1, 8, 8]},
+  "nodes": [
+    {"name": "r", "op": "Relu", "inputs": ["input"]},
+    {"name": "bn", "op": "BatchNormalization", "inputs": ["r"]},
+    {"name": "f", "op": "Gemm", "inputs": ["bn"], "attrs": {"out": 4}}
+  ],
+  "outputs": ["f"]
+}"#,
+    );
+    assert!(net.is_some());
+    assert!(!report.gate(false) && report.gate(true), "PL0151 warns");
+    assert!(report.diagnostics.iter().any(|d| d.code == "PL0151"));
+
+    // PL0152: joining branches with different channel counts is an error
+    // located at the join node.
+    let (net, report) = lint_descriptor(
+        r#"{
+  "name": "x",
+  "input": {"name": "input", "shape": [1, 8, 8]},
+  "nodes": [
+    {"name": "a", "op": "Conv", "inputs": ["input"], "attrs": {"kernel": 1, "out": 2}},
+    {"name": "b", "op": "Conv", "inputs": ["input"], "attrs": {"kernel": 1, "out": 3}},
+    {"name": "j", "op": "Add", "inputs": ["a", "b"]}
+  ],
+  "outputs": ["j"]
+}"#,
+    );
+    assert!(net.is_none());
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "PL0152")
+        .expect("join mismatch raised");
+    assert!(d.origin.contains("nodes[2]"), "{}", d.origin);
+
+    // PL0153: structural malformation (a dangling edge) is an error
+    // located at the referencing field.
+    let (net, report) = lint_descriptor(
+        r#"{
+  "name": "x",
+  "input": {"name": "input", "shape": [1, 8, 8]},
+  "nodes": [{"name": "r", "op": "Relu", "inputs": ["ghost"]}],
+  "outputs": ["r"]
+}"#,
+    );
+    assert!(net.is_none());
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "PL0153")
+        .expect("dangling edge raised");
+    assert!(d.origin.contains("inputs"), "{}", d.origin);
+
+    // Every PL015x code sits in the registry with the right default.
+    for (code, level) in [
+        ("PL0150", Level::Deny),
+        ("PL0151", Level::Warn),
+        ("PL0152", Level::Deny),
+        ("PL0153", Level::Deny),
+    ] {
+        let c = preimpl_cnn::lint::lookup(code).expect(code);
+        assert_eq!(c.default, level, "{code}");
+    }
+}
+
+#[test]
+fn bundled_descriptors_lint_clean_through_the_model_pass() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("models");
+    let e = engine();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let format = preimpl_cnn::model::ModelFormat::from_path(&path).expect("known extension");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (net, report) = e.lint_model(&text, format, Granularity::Layer, &Obs::null());
+        assert!(net.is_some(), "{} failed to import", path.display());
+        assert!(
+            report.is_clean() && report.warnings() == 0,
+            "{}: {}",
+            path.display(),
+            report.render_text()
+        );
+    }
+}
+
 #[test]
 fn flow_lint_gate_is_clean_on_smoke_network() {
     let (device, network, db) = smoke_db();

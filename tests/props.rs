@@ -147,7 +147,7 @@ proptest! {
         for (i, kind) in layers.iter().enumerate() {
             let layer = match kind {
                 0 => Layer::Conv(ConvParams { kernel: 3, stride: 1, padding: 1, out_channels: 2 }),
-                1 => Layer::Pool(PoolParams { window: 2, stride: 2 }),
+                1 => Layer::Pool(PoolParams::max(2, 2)),
                 _ => Layer::Relu,
             };
             net.push_layer(format!("l{i}"), layer);
