@@ -87,6 +87,37 @@ if cargo run --release --quiet --bin flowstat -- \
 fi
 echo "    perturbed diff non-empty and gate exits non-zero, as required"
 
+# Run-history trend gate: the same traces feed `flowstat record` into a
+# fresh history; two same-seed runs must trend clean (exit 0), and
+# appending the perturbed run must trip `flowstat trend
+# --fail-on-regression` with the shared gate exit code 2.
+echo "==> flowstat gate: run-history trend clean on same-seed, trips on perturbed"
+hist_dir="$fs_dir/hist"
+cargo run --release --quiet --bin flowstat -- \
+    record "$fs_dir/t1.jsonl" --history "$hist_dir" --label lenet >/dev/null
+cargo run --release --quiet --bin flowstat -- \
+    record "$fs_dir/t2.jsonl" --history "$hist_dir" --label lenet >/dev/null
+cargo run --release --quiet --bin flowstat -- \
+    trend --history "$hist_dir" --fail-on-regression >/dev/null \
+    || { echo "same-seed trend tripped the gate"; exit 1; }
+cargo run --release --quiet --bin flowstat -- \
+    record "$fs_dir/t3.jsonl" --history "$hist_dir" --label lenet >/dev/null
+set +e
+cargo run --release --quiet --bin flowstat -- \
+    trend --history "$hist_dir" --fail-on-regression >/dev/null 2>&1
+trend_rc=$?
+set -e
+[ "$trend_rc" -eq 2 ] \
+    || { echo "perturbed trend exited $trend_rc, want 2"; exit 1; }
+top_out="$(cargo run --release --quiet --bin flowstat -- \
+    summarize "$fs_dir/t1.jsonl" --top 5)"
+echo "$top_out" | grep -F 'flowstat hot spans: top' >/dev/null \
+    || { echo "summarize --top produced no hot-span table: $top_out"; exit 1; }
+trace_lint="$(cargo run --release --quiet --bin pilint -- trace "$fs_dir/t1.jsonl")"
+echo "$trace_lint" | grep -F 'lint: 0 errors, 0 warnings' >/dev/null \
+    || { echo "recorded trace did not lint clean: $trace_lint"; exit 1; }
+echo "    trend clean on same-seed, exit 2 on perturbed, hot spans render, trace lints clean"
+
 # Router gate: the Steiner/slack router bench must beat its own star
 # baseline on LeNet-5 (the bin self-gates with exit 2 on any speed or
 # Fmax regression), produce byte-identical work telemetry at PI_THREADS=1
@@ -209,6 +240,43 @@ remote_diff="$(cargo run --release --quiet --bin flowstat -- \
     || { echo "remote trace regressed vs local: $remote_diff"; exit 1; }
 echo "$remote_diff" | grep -F 'identical' >/dev/null \
     || { echo "remote trace differs from local run: $remote_diff"; exit 1; }
+# Spliced cross-process report: `--remote --report` tags the job with a
+# trace context, fetches the daemon's span tree and splices it under the
+# local `serve:request` span. Same seed at PI_THREADS=1 and 4 must write
+# byte-identical spliced reports containing the daemon-side span.
+PI_THREADS=1 cargo run --release --quiet --bin preimpl -- \
+    compose "$fs_dir/lenet.txt" --remote "$serve_addr" --seeds 1 \
+    --report "$srv_dir/spliced1.txt" >/dev/null
+PI_THREADS=4 cargo run --release --quiet --bin preimpl -- \
+    compose "$fs_dir/lenet.txt" --remote "$serve_addr" --seeds 1 \
+    --report "$srv_dir/spliced4.txt" >/dev/null
+cmp -s "$srv_dir/spliced1.txt" "$srv_dir/spliced4.txt" \
+    || { echo "spliced remote reports differ across PI_THREADS"; exit 1; }
+grep -q 'serve::job:run' "$srv_dir/spliced1.txt" \
+    || { echo "spliced report is missing the daemon-side span tree"; exit 1; }
+grep -q 'serve:request' "$srv_dir/spliced1.txt" \
+    || { echo "spliced report is missing the client-side request span"; exit 1; }
+
+# Live /metrics exposition: scrape through the CLI (no curl in the image)
+# and require every line to be a well-formed Prometheus comment or sample,
+# with the farm counters and wallclock histogram present.
+cargo run --release --quiet --bin pi-serve -- \
+    metrics --addr "$serve_addr" > "$srv_dir/metrics.txt"
+awk '
+    /^# (TYPE|HELP) / { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$/ { next }
+    { print "malformed metrics line: " $0; bad = 1 }
+    END { exit bad }
+' "$srv_dir/metrics.txt" \
+    || { echo "metrics exposition failed to parse"; exit 1; }
+for metric in pi_serve_jobs_submitted_total pi_serve_jobs_completed_total \
+    pi_serve_jobs_coalesced_total pi_serve_queue_depth \
+    pi_serve_db_cache_hits_total pi_serve_job_wall_ms_compose_bucket \
+    uptime_seconds; do
+    grep -q "^$metric" "$srv_dir/metrics.txt" \
+        || { echo "metrics exposition is missing $metric"; exit 1; }
+done
+
 warm_remote="$(cargo run --release --quiet --bin preimpl -- \
     build-db "$fs_dir/lenet.txt" --remote "$serve_addr" --seeds 1)"
 echo "$warm_remote" | grep -Eq 'db-cache: [1-9][0-9]* hits, 0 misses' \
@@ -216,7 +284,8 @@ echo "$warm_remote" | grep -Eq 'db-cache: [1-9][0-9]* hits, 0 misses' \
 cargo run --release --quiet --bin pi-serve -- stop --addr "$serve_addr" >/dev/null
 wait "$serve_pid"
 serve_pid=""
-echo "    remote trace identical to local, warm job served from shared cache"
+echo "    remote trace identical to local, spliced reports thread-stable,"
+echo "    metrics exposition parseable, warm job served from shared cache"
 
 # Eviction smoke: a daemon with a 1-byte budget must evict on every
 # insert — the job still completes, and the result's cache counters

@@ -32,7 +32,14 @@ fn main() {
          `PI_THREADS`, default all cores); results and telemetry streams are\n\
          identical at every thread count, because parallel maps return in\n\
          input index order and per-item events are buffered and flushed in\n\
-         that same order.\n\n",
+         that same order.\n\n\
+         Bench trajectory: every `pi-bench` binary accepts `--history DIR`\n\
+         to append its run's compacted flowstat metrics to\n\
+         `DIR/history.jsonl`, so the `BENCH_*.json` snapshots below become\n\
+         a gated time series — `flowstat trend --history DIR\n\
+         --fail-on-regression` compares the newest run against the rolling\n\
+         median of the window and exits non-zero on drift (`ci.sh` runs\n\
+         the same gate on LeNet traces; see DESIGN.md §16).\n\n",
     );
     for s in &sections {
         out.push_str(&s.render());

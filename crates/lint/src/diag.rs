@@ -163,6 +163,23 @@ pub const REGISTRY: &[LintCode] = &[
         summary: "any other malformed-descriptor defect: syntax error, \
                   dangling edge, duplicate name, missing attribute",
     },
+    // ---- PL016x: telemetry trace streams (pi-obs JSONL) ----
+    LintCode {
+        code: "PL0160",
+        name: "trace-span-imbalance",
+        default: Level::Deny,
+        summary: "a telemetry stream's span tree is unbalanced: a span_end \
+                  with no matching open span, or a span still open at end of \
+                  stream",
+    },
+    LintCode {
+        code: "PL0161",
+        name: "trace-seq-regression",
+        default: Level::Deny,
+        summary: "event sequence numbers are not strictly increasing — the \
+                  stream was reordered, truncated-and-respliced, or merged \
+                  without renumbering",
+    },
     // ---- PL02xx: CNN dataflow graph ----
     LintCode {
         code: "PL0201",

@@ -9,6 +9,9 @@
 //! * **graph** (`PL02xx`) — CNN dataflow defects in [`pi_cnn`] networks:
 //!   shape propagation and interface mismatches, cycles, orphans,
 //!   degenerate layer parameters, memory-controller bandwidth budgets;
+//! * **trace** (`PL016x`) — structural invariants of recorded [`pi_obs`]
+//!   telemetry streams: balanced span trees and strictly increasing
+//!   sequence numbers (`pilint trace`);
 //! * **checkpoint** (`PL03xx`) — contract conformance of [`pi_stitch`]
 //!   checkpoint envelopes and databases: locking, pblock containment,
 //!   boundary partition pins, pre-routed clocks, device/metadata
@@ -29,6 +32,7 @@ pub mod graph;
 pub mod model;
 pub mod netlist;
 pub mod report;
+pub mod trace;
 
 pub use checkpoint::{diagnose_violation, lint_checkpoint, lint_db_coverage, violation_code};
 pub use diag::{
@@ -39,6 +43,7 @@ pub use graph::lint_network;
 pub use model::lint_model;
 pub use netlist::{lint_design_structure, lint_module};
 pub use report::LintReport;
+pub use trace::lint_trace;
 
 // The physical DRC enum stays defined in `pi_stitch` (see the satellite
 // note in `stitch::verify`): re-exported here so lint consumers get the

@@ -1,0 +1,173 @@
+//! Telemetry-stream lints (`PL016x`): structural checks over a recorded
+//! `pi_obs` JSONL trace.
+//!
+//! Traces are load-bearing in this workspace — `flowstat` folds them into
+//! reports, CI diffs them byte-for-byte, and the serve layer splices
+//! remote streams under local spans. A stream that lost events (truncated
+//! file, crashed worker) or was merged without renumbering silently skews
+//! every downstream report, so `pilint trace` gates on two invariants:
+//!
+//! * **span balance** (`PL0160`) — every `span_end` closes a previously
+//!   opened span of the same scope and name, and nothing is left open at
+//!   end of stream. Matching is per `(scope, name)` multiset rather than
+//!   a strict stack, so interleaved spans from merged parallel streams
+//!   do not false-positive;
+//! * **sequence monotonicity** (`PL0161`) — `seq` is strictly increasing
+//!   in stream order, which is what makes replay and diffing
+//!   deterministic.
+
+use crate::diag::Diagnostic;
+use pi_obs::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Stable code of the span-imbalance lint.
+pub const TRACE_SPAN_IMBALANCE: &str = "PL0160";
+/// Stable code of the sequence-regression lint.
+pub const TRACE_SEQ_REGRESSION: &str = "PL0161";
+
+/// Lint one event stream (in stream order, as [`pi_obs::parse_jsonl`]
+/// returns it). Returns raw diagnostics for [`crate::LintReport::from_raw`].
+pub fn lint_trace(events: &[Event]) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    // Open-span multiset: (scope, name) -> (count, seq of first open).
+    let mut open: BTreeMap<(String, String), (u64, Vec<u64>)> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+    for e in events {
+        if let Some(prev) = last_seq {
+            if e.seq <= prev {
+                raw.push(Diagnostic::new(
+                    TRACE_SEQ_REGRESSION,
+                    format!("event:{}", e.seq),
+                    format!("seq {} follows seq {prev} — not strictly increasing", e.seq),
+                ));
+            }
+        }
+        last_seq = Some(e.seq);
+        let key = || (e.scope.clone(), e.name.clone());
+        match e.kind {
+            EventKind::SpanStart => {
+                let slot = open.entry(key()).or_default();
+                slot.0 += 1;
+                slot.1.push(e.seq);
+            }
+            EventKind::SpanEnd => match open.get_mut(&key()) {
+                Some(slot) if slot.0 > 0 => {
+                    slot.0 -= 1;
+                    slot.1.pop();
+                }
+                _ => raw.push(Diagnostic::new(
+                    TRACE_SPAN_IMBALANCE,
+                    format!("span:{}:{}", e.scope, e.name),
+                    format!("span_end at seq {} has no open span to close", e.seq),
+                )),
+            },
+            EventKind::Counter | EventKind::Gauge | EventKind::Point => {}
+        }
+    }
+    for ((scope, name), (count, seqs)) in open {
+        if count > 0 {
+            let first = seqs.first().copied().unwrap_or(0);
+            raw.push(Diagnostic::new(
+                TRACE_SPAN_IMBALANCE,
+                format!("span:{scope}:{name}"),
+                format!("{count} span(s) opened (first at seq {first}) but never closed"),
+            ));
+        }
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::LintConfig;
+    use crate::report::LintReport;
+    use pi_obs::{MemorySink, Obs};
+    use std::sync::Arc;
+
+    fn record(f: impl FnOnce(&Obs)) -> Vec<Event> {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        f(&obs);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn balanced_stream_is_clean() {
+        let events = record(|obs| {
+            let flow = obs.scoped("flow");
+            let outer = flow.span("build");
+            flow.counter("nets", 3);
+            let inner = flow.span("route");
+            inner.end();
+            outer.end();
+        });
+        assert!(lint_trace(&events).is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_reports_unclosed_spans() {
+        let mut events = record(|obs| {
+            let span = obs.scoped("flow").span("build");
+            span.end();
+        });
+        events.pop(); // lose the span_end
+        let raw = lint_trace(&events);
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].code, TRACE_SPAN_IMBALANCE);
+        assert_eq!(raw[0].origin, "span:flow:build");
+        assert!(
+            raw[0].message.contains("never closed"),
+            "{}",
+            raw[0].message
+        );
+        // The code is registered, so the report gates as an error.
+        let report = LintReport::from_raw(raw, &LintConfig::new());
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn orphan_end_and_seq_regression_are_distinct_codes() {
+        let balanced = record(|obs| {
+            let span = obs.scoped("flow").span("build");
+            span.end();
+        });
+        // An end without its start...
+        let orphan = vec![balanced[1].clone()];
+        let raw = lint_trace(&orphan);
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].code, TRACE_SPAN_IMBALANCE);
+        assert!(
+            raw[0].message.contains("no open span"),
+            "{}",
+            raw[0].message
+        );
+        // ...and a stream spliced without renumbering.
+        let respliced = vec![
+            balanced[0].clone(),
+            balanced[1].clone(),
+            balanced[0].clone(),
+            balanced[1].clone(),
+        ];
+        let raw = lint_trace(&respliced);
+        assert!(raw.iter().any(|d| d.code == TRACE_SEQ_REGRESSION));
+        assert!(
+            raw.iter().all(|d| d.code != TRACE_SPAN_IMBALANCE),
+            "duplicated tree stays balanced"
+        );
+    }
+
+    #[test]
+    fn interleaved_parallel_spans_do_not_false_positive() {
+        // Same (scope, name) opened twice before either closes — legal in
+        // a merged parallel stream.
+        let events = record(|obs| {
+            let flow = obs.scoped("flow");
+            let a = flow.span("impl");
+            let b = flow.span("impl");
+            a.end();
+            b.end();
+        });
+        assert!(lint_trace(&events).is_empty());
+    }
+}

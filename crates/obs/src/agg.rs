@@ -822,6 +822,44 @@ impl RunReport {
         out
     }
 
+    /// The `n` hottest span paths by self cost (event-ordered), hottest
+    /// first; ties break lexicographically by path so the order is
+    /// deterministic.
+    pub fn hot_spans(&self, n: usize) -> Vec<(&str, &SpanProfile)> {
+        let mut v: Vec<(&str, &SpanProfile)> =
+            self.spans.iter().map(|(k, s)| (k.as_str(), s)).collect();
+        v.sort_by(|a, b| {
+            b.1.self_events
+                .cmp(&a.1.self_events)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// Compact table of the `n` hottest spans (the `flowstat summarize
+    /// --top N` form): full paths, no tree indentation, sorted by self
+    /// cost.
+    pub fn render_top(&self, n: usize) -> String {
+        let hot = self.hot_spans(n);
+        let mut out = format!(
+            "flowstat hot spans: top {} of {} (by self cost, event-ordered)\n",
+            hot.len(),
+            self.spans.len()
+        );
+        out.push_str(&format!(
+            "  {:<60} {:>7} {:>10} {:>10}\n",
+            "path", "count", "total", "self"
+        ));
+        for (path, s) in hot {
+            out.push_str(&format!(
+                "  {:<60} {:>7} {:>10} {:>10}\n",
+                path, s.count, s.total_events, s.self_events
+            ));
+        }
+        out
+    }
+
     /// Render the wall-clock aggregates (empty string when the stream
     /// carried none). Kept out of [`RunReport::render_text`] so the
     /// default `flowstat summarize` output stays byte-identical across
@@ -1206,6 +1244,37 @@ mod tests {
         let j2 = serde_json::to_string_pretty(&r.to_json()).unwrap();
         assert_eq!(j1, j2);
         assert!(j1.contains("\"convergence\""));
+    }
+
+    #[test]
+    fn hot_spans_sort_by_self_cost_with_stable_ties() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone()).scoped("t");
+        {
+            let _outer = obs.span("outer");
+            {
+                let _hot = obs.span("hot");
+                for _ in 0..5 {
+                    obs.point("w", &[]);
+                }
+            }
+            {
+                let _cool = obs.span("cool");
+                obs.point("w", &[]);
+            }
+        }
+        let r = RunReport::from_events(&sink.snapshot());
+        let top = r.hot_spans(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "t:outer/t:hot");
+        assert!(top[0].1.self_events >= top[1].1.self_events);
+        // Truncation and rendering are deterministic.
+        assert_eq!(r.hot_spans(10).len(), r.spans.len());
+        let text = r.render_top(2);
+        assert!(text.starts_with("flowstat hot spans: top 2 of 3"));
+        assert!(text.contains("t:outer/t:hot"));
+        assert!(!text.contains("t:outer/t:cool"));
+        assert_eq!(text, r.render_top(2));
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Append-only run history and rolling-window trend gating.
+//!
+//! `flowstat diff` compares exactly two runs; this module turns many runs
+//! into a *trajectory*. [`append`] adds one compacted run — a label plus
+//! the flattened [`RunReport::metrics`](crate::agg::RunReport::metrics)
+//! map — as a single JSON line in `history.jsonl` under a history
+//! directory. [`trend`] then judges the newest run against the rolling
+//! median of the preceding window: for every metric, the newest value must
+//! stay within a relative tolerance of the window median (a zero median
+//! admits only zero; a metric appearing or disappearing always trips).
+//! Everything is a pure function of the deterministic metric maps, so the
+//! verdict and its rendering are byte-stable — `flowstat trend
+//! --fail-on-regression` is a CI gate, exactly like `flowstat diff`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the JSONL run log inside a history directory.
+pub const HISTORY_FILE: &str = "history.jsonl";
+
+/// One recorded run: a human-chosen label and the compacted metric map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    pub label: String,
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl HistoryEntry {
+    /// Compact a folded report under `label`.
+    pub fn from_report(label: impl Into<String>, report: &crate::agg::RunReport) -> Self {
+        HistoryEntry {
+            label: label.into(),
+            metrics: report.metrics(),
+        }
+    }
+
+    /// One JSON line: `{"label":...,"metrics":{...}}` with sorted metric
+    /// keys (the map is a `BTreeMap`).
+    pub fn to_json_line(&self) -> String {
+        let mut m = serde_json::Value::Map(Vec::new());
+        m["label"] = serde_json::Value::Str(self.label.clone());
+        let mut metrics = serde_json::Value::Map(Vec::new());
+        for (k, v) in &self.metrics {
+            metrics[k.as_str()] = serde_json::Value::F64(*v);
+        }
+        m["metrics"] = metrics;
+        serde_json::to_string(&m).expect("entry serializes")
+    }
+
+    /// Parse one line written by [`HistoryEntry::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let json: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let label = match json.get("label") {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            _ => return Err("missing string field `label`".to_string()),
+        };
+        let mut metrics = BTreeMap::new();
+        match json.get("metrics") {
+            Some(serde_json::Value::Map(entries)) => {
+                for (k, v) in entries {
+                    let n = match v {
+                        serde_json::Value::U64(n) => *n as f64,
+                        serde_json::Value::I64(n) => *n as f64,
+                        serde_json::Value::F64(n) => *n,
+                        // Non-finite floats serialize as null.
+                        serde_json::Value::Null => f64::NAN,
+                        _ => return Err(format!("metric {k} is not a number")),
+                    };
+                    metrics.insert(k.clone(), n);
+                }
+            }
+            _ => return Err("missing object field `metrics`".to_string()),
+        }
+        Ok(HistoryEntry { label, metrics })
+    }
+}
+
+/// Append one entry to `dir/history.jsonl`, creating the directory and
+/// file as needed. Appends are atomic at line granularity (one `write`).
+pub fn append(dir: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(HISTORY_FILE))?;
+    f.write_all((entry.to_json_line() + "\n").as_bytes())
+}
+
+/// Load every entry of `dir/history.jsonl` in append order. A missing
+/// file reads as an empty history; a corrupt line is an error naming its
+/// 1-based line number.
+pub fn load(dir: &Path) -> Result<Vec<HistoryEntry>, String> {
+    let path = dir.join(HISTORY_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        entries.push(
+            HistoryEntry::from_json_line(line)
+                .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?,
+        );
+    }
+    Ok(entries)
+}
+
+/// One metric whose newest value trips the trend gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendEntry {
+    pub key: String,
+    /// Newest run's value (`None` = the metric disappeared).
+    pub value: Option<f64>,
+    /// Rolling median over the baseline window (`None` = the metric is
+    /// new).
+    pub median: Option<f64>,
+    /// Relative deviation in percent, when both sides exist and the
+    /// median is nonzero.
+    pub rel_pct: Option<f64>,
+}
+
+/// The verdict of judging the newest run against its rolling window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// Label of the run under judgment.
+    pub newest: String,
+    /// Baseline entries actually used (`<= window`).
+    pub baseline_runs: usize,
+    /// Metric keys compared (union of newest and baseline).
+    pub compared: usize,
+    /// Tolerance applied, in percent.
+    pub tolerance_pct: f64,
+    /// Metrics outside tolerance, sorted by key.
+    pub regressions: Vec<TrendEntry>,
+}
+
+/// Median of a non-empty sample set (even count: mean of the middle two).
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Judge the newest entry against the rolling median of up to `window`
+/// immediately preceding entries. Needs at least two entries (one
+/// baseline run plus the run under judgment).
+pub fn trend(
+    entries: &[HistoryEntry],
+    window: usize,
+    tolerance_pct: f64,
+) -> Result<TrendReport, String> {
+    let (newest, prior) = match entries.split_last() {
+        Some(split) => split,
+        None => return Err("history is empty — record runs first".to_string()),
+    };
+    if prior.is_empty() {
+        return Err("history has a single run — need at least one baseline run".to_string());
+    }
+    let window = window.max(1);
+    let baseline = &prior[prior.len().saturating_sub(window)..];
+    let keys: BTreeSet<&String> = newest
+        .metrics
+        .keys()
+        .chain(baseline.iter().flat_map(|e| e.metrics.keys()))
+        .collect();
+    let compared = keys.len();
+    let mut regressions = Vec::new();
+    for key in keys {
+        let value = newest.metrics.get(key).copied();
+        let samples: Vec<f64> = baseline
+            .iter()
+            .filter_map(|e| e.metrics.get(key).copied())
+            .collect();
+        let med = if samples.is_empty() {
+            None
+        } else {
+            Some(median(samples))
+        };
+        let (trips, rel_pct) = match (value, med) {
+            // Appearing or disappearing metrics always trip, like
+            // `DiffEntry::is_regression`.
+            (None, _) | (_, None) => (true, None),
+            (Some(v), Some(m)) => {
+                if m == 0.0 {
+                    (v != 0.0, None)
+                } else {
+                    let pct = (v - m) / m.abs() * 100.0;
+                    (pct.abs() > tolerance_pct, Some(pct))
+                }
+            }
+        };
+        if trips {
+            regressions.push(TrendEntry {
+                key: key.clone(),
+                value,
+                median: med,
+                rel_pct,
+            });
+        }
+    }
+    Ok(TrendReport {
+        newest: newest.label.clone(),
+        baseline_runs: baseline.len(),
+        compared,
+        tolerance_pct,
+        regressions,
+    })
+}
+
+impl TrendReport {
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Deterministic plain-text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "flowstat trend: run {:?} vs median of {} run(s), tolerance {}%\n",
+            self.newest, self.baseline_runs, self.tolerance_pct
+        );
+        if self.regressions.is_empty() {
+            out.push_str(&format!(
+                "  within tolerance ({} metrics compared)\n",
+                self.compared
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "  {} metric(s) outside tolerance (of {} compared)\n",
+            self.regressions.len(),
+            self.compared
+        ));
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x}"),
+            None => "-".to_string(),
+        };
+        for r in &self.regressions {
+            let rel = match r.rel_pct {
+                Some(p) => format!("  ({p:+.2}%)"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {:<60} median {:>16} -> {:>16}{}\n",
+                r.key,
+                fmt(r.median),
+                fmt(r.value),
+                rel
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, pairs: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            label: label.to_string(),
+            metrics: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_json_lines() {
+        let e = entry("run-1", &[("events", 12.0), ("span x self", 3.5)]);
+        let parsed = HistoryEntry::from_json_line(&e.to_json_line()).expect("parses");
+        assert_eq!(parsed, e);
+        assert!(HistoryEntry::from_json_line("not json").is_err());
+        assert!(HistoryEntry::from_json_line("{\"label\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn append_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("pi_obs_history_rt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(load(&dir).expect("missing file reads empty"), vec![]);
+        let a = entry("a", &[("events", 1.0)]);
+        let b = entry("b", &[("events", 2.0)]);
+        append(&dir, &a).expect("append a");
+        append(&dir, &b).expect("append b");
+        assert_eq!(load(&dir).expect("loads"), vec![a, b]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trend_needs_a_baseline() {
+        assert!(trend(&[], 20, 5.0).is_err());
+        assert!(trend(&[entry("only", &[("e", 1.0)])], 20, 5.0).is_err());
+    }
+
+    #[test]
+    fn identical_runs_are_within_tolerance() {
+        let runs = vec![
+            entry("r1", &[("events", 100.0), ("zero", 0.0)]),
+            entry("r2", &[("events", 100.0), ("zero", 0.0)]),
+            entry("r3", &[("events", 100.0), ("zero", 0.0)]),
+        ];
+        let t = trend(&runs, 20, 5.0).expect("trends");
+        assert!(t.is_clean());
+        assert_eq!(t.baseline_runs, 2);
+        assert_eq!(t.compared, 2);
+        assert!(t.render_text().contains("within tolerance"));
+    }
+
+    #[test]
+    fn deviation_beyond_tolerance_trips() {
+        let runs = vec![
+            entry("r1", &[("cost", 100.0)]),
+            entry("r2", &[("cost", 102.0)]),
+            entry("r3", &[("cost", 98.0)]),
+            entry("slow", &[("cost", 150.0)]),
+        ];
+        let t = trend(&runs, 20, 5.0).expect("trends");
+        assert_eq!(t.regressions.len(), 1);
+        let r = &t.regressions[0];
+        assert_eq!(r.key, "cost");
+        assert_eq!(r.median, Some(100.0));
+        assert_eq!(r.value, Some(150.0));
+        assert_eq!(r.rel_pct, Some(50.0));
+        // 50% off is fine under a 60% tolerance.
+        assert!(trend(&runs, 20, 60.0).expect("trends").is_clean());
+        let text = t.render_text();
+        assert!(text.contains("cost"));
+        assert!(text.contains("+50.00%"));
+        assert_eq!(text, trend(&runs, 20, 5.0).unwrap().render_text());
+    }
+
+    #[test]
+    fn appearing_and_disappearing_metrics_trip() {
+        let runs = vec![
+            entry("r1", &[("a", 1.0), ("b", 1.0)]),
+            entry("r2", &[("a", 1.0), ("c", 1.0)]),
+        ];
+        let t = trend(&runs, 20, 5.0).expect("trends");
+        let keys: Vec<&str> = t.regressions.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, vec!["b", "c"], "b disappeared, c appeared");
+    }
+
+    #[test]
+    fn zero_median_admits_only_zero() {
+        let runs = vec![
+            entry("r1", &[("overuse", 0.0)]),
+            entry("r2", &[("overuse", 0.0)]),
+            entry("r3", &[("overuse", 1.0)]),
+        ];
+        // Any nonzero against an all-zero baseline trips at any tolerance.
+        assert!(!trend(&runs, 20, 1000.0).expect("trends").is_clean());
+    }
+
+    #[test]
+    fn window_limits_the_baseline() {
+        // Ancient slow runs fall out of a window of 2.
+        let runs = vec![
+            entry("old1", &[("cost", 1000.0)]),
+            entry("old2", &[("cost", 1000.0)]),
+            entry("r1", &[("cost", 100.0)]),
+            entry("r2", &[("cost", 100.0)]),
+            entry("r3", &[("cost", 101.0)]),
+        ];
+        let t = trend(&runs, 2, 5.0).expect("trends");
+        assert_eq!(t.baseline_runs, 2);
+        assert!(t.is_clean(), "window excludes the old runs");
+        // The full window pulls the median up and trips the newest run.
+        assert!(!trend(&runs, 20, 5.0).expect("trends").is_clean());
+    }
+
+    #[test]
+    fn even_windows_take_the_middle_mean() {
+        let runs = vec![
+            entry("r1", &[("cost", 90.0)]),
+            entry("r2", &[("cost", 110.0)]),
+            entry("r3", &[("cost", 100.0)]),
+        ];
+        // Median of [90, 110] is 100 — the newest run matches exactly.
+        assert!(trend(&runs, 20, 0.0).expect("trends").is_clean());
+    }
+}

@@ -6,10 +6,12 @@
 //! a result is plain polling with a fixed short sleep — job IDs are
 //! deterministic, so a dropped poll loop can always be restarted.
 
-use crate::job::{JobResult, JobSpec};
+use crate::job::{JobResult, JobSpec, TraceContext};
 use crate::protocol::http_call;
 use crate::ServeError;
+use pi_obs::{Event, MemorySink, Obs};
 use serde_json::Value;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long [`submit_and_wait`] polls before giving up.
@@ -112,6 +114,64 @@ pub fn submit_and_wait(addr: &str, spec: &JobSpec) -> Result<JobResult, RemoteEr
         }
         std::thread::sleep(POLL_INTERVAL);
     }
+}
+
+/// Fetch a finished job's tagged JSONL trace (`GET /trace/<id>`),
+/// verbatim. Fails while the job is still queued/running (202) — call
+/// after [`submit_and_wait`].
+pub fn trace(addr: &str, job_id: &str) -> Result<String, RemoteError> {
+    let (status, body) = http_call(addr, "GET", &format!("/trace/{job_id}"), "")?;
+    if status != 200 {
+        return Err(RemoteError::Rejected {
+            status,
+            message: error_message(&body),
+        });
+    }
+    Ok(body)
+}
+
+/// The daemon's `/metrics` Prometheus text, verbatim.
+pub fn metrics(addr: &str) -> Result<String, RemoteError> {
+    let (status, body) = http_call(addr, "GET", "/metrics", "")?;
+    if status != 200 {
+        return Err(RemoteError::Rejected {
+            status,
+            message: error_message(&body),
+        });
+    }
+    Ok(body)
+}
+
+/// [`submit_and_wait`] with distributed tracing: attach a deterministic
+/// [`TraceContext`] (the raw spec's content hash — no clock, no
+/// randomness), fetch the daemon's tagged event stream once the job is
+/// done, and splice it under a local `serve:request` span. The returned
+/// events are one unified call tree spanning both processes, in replay
+/// order with locally assigned sequence numbers — byte-stable for a given
+/// job because the remote stream is the stored timestamp-stripped form.
+pub fn submit_and_wait_traced(
+    addr: &str,
+    spec: &JobSpec,
+) -> Result<(JobResult, Vec<Event>), RemoteError> {
+    let ctx = TraceContext {
+        trace_id: spec.job_id(),
+        parent_span: "serve:request".to_string(),
+    };
+    let traced_spec = spec.clone().with_trace(ctx.clone());
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new(sink.clone());
+    // No address/port fields on the span: ephemeral ports are
+    // nondeterministic and the spliced stream feeds deterministic diffs.
+    let span = obs
+        .scoped("serve")
+        .span_with("request", &[("trace_id", ctx.trace_id.as_str().into())]);
+    let result = submit_and_wait(addr, &traced_spec)?;
+    let remote = trace(addr, &result.job_id)?;
+    let events = pi_obs::parse_jsonl(&remote)
+        .map_err(|e| RemoteError::Transport(ServeError::Protocol(e.to_string())))?;
+    obs.replay(events);
+    span.end();
+    Ok((result, sink.snapshot()))
 }
 
 /// The daemon's `/stats` JSON, verbatim.

@@ -16,13 +16,20 @@
 //! | `GET /status/<id>`   | `{job_id, status}`; `404` unknown |
 //! | `GET /result/<id>`   | the stored [`JobResult`] JSON (byte-identical for every reader); `202` while queued/running, `500` if the job failed, `404` unknown |
 //! | `GET /stats`         | queue + shared-cache counters |
-//! | `GET /healthz`       | `{ok: true}` |
+//! | `GET /trace/<id>`    | the job's tagged JSONL event stream (timestamp-stripped, persisted next to the result); `202` while queued/running, `500` if the job failed, `404` unknown |
+//! | `GET /metrics`       | Prometheus text exposition from the daemon's [`pi_obs::registry::Registry`]: queue depth, jobs by state, coalesced/rejected counts, shared-cache counters, per-command wallclock histograms, uptime |
+//! | `GET /healthz`       | `{ok: true, version, uptime_seconds}` |
 //! | `POST /shutdown`     | `{ok: true}`, then the daemon drains and exits |
 //!
 //! Telemetry: each finished request emits one `serve::request` point on
 //! the daemon's sink — cache hits/misses/evictions as deterministic
 //! fields, latency as a `wallclock_ms` field (aggregated by `flowstat
-//! summarize --wallclock`, excluded from deterministic diffs).
+//! summarize --wallclock`, excluded from deterministic diffs). Each job's
+//! captured event stream is additionally re-emitted under a
+//! `serve::job:run` span (tagged with the job ID and, when the client
+//! sent a [`TraceContext`](crate::job::TraceContext), its trace identity)
+//! and stored for `GET /trace/<id>` — the raw stream a client splices
+//! under its own `serve:request` span for one cross-process call tree.
 
 use crate::job::{JobCommand, JobResult, JobSpec};
 use crate::protocol::{read_request, write_response, Request};
@@ -30,7 +37,8 @@ use crate::queue::{JobQueue, Submit};
 use crate::ServeError;
 use pi_fabric::Device;
 use pi_flow::{build_component_db_cached, run_pre_implemented_flow, DbCacheStats};
-use pi_obs::Obs;
+use pi_obs::registry::Registry;
+use pi_obs::{MemorySink, Obs};
 use serde_json::Value;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -86,6 +94,8 @@ struct ServerState {
     addr: SocketAddr,
     stop: AtomicBool,
     db: DbTotals,
+    /// Live metric registry behind `GET /metrics` (uptime epoch included).
+    registry: Registry,
 }
 
 /// A running daemon (see [`serve`]). Join it to block until shutdown.
@@ -126,6 +136,7 @@ pub fn serve(addr: &str, options: ServerOptions) -> Result<ServerHandle, ServeEr
         addr,
         stop: AtomicBool::new(false),
         db: DbTotals::default(),
+        registry: Registry::new(),
     });
     let mut threads = Vec::new();
     for _ in 0..state.options.workers.max(1) {
@@ -209,11 +220,78 @@ fn route(req: &Request, state: &ServerState) -> (u16, String, bool) {
                 },
             }
         }
+        ("GET", path) if path.starts_with("/trace/") => {
+            let id = &path["/trace/".len()..];
+            match state.queue.trace(id) {
+                Some(Some(trace)) => (200, trace, false),
+                Some(None) => match state.queue.status(id) {
+                    Some(crate::job::JobStatus::Failed) => {
+                        (500, err_json("job failed; no trace stored"), false)
+                    }
+                    Some(s) => (202, ack_json(id, s.as_str()), false),
+                    None => (404, err_json("unknown job"), false),
+                },
+                None => (404, err_json("unknown job"), false),
+            }
+        }
         ("GET", "/stats") => (200, stats_json(state), false),
-        ("GET", "/healthz") => (200, "{\"ok\":true}".to_string(), false),
+        ("GET", "/metrics") => (200, metrics_text(state), false),
+        ("GET", "/healthz") => (200, health_json(state), false),
         ("POST", "/shutdown") => (200, "{\"ok\":true}".to_string(), true),
         _ => (404, err_json("no such endpoint"), false),
     }
+}
+
+/// Liveness body: `ok` plus crate version and uptime. Both extra fields
+/// are wall-clock/build facts — nothing downstream may diff them.
+fn health_json(state: &ServerState) -> String {
+    format!(
+        "{{\"ok\":true,\"version\":\"{}\",\"uptime_seconds\":{}}}",
+        env!("CARGO_PKG_VERSION"),
+        state.registry.uptime_seconds()
+    )
+}
+
+/// `GET /metrics`: mirror the authoritative queue and shared-cache
+/// counters into the registry at scrape time (one source of truth — the
+/// workers only feed the histograms), then render the Prometheus text.
+fn metrics_text(state: &ServerState) -> String {
+    let q = state.queue.stats();
+    let r = &state.registry;
+    r.gauge_set("pi_serve_queue_depth", q.queued_now as f64);
+    r.gauge_set("pi_serve_jobs_running", q.running_now as f64);
+    r.counter_set("pi_serve_jobs_submitted_total", q.submitted);
+    r.counter_set("pi_serve_jobs_unique_total", q.unique);
+    r.counter_set("pi_serve_jobs_coalesced_total", q.hits);
+    r.counter_set("pi_serve_jobs_rejected_total", q.rejected);
+    r.counter_set("pi_serve_jobs_completed_total", q.completed);
+    r.counter_set("pi_serve_jobs_failed_total", q.failed);
+    r.counter_set(
+        "pi_serve_db_cache_hits_total",
+        state.db.hits.load(Ordering::SeqCst),
+    );
+    r.counter_set(
+        "pi_serve_db_cache_misses_total",
+        state.db.misses.load(Ordering::SeqCst),
+    );
+    r.counter_set(
+        "pi_serve_db_cache_invalidations_total",
+        state.db.invalidations.load(Ordering::SeqCst),
+    );
+    r.counter_set(
+        "pi_serve_db_cache_evictions_total",
+        state.db.evictions.load(Ordering::SeqCst),
+    );
+    r.counter_set(
+        "pi_serve_db_cache_bytes_loaded_total",
+        state.db.bytes_loaded.load(Ordering::SeqCst),
+    );
+    r.counter_set(
+        "pi_serve_db_cold_builds_total",
+        state.db.cold_builds.load(Ordering::SeqCst),
+    );
+    r.gauge_set("pi_serve_workers", state.options.workers.max(1) as f64);
+    r.render_prometheus()
 }
 
 fn err_json(message: &str) -> String {
@@ -264,8 +342,12 @@ fn worker_loop(state: &Arc<ServerState>) {
         let outcome = run_job(&id, &spec);
         let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
         let req_obs = state.options.obs.scoped("serve").subscoped("request");
+        state.registry.observe(
+            &format!("pi_serve_job_wall_ms_{}", spec.command.as_str()),
+            wall_ms,
+        );
         match outcome {
-            Ok(result) => {
+            Ok((result, tagged_trace)) => {
                 fold_db(&state.db, &result.cache);
                 if req_obs.enabled() {
                     req_obs.point(
@@ -285,7 +367,9 @@ fn worker_loop(state: &Arc<ServerState>) {
                         ],
                     );
                 }
-                state.queue.complete(&id, Ok(result.to_json()));
+                state
+                    .queue
+                    .complete_with_trace(&id, Ok(result.to_json()), Some(tagged_trace));
             }
             Err(e) => {
                 if req_obs.enabled() {
@@ -323,10 +407,30 @@ fn fold_db(totals: &DbTotals, stats: &DbCacheStats) {
     }
 }
 
-/// Run one job to a [`JobResult`]. Every failure becomes a message the
-/// client can read — a broken archdef must 500 its job, never kill a
-/// worker.
-fn run_job(id: &str, spec: &JobSpec) -> Result<JobResult, String> {
+/// Re-emit a job's captured events wrapped in a `serve::job:run` span
+/// tagged with the job ID and, when present, the client's trace context.
+/// The result is the timestamp-stripped JSONL served by `GET /trace/<id>`
+/// — deterministic for a given (spec, trace context), so re-running a job
+/// stores byte-identical trace bytes.
+fn tagged_trace_jsonl(id: &str, spec: &JobSpec, events: Vec<pi_obs::Event>) -> String {
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new(sink.clone());
+    let job_obs = obs.scoped("serve::job");
+    let mut fields: Vec<(&str, pi_obs::Value)> = vec![("job", id.into())];
+    if let Some(t) = &spec.trace {
+        fields.push(("trace_id", t.trace_id.as_str().into()));
+        fields.push(("parent_span", t.parent_span.as_str().into()));
+    }
+    let span = job_obs.span_with("run", &fields);
+    obs.replay(events);
+    span.end();
+    sink.stripped_jsonl()
+}
+
+/// Run one job to a [`JobResult`] plus its tagged trace stream. Every
+/// failure becomes a message the client can read — a broken archdef must
+/// 500 its job, never kill a worker.
+fn run_job(id: &str, spec: &JobSpec) -> Result<(JobResult, String), String> {
     let network = match spec.format {
         pi_model::ModelFormat::Archdef => {
             pi_cnn::parse_archdef(&spec.archdef).map_err(|e| e.to_string())?
@@ -370,13 +474,17 @@ fn run_job(id: &str, spec: &JobSpec) -> Result<JobResult, String> {
         .run_report()
         .map(|r| r.render_text())
         .unwrap_or_default();
-    Ok(JobResult {
-        job_id: id.to_string(),
-        summary,
-        trace_jsonl,
-        report_text,
-        cache: stats,
-    })
+    let tagged = tagged_trace_jsonl(id, spec, cfg.captured_events());
+    Ok((
+        JobResult {
+            job_id: id.to_string(),
+            summary,
+            trace_jsonl,
+            report_text,
+            cache: stats,
+        },
+        tagged,
+    ))
 }
 
 #[cfg(test)]
@@ -392,11 +500,17 @@ mod tests {
     fn health_unknown_and_bad_submit() {
         let h = start();
         let addr = h.addr();
-        assert_eq!(
-            http_call(&addr, "GET", "/healthz", "").unwrap(),
-            (200, "{\"ok\":true}".to_string())
+        let (status, body) = http_call(&addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"ok\":true,"), "{body}");
+        assert!(
+            body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{body}"
         );
+        assert!(body.contains("\"uptime_seconds\":"), "{body}");
         let (status, _) = http_call(&addr, "GET", "/nope", "").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_call(&addr, "GET", "/trace/ffff", "").unwrap();
         assert_eq!(status, 404);
         let (status, body) = http_call(&addr, "POST", "/submit", "not json").unwrap();
         assert_eq!(status, 400);
@@ -441,6 +555,24 @@ mod tests {
         let (status, stats) = http_call(&addr, "GET", "/stats", "").unwrap();
         assert_eq!(status, 200);
         assert!(stats.contains("\"completed\":1"), "{stats}");
+        // The tagged trace is stored next to the result: parseable JSONL
+        // wrapped in a serve::job span carrying the job ID.
+        let (status, trace) =
+            http_call(&addr, "GET", &format!("/trace/{normalized_id}"), "").unwrap();
+        assert_eq!(status, 200);
+        let events = pi_obs::parse_jsonl(&trace).expect("trace parses");
+        assert_eq!(events.first().map(|e| e.scope.as_str()), Some("serve::job"));
+        assert_eq!(events.last().map(|e| e.name.as_str()), Some("run"));
+        assert!(trace.contains(&normalized_id));
+        // Live metrics reflect the finished job.
+        let (status, metrics) = http_call(&addr, "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("pi_serve_jobs_completed_total 1\n"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("# TYPE pi_serve_job_wall_ms_compose histogram"));
+        assert!(metrics.contains("uptime_seconds"));
         let (_, _) = http_call(&addr, "POST", "/shutdown", "").unwrap();
         h.join();
     }

@@ -5,7 +5,9 @@
 //!                 [--workers N] [--queue-capacity N] [--trace PATH]
 //! pi-serve submit <archdef> [--addr ADDR] [--device NAME] [--seeds N]
 //!                 [--block] [--build-db] [--trace PATH] [--report PATH]
+//! pi-serve trace  <job-id> [--addr ADDR]
 //! pi-serve stats  [--addr ADDR]
+//! pi-serve metrics [--addr ADDR]
 //! pi-serve health [--addr ADDR]
 //! pi-serve stop   [--addr ADDR]
 //! ```
@@ -20,9 +22,14 @@
 //! summarize --wallclock` renders it; diffs never see it).
 //!
 //! `submit` is the standalone client (`preimpl --remote` wraps the same
-//! call): it sends the archdef and waits for the result. `stats` prints
-//! the daemon's queue and cache counters; `stop` asks it to drain and
-//! exit. Exit codes follow the shared `preimpl_cnn::exit` convention.
+//! call): it sends the archdef and waits for the result. `trace` fetches
+//! a finished job's tagged JSONL event stream (feed it to `flowstat
+//! summarize` or `pilint trace`); `stats` prints the daemon's queue and
+//! cache counters; `metrics` scrapes the live Prometheus-text `/metrics`
+//! exposition — the same bytes a real scraper would pull, so CI can
+//! validate it with no HTTP client beyond this binary. `stop` asks the
+//! daemon to drain and exit. Exit codes follow the shared
+//! `preimpl_cnn::exit` convention.
 
 use pi_serve::{JobCommand, JobSpec, ServerOptions};
 use preimpl_cnn::cli::{self, Cli, Flag};
@@ -30,7 +37,8 @@ use preimpl_cnn::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: pi-serve <serve|submit|stats|health|stop> [archdef] \
+const USAGE: &str =
+    "usage: pi-serve <serve|submit|trace|stats|metrics|health|stop> [archdef|job-id] \
                      [--bind ADDR] [--addr ADDR] [--db-dir PATH] [--db-budget-bytes N] \
                      [--workers N] [--queue-capacity N] [--device NAME] [--seeds N] \
                      [--block] [--build-db] [--trace PATH] [--report PATH]";
@@ -132,9 +140,20 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "trace" => {
+            let job_id = args.positional(0, "job-id", USAGE)?;
+            let body = pi_serve::client::trace(addr(&args), job_id).map_err(|e| e.to_string())?;
+            cli::emit(&body)?;
+            Ok(ExitCode::SUCCESS)
+        }
         "stats" => {
             let body = pi_serve::client::stats(addr(&args)).map_err(|e| e.to_string())?;
             cli::emit(&format!("{body}\n"))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "metrics" => {
+            let body = pi_serve::client::metrics(addr(&args)).map_err(|e| e.to_string())?;
+            cli::emit(&body)?;
             Ok(ExitCode::SUCCESS)
         }
         "health" => {

@@ -5,6 +5,7 @@
 //! pilint model   <file>               import + lint a model descriptor (.json/.prototxt)
 //! pilint db      <db-dir> [archdef]   lint a checkpoint database (+ coverage)
 //! pilint design  <archdef> <db-dir>   compose + route, lint the assembled design
+//! pilint trace   <trace.jsonl>        lint a recorded telemetry stream
 //! pilint codes                        print the lint-code registry
 //! ```
 //!
@@ -26,7 +27,8 @@ use preimpl_cnn::lint::{lookup, parse_waivers, Level, LintConfig, LintEngine, Li
 use preimpl_cnn::prelude::*;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: pilint <archdef|model|db|design|codes> <inputs...> [--block] [--json] \
+const USAGE: &str =
+    "usage: pilint <archdef|model|db|design|trace|codes> <inputs...> [--block] [--json] \
                      [--deny-warnings] [--waivers FILE] [--allow CODE] [--warn CODE] \
                      [--deny CODE] [--device NAME] [--threads N]";
 
@@ -140,6 +142,16 @@ fn run() -> Result<ExitCode, String> {
                 }
                 None => engine.lint_db(&db, Some(&device), &obs),
             };
+            finish(&report, &args)
+        }
+        "trace" => {
+            let path = args.positional(0, "trace.jsonl", USAGE)?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            // A file that is not even parseable JSONL is an operational
+            // error (like an archdef syntax error), not a lint finding.
+            let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            let raw = preimpl_cnn::lint::lint_trace(&events);
+            let report = LintReport::from_raw(raw, &lint_config(&args)?);
             finish(&report, &args)
         }
         "design" => {

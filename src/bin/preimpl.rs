@@ -312,7 +312,17 @@ fn run_remote(
     let spec = JobSpec::new(archdef_text, args.device(), cfg)
         .with_command(command)
         .with_format(format);
-    let result = pi_serve::submit_and_wait(addr, &spec).map_err(|e| e.to_string())?;
+    // With `--report`, propagate a trace context and splice the daemon's
+    // tagged span tree under the local `serve:request` span: the written
+    // report is then one unified call tree spanning both processes.
+    let (result, spliced) = if args.value("--report").is_some() {
+        let (result, events) =
+            pi_serve::submit_and_wait_traced(addr, &spec).map_err(|e| e.to_string())?;
+        (result, Some(events))
+    } else {
+        let result = pi_serve::submit_and_wait(addr, &spec).map_err(|e| e.to_string())?;
+        (result, None)
+    };
     cli::emit(&format!("{}\n", result.summary))?;
     print!("{}", db_cache_line(&result.cache));
     if let Some(path) = args.value("--trace") {
@@ -320,7 +330,9 @@ fn run_remote(
         println!("remote trace -> {path}");
     }
     if let Some(path) = args.value("--report") {
-        std::fs::write(path, &result.report_text).map_err(|e| format!("writing {path}: {e}"))?;
+        let events = spliced.expect("--report path takes the traced call");
+        let report = RunReport::from_events(&events);
+        std::fs::write(path, report.render_text()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("flowstat report -> {path}");
     }
     Ok(ExitCode::SUCCESS)

@@ -23,13 +23,26 @@
 use std::process::ExitCode;
 use std::str::FromStr;
 
+/// How a flag consumes arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagKind {
+    /// A bare switch (`--json`).
+    Switch,
+    /// An option that always consumes the next argument (`--device NAME`).
+    Value,
+    /// A switch that consumes the next argument only when one follows and
+    /// does not look like a flag (`--fail-on-regression [PCT]`). Presence
+    /// is visible via [`Cli::switch`] whether or not a value was given.
+    OptionalValue,
+}
+
 /// One accepted flag: a bare switch (`--json`) or an option that consumes
 /// the next argument (`--device NAME`). Options may repeat; [`Cli::value`]
 /// returns the last occurrence, [`Cli::values`] all of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flag {
     pub name: &'static str,
-    pub takes_value: bool,
+    pub kind: FlagKind,
 }
 
 impl Flag {
@@ -37,7 +50,7 @@ impl Flag {
     pub const fn switch(name: &'static str) -> Flag {
         Flag {
             name,
-            takes_value: false,
+            kind: FlagKind::Switch,
         }
     }
 
@@ -45,7 +58,15 @@ impl Flag {
     pub const fn value(name: &'static str) -> Flag {
         Flag {
             name,
-            takes_value: true,
+            kind: FlagKind::Value,
+        }
+    }
+
+    /// A switch with an optional trailing value (`--gate [THRESHOLD]`).
+    pub const fn optional_value(name: &'static str) -> Flag {
+        Flag {
+            name,
+            kind: FlagKind::OptionalValue,
         }
     }
 }
@@ -139,18 +160,26 @@ pub fn parse_from(
     flags: &'static [Flag],
     usage: &str,
 ) -> Result<Cli, String> {
-    let mut argv = argv.into_iter();
+    let mut argv = argv.into_iter().peekable();
     let mut cli = Cli {
         command: argv.next().ok_or_else(|| usage.to_string())?,
         ..Cli::default()
     };
     while let Some(a) = argv.next() {
         if let Some(flag) = flags.iter().find(|f| f.name == a) {
-            if flag.takes_value {
-                let v = argv.next().ok_or(format!("{} needs a value", flag.name))?;
-                cli.values.push((flag.name, v));
-            } else {
-                cli.switches.push(flag.name);
+            match flag.kind {
+                FlagKind::Switch => cli.switches.push(flag.name),
+                FlagKind::Value => {
+                    let v = argv.next().ok_or(format!("{} needs a value", flag.name))?;
+                    cli.values.push((flag.name, v));
+                }
+                FlagKind::OptionalValue => {
+                    cli.switches.push(flag.name);
+                    if argv.peek().is_some_and(|next| !next.starts_with('-')) {
+                        let v = argv.next().expect("peeked value exists");
+                        cli.values.push((flag.name, v));
+                    }
+                }
             }
         } else if a.starts_with("--") {
             return Err(format!("unknown flag {a}\n{usage}"));
@@ -198,6 +227,7 @@ mod tests {
         Flag::value("--device"),
         Flag::value("--threads"),
         Flag::value("--allow"),
+        Flag::optional_value("--gate"),
     ];
 
     fn args(parts: &[&str]) -> Vec<String> {
@@ -240,6 +270,20 @@ mod tests {
         assert_eq!(e, "--device needs a value");
         let e = parse_from(args(&[]), FLAGS, "USAGE").unwrap_err();
         assert_eq!(e, "USAGE");
+    }
+
+    #[test]
+    fn optional_value_flags_work_bare_valued_and_trailing() {
+        let bare = parse_from(args(&["x", "--gate", "--json"]), FLAGS, "u").unwrap();
+        assert!(bare.switch("--gate") && bare.switch("--json"));
+        assert_eq!(bare.value("--gate"), None, "next flag is not a value");
+        let valued = parse_from(args(&["x", "--gate", "2.5", "in.cnn"]), FLAGS, "u").unwrap();
+        assert!(valued.switch("--gate"));
+        assert_eq!(valued.value("--gate"), Some("2.5"));
+        assert_eq!(valued.positional, vec!["in.cnn"], "positional survives");
+        let trailing = parse_from(args(&["x", "--gate"]), FLAGS, "u").unwrap();
+        assert!(trailing.switch("--gate"));
+        assert_eq!(trailing.value("--gate"), None, "end of argv is fine");
     }
 
     #[test]
