@@ -113,8 +113,8 @@ top_out="$(cargo run --release --quiet --bin flowstat -- \
     summarize "$fs_dir/t1.jsonl" --top 5)"
 echo "$top_out" | grep -F 'flowstat hot spans: top' >/dev/null \
     || { echo "summarize --top produced no hot-span table: $top_out"; exit 1; }
-trace_lint="$(cargo run --release --quiet --bin pilint -- trace "$fs_dir/t1.jsonl")"
-echo "$trace_lint" | grep -F 'lint: 0 errors, 0 warnings' >/dev/null \
+trace_lint="$(cargo run --release --quiet --bin pilint -- trace "$fs_dir/t1.jsonl" --json)"
+echo "$trace_lint" | grep -F '"errors": 0' >/dev/null \
     || { echo "recorded trace did not lint clean: $trace_lint"; exit 1; }
 echo "    trend clean on same-seed, exit 2 on perturbed, hot spans render, trace lints clean"
 
@@ -152,7 +152,8 @@ echo "$seed_diff" | grep -F 'identical' >/dev/null \
     || { echo "router trace drifted from checked-in seed: $seed_diff"; exit 1; }
 echo "    bench beat baseline, traces identical across threads and vs seed"
 
-# pilint gate: both bundled models must lint clean under --deny-warnings,
+# pilint gate: both bundled models must lint clean under --deny-warnings
+# (checked through the stable --json summary keys, not the text renderer),
 # and a deliberately broken archdef must trip the gate with the shared
 # exit-code convention (exactly 2: "ran fine, findings denied" — not 1,
 # which would mean the tool itself failed).
@@ -171,12 +172,16 @@ trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir"' EXIT
     done
     printf 'fc fc1 out=4096\nrelu relu_fc1\nfc fc2 out=4096\nrelu relu_fc2\nfc fc3 out=1000\n'
 } > "$lint_dir/vgg16.txt"
-cargo run --release --quiet --bin pilint -- \
-    archdef "$fs_dir/lenet.txt" --deny-warnings >/dev/null \
+lenet_lint="$(cargo run --release --quiet --bin pilint -- \
+    archdef "$fs_dir/lenet.txt" --deny-warnings --json)" \
     || { echo "LeNet-5 did not lint clean"; exit 1; }
-cargo run --release --quiet --bin pilint -- \
-    archdef "$lint_dir/vgg16.txt" --deny-warnings >/dev/null \
+echo "$lenet_lint" | grep -F '"errors": 0' >/dev/null \
+    || { echo "LeNet-5 JSON summary lacks zero errors: $lenet_lint"; exit 1; }
+vgg_lint="$(cargo run --release --quiet --bin pilint -- \
+    archdef "$lint_dir/vgg16.txt" --deny-warnings --json)" \
     || { echo "VGG-16 did not lint clean"; exit 1; }
+echo "$vgg_lint" | grep -F '"warnings": 0' >/dev/null \
+    || { echo "VGG-16 JSON summary lacks zero warnings: $vgg_lint"; exit 1; }
 printf 'network broken\ninput 1x4x4\nconv c kernel=9 out=2\n' > "$lint_dir/broken.txt"
 set +e
 cargo run --release --quiet --bin pilint -- \
@@ -196,9 +201,11 @@ echo "==> model gate: descriptors lint clean, descriptor LeNet matches seed"
 mdl_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$mdl_dir"' EXIT
 for m in models/*; do
-    cargo run --release --quiet --bin pilint -- \
-        model "$m" --deny-warnings >/dev/null \
+    m_lint="$(cargo run --release --quiet --bin pilint -- \
+        model "$m" --deny-warnings --json)" \
         || { echo "descriptor $m did not lint clean"; exit 1; }
+    echo "$m_lint" | grep -F '"errors": 0' >/dev/null \
+        || { echo "descriptor $m JSON summary lacks zero errors: $m_lint"; exit 1; }
 done
 cargo run --release --quiet --bin preimpl -- \
     compose --model models/lenet.json --db-dir "$mdl_dir/db" --seeds 1 \
@@ -211,6 +218,62 @@ echo "$mdl_diff" | grep -F 'identical' >/dev/null \
     || { echo "descriptor LeNet drifted from checked-in seed: $mdl_diff"; exit 1; }
 echo "    all descriptors lint clean, descriptor LeNet matches the seed trace"
 
+# Dataflow gate: every checked-in descriptor must pass the PL04xx
+# fixpoint analysis (FIFO occupancy / deadlock / rate) under
+# --deny-warnings, and a ResNet whose skip path is artificially skewed
+# (7x7 convolutions on the main path) must trip the deadlock finding with
+# exit 2 — unless the link FIFOs are autosized, which must make the same
+# topology analyze clean.
+echo "==> pilint dataflow gate: descriptors clean, skewed skip trips, autosize clears"
+for m in models/*; do
+    df_lint="$(cargo run --release --quiet --bin pilint -- \
+        dataflow "$m" --deny-warnings --json)" \
+        || { echo "descriptor $m failed the dataflow gate"; exit 1; }
+    echo "$df_lint" | grep -F '"errors": 0' >/dev/null \
+        || { echo "dataflow summary for $m lacks zero errors: $df_lint"; exit 1; }
+done
+sed -e 's/"kernel": 3/"kernel": 7/g' -e 's/"pad": 1/"pad": 3/g' \
+    models/resnet_small.json > "$mdl_dir/resnet_skewed.json"
+set +e
+skew_out="$(cargo run --release --quiet --bin pilint -- \
+    dataflow "$mdl_dir/resnet_skewed.json" --json 2>/dev/null)"
+skew_rc=$?
+set -e
+[ "$skew_rc" -eq 2 ] \
+    || { echo "skewed ResNet exited $skew_rc, want 2"; exit 1; }
+echo "$skew_out" | grep -F '"PL0400"' >/dev/null \
+    || { echo "skewed ResNet missing PL0400: $skew_out"; exit 1; }
+cargo run --release --quiet --bin pilint -- \
+    dataflow "$mdl_dir/resnet_skewed.json" --deny-warnings --autosize >/dev/null \
+    || { echo "autosize did not clear the skewed ResNet"; exit 1; }
+echo "    descriptors clean, skewed skip tripped PL0400, autosize cleared it"
+
+# Lint bench gate: the dataflow fixpoint bench must self-gate clean
+# (convergence, clean bundled models, stable ResNet skip minimum), be
+# byte-identical across PI_THREADS, and trend clean through the same
+# run-history machinery the flow traces use.
+echo "==> lint bench gate: fixpoint stable across threads, trend clean"
+lb_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$mdl_dir" "$lb_dir"' EXIT
+PI_THREADS=1 cargo run --release --quiet -p pi-bench --bin lint -- \
+    --out "$lb_dir/l1.json" --trace "$lb_dir/l1.jsonl" >/dev/null \
+    || { echo "lint bench gate tripped (PI_THREADS=1)"; exit 1; }
+PI_THREADS=4 cargo run --release --quiet -p pi-bench --bin lint -- \
+    --out "$lb_dir/l4.json" --trace "$lb_dir/l4.jsonl" >/dev/null \
+    || { echo "lint bench gate tripped (PI_THREADS=4)"; exit 1; }
+lb_diff="$(cargo run --release --quiet --bin flowstat -- \
+    diff "$lb_dir/l1.jsonl" "$lb_dir/l4.jsonl")"
+echo "$lb_diff" | grep -F 'identical' >/dev/null \
+    || { echo "lint telemetry differs across PI_THREADS: $lb_diff"; exit 1; }
+cargo run --release --quiet --bin flowstat -- \
+    record "$lb_dir/l1.jsonl" --history "$lb_dir/hist" --label lint >/dev/null
+cargo run --release --quiet --bin flowstat -- \
+    record "$lb_dir/l4.jsonl" --history "$lb_dir/hist" --label lint >/dev/null
+cargo run --release --quiet --bin flowstat -- \
+    trend --history "$lb_dir/hist" --fail-on-regression >/dev/null \
+    || { echo "lint bench trend tripped the gate"; exit 1; }
+echo "    bench self-gated clean, identical across threads, trend clean"
+
 # pi-serve gate: a daemon on an ephemeral port must serve the same LeNet-5
 # compose job `preimpl` runs locally — the remote trace diffs to zero
 # deltas against the local cold run above — and a warm follow-up must be
@@ -218,7 +281,7 @@ echo "    all descriptors lint clean, descriptor LeNet matches the seed trace"
 echo "==> pi-serve gate: remote compose matches local run"
 srv_dir="$(mktemp -d)"
 serve_pid=""
-trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$mdl_dir" "$srv_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$smoke_dir" "$fs_dir" "$rt_dir" "$lint_dir" "$mdl_dir" "$lb_dir" "$srv_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 cargo run --release --quiet --bin pi-serve -- \
     serve --bind 127.0.0.1:0 --db-dir "$srv_dir/db" --workers 2 \
     > "$srv_dir/serve.log" &

@@ -15,7 +15,9 @@ use pi_cnn::graph::{Granularity, Network};
 use pi_fabric::Device;
 use pi_netlist::Design;
 use pi_pnr::{route_assembled_obs, CompileReport, RouteOptions};
-use pi_stitch::{compose_obs, ComponentDb, ComponentPlacerOptions, ComposeOptions, ComposeReport};
+use pi_stitch::{
+    compose_sized_obs, ComponentDb, ComponentPlacerOptions, ComposeOptions, ComposeReport,
+};
 use std::time::{Duration, Instant};
 
 /// Wire length (tiles) each pipeline segment of a long inter-component net
@@ -243,7 +245,22 @@ pub fn run_pre_implemented_flow(
 
     let t0 = Instant::now();
     let stitch_span = arch.span("stitch");
-    let (mut design, compose_report) = compose_obs(
+    // FIFO auto-sizing: re-run the dataflow analysis (the same one the
+    // lint gate consulted) and hand its per-edge minimum depths to the
+    // stitcher, which installs them on the link nets it creates. Without
+    // the knob every link keeps `DEFAULT_LINK_FIFO_DEPTH`.
+    let edge_depths = if cfg.fifo_autosize {
+        let analysis = pi_lint::analyze_dataflow(network, opts.granularity);
+        let depths = analysis.depth_map();
+        if arch.enabled() {
+            arch.counter("autosized_links", depths.len() as u64);
+            arch.counter("autosized_max_depth", analysis.max_min_depth());
+        }
+        Some(depths)
+    } else {
+        None
+    };
+    let (mut design, compose_report) = compose_sized_obs(
         network,
         db,
         device,
@@ -251,6 +268,7 @@ pub fn run_pre_implemented_flow(
             granularity: opts.granularity,
             placer: opts.placer,
         },
+        edge_depths.as_ref(),
         obs,
     )?;
     let extra_pipeline_cycles = pipeline_top_nets(&mut design);

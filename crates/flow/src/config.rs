@@ -92,6 +92,17 @@ pub struct FlowConfig {
     /// Deliberately excluded from [`FlowConfig::cache_fingerprint`]:
     /// linting observes checkpoints, it never changes what they contain.
     pub lint: Option<pi_lint::LintConfig>,
+    /// Feed the `pi-lint` dataflow analysis back into stitching: size
+    /// every inter-component link FIFO to its computed minimum occupancy
+    /// bound instead of the standard depth, so reconvergent skews
+    /// (ResNet skips) can never deadlock. Also evaluated by the lint
+    /// gate: with autosizing on, `PL0400`/`PL0401` are checked against
+    /// the autosized capacities and cannot fire.
+    ///
+    /// Deliberately excluded from [`FlowConfig::cache_fingerprint`]:
+    /// autosizing resizes the *assembled* design's link FIFOs, never the
+    /// contents of a pre-implemented checkpoint.
+    pub fifo_autosize: bool,
     obs: Obs,
     /// In-process event capture installed by
     /// [`FlowConfig::with_report_capture`]; feeds
@@ -117,6 +128,7 @@ impl Default for FlowConfig {
             db_dir: None,
             db_budget_bytes: None,
             lint: None,
+            fifo_autosize: false,
             obs: Obs::null(),
             capture: None,
         }
@@ -220,6 +232,13 @@ impl FlowConfig {
         self
     }
 
+    /// Size stitched link FIFOs from the dataflow analysis (see the
+    /// `fifo_autosize` field).
+    pub fn with_fifo_autosize(mut self, autosize: bool) -> Self {
+        self.fifo_autosize = autosize;
+        self
+    }
+
     /// Stable fingerprint of every knob that affects what a pre-implemented
     /// checkpoint *is*: synthesis options, granularity, the seed sweep, the
     /// Fmax target, pblock utilization, placement effort, port planning and
@@ -230,8 +249,8 @@ impl FlowConfig {
     ///
     /// Deliberately excluded: `threads` (scheduling never changes results),
     /// the telemetry sink, `db_dir` itself, and the architecture-phase /
-    /// baseline knobs (`placer`, `phys_opt_passes`, `baseline_effort`),
-    /// none of which influence the checkpoint artifact.
+    /// baseline knobs (`placer`, `phys_opt_passes`, `baseline_effort`,
+    /// `fifo_autosize`), none of which influence the checkpoint artifact.
     pub fn cache_fingerprint(&self) -> u64 {
         let mut h = StableHasher::new();
         h.write_str(match self.synth.mode {

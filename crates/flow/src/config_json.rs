@@ -44,6 +44,7 @@ const TOP_KEYS: &[&str] = &[
     "db_dir",
     "db_budget_bytes",
     "lint",
+    "fifo_autosize",
 ];
 
 impl FlowConfig {
@@ -130,6 +131,7 @@ impl FlowConfig {
             Some(lint) => lint_to_json(lint),
             None => Value::Null,
         };
+        m["fifo_autosize"] = Value::Bool(self.fifo_autosize);
         m
     }
 
@@ -229,6 +231,9 @@ impl FlowConfig {
                 other => Some(lint_from_json(other)?),
             };
         }
+        if let Some(v) = get(map, "fifo_autosize") {
+            cfg.fifo_autosize = as_bool(v, "fifo_autosize")?;
+        }
         Ok(cfg)
     }
 }
@@ -254,6 +259,7 @@ fn lint_to_json(lint: &LintConfig) -> Value {
     );
     m["fanout_threshold"] = Value::U64(lint.fanout_threshold as u64);
     m["frame_cycle_budget"] = Value::U64(lint.frame_cycle_budget);
+    m["link_fifo_depth"] = Value::U64(lint.link_fifo_depth);
     m["deny_warnings"] = Value::Bool(lint.deny_warnings);
     m
 }
@@ -266,6 +272,7 @@ fn lint_from_json(value: &Value) -> Result<LintConfig, String> {
             "waivers",
             "fanout_threshold",
             "frame_cycle_budget",
+            "link_fifo_depth",
             "deny_warnings",
         ]
         .contains(&k.as_str())
@@ -308,6 +315,9 @@ fn lint_from_json(value: &Value) -> Result<LintConfig, String> {
     }
     if let Some(v) = get(map, "frame_cycle_budget") {
         lint = lint.with_frame_cycle_budget(as_u64(v, "lint.frame_cycle_budget")?);
+    }
+    if let Some(v) = get(map, "link_fifo_depth") {
+        lint = lint.with_link_fifo_depth(as_u64(v, "lint.link_fifo_depth")?);
     }
     if let Some(v) = get(map, "deny_warnings") {
         lint = lint.with_deny_warnings(as_bool(v, "lint.deny_warnings")?);
@@ -483,6 +493,7 @@ mod tests {
             }])
             .with_fanout_threshold(17)
             .with_frame_cycle_budget(12345)
+            .with_link_fifo_depth(96)
             .with_deny_warnings(true);
         let cfg = FlowConfig::new()
             .with_synth(SynthOptions::vgg_like())
@@ -509,7 +520,8 @@ mod tests {
             .with_threads(3)
             .with_db_dir("/tmp/pi-db")
             .with_db_budget_bytes(1 << 20)
-            .with_lint(lint);
+            .with_lint(lint)
+            .with_fifo_autosize(true);
         let back = FlowConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back.cache_fingerprint(), cfg.cache_fingerprint());
         assert_eq!(back.synth.data_width, cfg.synth.data_width);
@@ -523,7 +535,9 @@ mod tests {
         assert_eq!(back_lint.waivers, cfg.lint.as_ref().unwrap().waivers);
         assert_eq!(back_lint.fanout_threshold, 17);
         assert_eq!(back_lint.frame_cycle_budget, 12345);
+        assert_eq!(back_lint.link_fifo_depth, 96);
         assert!(back_lint.deny_warnings);
+        assert!(back.fifo_autosize);
         // Equal configs serialize byte-identically (job IDs hash this).
         assert_eq!(cfg.to_json(), back.to_json());
     }

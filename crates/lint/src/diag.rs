@@ -69,6 +69,15 @@ pub struct LintCode {
 
 /// Every lint the engine can emit, ordered by code.
 pub const REGISTRY: &[LintCode] = &[
+    // ---- PL00xx: lint-configuration hygiene ----
+    LintCode {
+        code: "PL0001",
+        name: "unused-waiver",
+        default: Level::Warn,
+        summary: "a waiver entry matched no finding in this run — the defect \
+                  it was written for is gone (or the origin prefix is stale) \
+                  and the waiver now only masks future regressions",
+    },
     // ---- PL01xx: netlist structure ----
     LintCode {
         code: "PL0101",
@@ -340,6 +349,37 @@ pub const REGISTRY: &[LintCode] = &[
         default: Level::Deny,
         summary: "a top-level net in an assembled design has no route",
     },
+    // ---- PL04xx: streaming dataflow analysis (fixpoint FIFO/rate model) ----
+    LintCode {
+        code: "PL0400",
+        name: "potential-deadlock",
+        default: Level::Deny,
+        summary: "a reconvergent join's early operand cannot buffer the path \
+                  latency skew within the link FIFO capacity — backpressure \
+                  reaches the shared producer and the pipeline deadlocks",
+    },
+    LintCode {
+        code: "PL0401",
+        name: "undersized-fifo",
+        default: Level::Warn,
+        summary: "a stream link needs a deeper FIFO than the configured \
+                  capacity (the message carries the computed minimum depth)",
+    },
+    LintCode {
+        code: "PL0402",
+        name: "rate-mismatch",
+        default: Level::Deny,
+        summary: "a producer's tokens per frame disagree with what the \
+                  consumer port expects (SDF balance violation)",
+    },
+    LintCode {
+        code: "PL0403",
+        name: "analysis-diverged",
+        default: Level::Warn,
+        summary: "the fixpoint dataflow analysis widened to top before \
+                  stabilizing (usually a graph cycle): FIFO bounds and \
+                  deadlock-freedom could not be proven",
+    },
 ];
 
 /// Look a code up in [`REGISTRY`].
@@ -466,6 +506,9 @@ pub struct LintConfig {
     /// `PL0206` trips when a component-boundary tensor has more elements
     /// than this per-frame cycle budget.
     pub frame_cycle_budget: u64,
+    /// Token capacity the dataflow pass assumes for every stitched stream
+    /// link (`PL0400`/`PL0401` trip when a computed minimum exceeds it).
+    pub link_fifo_depth: u64,
     /// Treat surviving warnings as gate failures.
     pub deny_warnings: bool,
 }
@@ -478,6 +521,7 @@ impl Default for LintConfig {
             fanout_threshold: 64,
             steiner_fanout: 4,
             frame_cycle_budget: pi_synth::cost::TARGET_FRAME_CYCLES,
+            link_fifo_depth: pi_netlist::DEFAULT_LINK_FIFO_DEPTH,
             deny_warnings: false,
         }
     }
@@ -531,6 +575,12 @@ impl LintConfig {
     /// Set the `PL0206` per-frame cycle budget.
     pub fn with_frame_cycle_budget(mut self, budget: u64) -> Self {
         self.frame_cycle_budget = budget;
+        self
+    }
+
+    /// Set the link FIFO token capacity the dataflow pass checks against.
+    pub fn with_link_fifo_depth(mut self, depth: u64) -> Self {
+        self.link_fifo_depth = depth;
         self
     }
 

@@ -16,7 +16,11 @@
 //!   checkpoint envelopes and databases: locking, pblock containment,
 //!   boundary partition pins, pre-routed clocks, device/metadata
 //!   consistency — plus the physical DRC of
-//!   [`pi_stitch::check_design`] folded into `PL031x` codes.
+//!   [`pi_stitch::check_design`] folded into `PL031x` codes;
+//! * **dataflow** (`PL04xx`) — streaming FIFO/deadlock/rate analysis of
+//!   the stitched pipeline: a worklist fixpoint over arrival intervals
+//!   proves join skews fit the link FIFOs (`pilint dataflow`, and the
+//!   sizing source for `FlowConfig::with_fifo_autosize`).
 //!
 //! Every finding is a [`Diagnostic`] with a stable code from
 //! [`REGISTRY`]; [`LintConfig`] applies rustc-style `allow`/`warn`/`deny`
@@ -26,6 +30,7 @@
 //! so reports and event streams are byte-identical at any `PI_THREADS`.
 
 pub mod checkpoint;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod graph;
@@ -35,10 +40,11 @@ pub mod report;
 pub mod trace;
 
 pub use checkpoint::{diagnose_violation, lint_checkpoint, lint_db_coverage, violation_code};
+pub use dataflow::{analyze as analyze_dataflow, DataflowAnalysis, EdgeFlow};
 pub use diag::{
     lookup, parse_waivers, Diagnostic, Level, LintCode, LintConfig, Severity, Waiver, REGISTRY,
 };
-pub use engine::LintEngine;
+pub use engine::{fixpoint_intervals, FixpointOutcome, Interval, LintEngine};
 pub use graph::lint_network;
 pub use model::lint_model;
 pub use netlist::{lint_design_structure, lint_module};

@@ -3,6 +3,7 @@
 
 use crate::diag::{Diagnostic, Level, LintConfig, Severity};
 use serde_json::Value;
+use std::collections::BTreeSet;
 
 /// The outcome of running lint passes under one [`LintConfig`].
 ///
@@ -17,6 +18,14 @@ pub struct LintReport {
     pub waived: usize,
     /// Findings suppressed because their code's level is `Allow`.
     pub allowed: usize,
+    /// Repeated findings at the same `(code, origin)` location collapsed
+    /// into the first one (distinct messages included — a location is one
+    /// defect however many ways a pass describes it).
+    pub deduped: usize,
+    /// `(code, origin_prefix)` of every waiver that matched at least one
+    /// finding, across all merged passes — the input to
+    /// [`Self::audit_waivers`].
+    pub used_waivers: BTreeSet<(String, String)>,
 }
 
 impl LintReport {
@@ -30,8 +39,11 @@ impl LintReport {
     pub fn from_raw(raw: Vec<Diagnostic>, config: &LintConfig) -> Self {
         let mut report = LintReport::new();
         for mut d in raw {
-            if config.waivers.iter().any(|w| w.matches(&d)) {
+            if let Some(w) = config.waivers.iter().find(|w| w.matches(&d)) {
                 report.waived += 1;
+                report
+                    .used_waivers
+                    .insert((w.code.clone(), w.origin_prefix.clone()));
                 continue;
             }
             match config.level_of(d.code) {
@@ -50,11 +62,17 @@ impl LintReport {
         report
     }
 
-    /// Restore the sorted/deduplicated invariant after edits or merges.
+    /// Restore the sorted/deduplicated invariant after edits or merges:
+    /// sort by the full key, then collapse findings sharing a
+    /// `(code, origin)` location — the first (message-sorted) survivor
+    /// speaks for the location, the rest count as `deduped`.
     fn normalize(&mut self) {
         self.diagnostics
             .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-        self.diagnostics.dedup();
+        let before = self.diagnostics.len();
+        self.diagnostics
+            .dedup_by(|a, b| a.code == b.code && a.origin == b.origin);
+        self.deduped += before - self.diagnostics.len();
     }
 
     /// Fold another report into this one.
@@ -62,6 +80,42 @@ impl LintReport {
         self.diagnostics.extend(other.diagnostics);
         self.waived += other.waived;
         self.allowed += other.allowed;
+        self.deduped += other.deduped;
+        self.used_waivers.extend(other.used_waivers);
+        self.normalize();
+    }
+
+    /// Flag waivers that matched nothing (`PL0001`). Call this once, on
+    /// the fully merged report of a run — a waiver is "used" if *any*
+    /// merged pass consumed it, so auditing per-pass would cry wolf.
+    pub fn audit_waivers(&mut self, config: &LintConfig) {
+        for w in &config.waivers {
+            let key = (w.code.clone(), w.origin_prefix.clone());
+            if self.used_waivers.contains(&key) {
+                continue;
+            }
+            let d = Diagnostic::new(
+                "PL0001",
+                format!("waiver:{}:{}", w.code, w.origin_prefix),
+                format!(
+                    "waiver `{} {}` matched no finding — remove it (stale \
+                     waivers mask future regressions)",
+                    w.code, w.origin_prefix
+                ),
+            );
+            match config.level_of("PL0001") {
+                Level::Allow => self.allowed += 1,
+                level => {
+                    let mut d = d;
+                    d.severity = if level == Level::Deny {
+                        Severity::Error
+                    } else {
+                        Severity::Warning
+                    };
+                    self.diagnostics.push(d);
+                }
+            }
+        }
         self.normalize();
     }
 
@@ -103,14 +157,19 @@ impl LintReport {
 
     /// One-line summary, also the last line of [`Self::render_text`].
     pub fn summary_line(&self) -> String {
-        format!(
-            "lint: {} errors, {} warnings ({} findings, {} waived, {} allowed)",
+        let mut line = format!(
+            "lint: {} errors, {} warnings ({} findings, {} waived, {} allowed",
             self.errors(),
             self.warnings(),
             self.diagnostics.len(),
             self.waived,
             self.allowed
-        )
+        );
+        if self.deduped > 0 {
+            line.push_str(&format!(", {} deduped", self.deduped));
+        }
+        line.push(')');
+        line
     }
 
     /// rustc-style text rendering: one block per finding, then the
@@ -161,6 +220,7 @@ impl LintReport {
                     ("warnings".into(), Value::U64(self.warnings() as u64)),
                     ("waived".into(), Value::U64(self.waived as u64)),
                     ("allowed".into(), Value::U64(self.allowed as u64)),
+                    ("deduped".into(), Value::U64(self.deduped as u64)),
                     ("by_code".into(), Value::Seq(by_code)),
                 ]),
             ),
@@ -211,6 +271,51 @@ mod tests {
         assert_eq!(r.errors(), 0);
         assert!(!r.gate(false));
         assert!(r.gate(true));
+    }
+
+    #[test]
+    fn same_location_findings_collapse() {
+        let raw = vec![
+            Diagnostic::new("PL0107", "module:b/net:n", "fan-out 80 exceeds 64"),
+            Diagnostic::new("PL0107", "module:b/net:n", "fan-out 81 exceeds 64"),
+            Diagnostic::new("PL0107", "module:c/net:n", "fan-out 90 exceeds 64"),
+        ];
+        let r = LintReport::from_raw(raw, &LintConfig::new());
+        assert_eq!(r.diagnostics.len(), 2, "{r:?}");
+        assert_eq!(r.deduped, 1);
+        assert!(r.diagnostics[0].message.contains("fan-out 80"), "{r:?}");
+        assert!(
+            r.summary_line().contains("1 deduped"),
+            "{}",
+            r.summary_line()
+        );
+    }
+
+    #[test]
+    fn unused_waivers_are_flagged_after_merge() {
+        let cfg = LintConfig::new()
+            .with_waivers(parse_waivers("PL0107 module:b\nPL0104 module:never\n").unwrap());
+        let mut a = LintReport::from_raw(raw(), &cfg);
+        assert_eq!(a.waived, 1);
+        let b = LintReport::from_raw(Vec::new(), &cfg);
+        a.merge(b);
+        a.audit_waivers(&cfg);
+        let unused: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "PL0001")
+            .collect();
+        assert_eq!(unused.len(), 1, "{a:?}");
+        assert!(unused[0].origin.contains("PL0104"), "{unused:?}");
+        assert_eq!(unused[0].severity, Severity::Warning);
+        // Allowing PL0001 silences the audit instead.
+        let lax = LintConfig::new()
+            .allow("PL0001")
+            .with_waivers(parse_waivers("PL0104 module:never\n").unwrap());
+        let mut c = LintReport::from_raw(Vec::new(), &lax);
+        c.audit_waivers(&lax);
+        assert!(c.is_clean(), "{c:?}");
+        assert_eq!(c.allowed, 1);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct ModuleInst {
     pub module: Module,
 }
 
+/// Token capacity of the standard stream-link FIFO the stitcher places on
+/// every inter-component net (the queue half of the paper's Fig. 5 memory
+/// controller). The dataflow lint checks computed occupancy bounds against
+/// this unless the flow autosizes links (`FlowConfig::with_fifo_autosize`).
+pub const DEFAULT_LINK_FIFO_DEPTH: u64 = 64;
+
 /// An inter-instance net created by the stitcher (RapidWright's
 /// `createNet` + port connection). Endpoints are (instance, port) pairs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,10 +56,19 @@ pub struct TopNet {
     /// many register-to-register segments. 1 = unpipelined.
     #[serde(default = "default_stages")]
     pub pipeline_stages: u32,
+    /// Token capacity of the link FIFO backing this net. Stitching starts
+    /// every net at the standard depth; `FlowConfig::with_fifo_autosize`
+    /// overwrites it with the dataflow analysis' computed minimum.
+    #[serde(default = "default_fifo_depth")]
+    pub fifo_depth: u64,
 }
 
 fn default_stages() -> u32 {
     1
+}
+
+fn default_fifo_depth() -> u64 {
+    DEFAULT_LINK_FIFO_DEPTH
 }
 
 impl TopNet {
@@ -167,6 +182,7 @@ impl Design {
             width,
             route: None,
             pipeline_stages: 1,
+            fifo_depth: DEFAULT_LINK_FIFO_DEPTH,
         });
         Ok(self.top_nets.len() - 1)
     }

@@ -1,12 +1,13 @@
 //! `pilint` — static-analysis front door for the pre-implemented flow.
 //!
 //! ```text
-//! pilint archdef <file>               lint a CNN architecture definition
-//! pilint model   <file>               import + lint a model descriptor (.json/.prototxt)
-//! pilint db      <db-dir> [archdef]   lint a checkpoint database (+ coverage)
-//! pilint design  <archdef> <db-dir>   compose + route, lint the assembled design
-//! pilint trace   <trace.jsonl>        lint a recorded telemetry stream
-//! pilint codes                        print the lint-code registry
+//! pilint archdef  <file>               lint a CNN architecture definition
+//! pilint model    <file>               import + lint a model descriptor (.json/.prototxt)
+//! pilint dataflow <file>               fixpoint FIFO/deadlock/rate analysis (PL04xx)
+//! pilint db       <db-dir> [archdef]   lint a checkpoint database (+ coverage)
+//! pilint design   <archdef> <db-dir>   compose + route, lint the assembled design
+//! pilint trace    <trace.jsonl>        lint a recorded telemetry stream
+//! pilint codes                         print the lint-code registry
 //! ```
 //!
 //! All lint commands accept `--json`, `--deny-warnings`, `--waivers FILE`,
@@ -15,6 +16,17 @@
 //! and `--threads N`. `archdef` parses leniently so semantic defects (a
 //! corrupted shape, an orphan layer) surface as diagnostics rather than a
 //! parse failure; only syntax errors abort the run.
+//!
+//! `dataflow` takes any importable network description (archdef, `.json`,
+//! `.prototxt` — format sniffed from the extension, archdef otherwise) and
+//! runs the worklist fixpoint over arrival intervals: link-FIFO occupancy
+//! bounds, skew-induced deadlock risk on reconvergent joins, token-rate
+//! mismatches. `--fifo-depth N` sets the assumed link capacity (default
+//! 64, the stitcher's); `--autosize` lints against the depths
+//! `FlowConfig::with_fifo_autosize` would install instead.
+//!
+//! Waivers that match no finding are themselves flagged (`PL0001`) on the
+//! merged report of each run.
 //!
 //! Exit codes follow the shared gate convention (`preimpl_cnn::exit`):
 //! `0` clean, `1` the tool itself failed, `2` the lint gate tripped
@@ -28,20 +40,22 @@ use preimpl_cnn::prelude::*;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: pilint <archdef|model|db|design|trace|codes> <inputs...> [--block] [--json] \
+    "usage: pilint <archdef|model|dataflow|db|design|trace|codes> <inputs...> [--block] [--json] \
                      [--deny-warnings] [--waivers FILE] [--allow CODE] [--warn CODE] \
-                     [--deny CODE] [--device NAME] [--threads N]";
+                     [--deny CODE] [--device NAME] [--threads N] [--fifo-depth N] [--autosize]";
 
 const FLAGS: &[Flag] = &[
     Flag::switch("--block"),
     Flag::switch("--json"),
     Flag::switch("--deny-warnings"),
+    Flag::switch("--autosize"),
     Flag::value("--waivers"),
     Flag::value("--allow"),
     Flag::value("--warn"),
     Flag::value("--deny"),
     Flag::value("--device"),
     Flag::value("--threads"),
+    Flag::value("--fifo-depth"),
 ];
 
 fn lint_config(args: &Cli) -> Result<LintConfig, String> {
@@ -62,6 +76,15 @@ fn lint_config(args: &Cli) -> Result<LintConfig, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         cfg = cfg.with_waivers(parse_waivers(&text).map_err(|e| format!("{path}: {e}"))?);
     }
+    if let Some(depth) = args.value("--fifo-depth") {
+        let depth: u64 = depth
+            .parse()
+            .map_err(|e| format!("--fifo-depth {depth}: {e}"))?;
+        if depth == 0 {
+            return Err("--fifo-depth must be at least 1".into());
+        }
+        cfg = cfg.with_link_fifo_depth(depth);
+    }
     Ok(cfg)
 }
 
@@ -71,8 +94,11 @@ fn load_network(path: &str) -> Result<Network, String> {
     parse_archdef_lenient(&text).map_err(|e| e.to_string())
 }
 
-/// Render the report and map it onto the shared exit-code convention.
-fn finish(report: &LintReport, args: &Cli) -> Result<ExitCode, String> {
+/// Audit waivers on the merged report (this is the outermost point of any
+/// pilint run, so "used in any pass" is fully known here), then render and
+/// map onto the shared exit-code convention.
+fn finish(report: &mut LintReport, args: &Cli) -> Result<ExitCode, String> {
+    report.audit_waivers(&lint_config(args)?);
     if args.switch("--json") {
         cli::emit(&(report.render_json() + "\n"))?;
     } else {
@@ -120,29 +146,50 @@ fn run() -> Result<ExitCode, String> {
     match args.command.as_str() {
         "archdef" => {
             let network = load_network(args.positional(0, "archdef", USAGE)?)?;
-            let report = engine.lint_network(&network, granularity, &obs);
-            finish(&report, &args)
+            let mut report = engine.lint_network(&network, granularity, &obs);
+            finish(&mut report, &args)
         }
         "model" => {
             let path = args.positional(0, "model", USAGE)?;
             let format = preimpl_cnn::model::ModelFormat::from_path(path)
                 .unwrap_or(preimpl_cnn::model::ModelFormat::Json);
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let (_, report) = engine.lint_model(&text, format, granularity, &obs);
-            finish(&report, &args)
+            let (_, mut report) = engine.lint_model(&text, format, granularity, &obs);
+            finish(&mut report, &args)
+        }
+        "dataflow" => {
+            let path = args.positional(0, "model-or-archdef", USAGE)?;
+            let format = preimpl_cnn::model::ModelFormat::from_path(path)
+                .unwrap_or(preimpl_cnn::model::ModelFormat::Archdef);
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let (network, mut import_report) = engine.lint_model(&text, format, granularity, &obs);
+            match network {
+                // Import failed: the findings say why the dataflow pass
+                // never got a graph to analyze.
+                None => finish(&mut import_report, &args),
+                Some(network) => {
+                    let mut report = engine.lint_dataflow(
+                        &network,
+                        granularity,
+                        args.switch("--autosize"),
+                        &obs,
+                    );
+                    finish(&mut report, &args)
+                }
+            }
         }
         "db" => {
             let dir = args.positional(0, "db-dir", USAGE)?;
             let device = Device::catalog(args.device()).map_err(|e| e.to_string())?;
             let db = ComponentDb::load_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
-            let report = match args.positional.get(1) {
+            let mut report = match args.positional.get(1) {
                 Some(archdef) => {
                     let network = load_network(archdef)?;
                     engine.lint_db_for_network(&network, granularity, &db, Some(&device), &obs)
                 }
                 None => engine.lint_db(&db, Some(&device), &obs),
             };
-            finish(&report, &args)
+            finish(&mut report, &args)
         }
         "trace" => {
             let path = args.positional(0, "trace.jsonl", USAGE)?;
@@ -151,8 +198,8 @@ fn run() -> Result<ExitCode, String> {
             // error (like an archdef syntax error), not a lint finding.
             let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
             let raw = preimpl_cnn::lint::lint_trace(&events);
-            let report = LintReport::from_raw(raw, &lint_config(&args)?);
-            finish(&report, &args)
+            let mut report = LintReport::from_raw(raw, &lint_config(&args)?);
+            finish(&mut report, &args)
         }
         "design" => {
             let archdef = args.positional(0, "archdef", USAGE)?;
@@ -167,7 +214,7 @@ fn run() -> Result<ExitCode, String> {
             if report.errors() > 0 {
                 // A broken network or database cannot be composed; report
                 // what the early passes found instead of failing opaquely.
-                return finish(&report, &args);
+                return finish(&mut report, &args);
             }
             let (mut design, _) = preimpl_cnn::stitch::compose(
                 &network,
@@ -184,7 +231,7 @@ fn run() -> Result<ExitCode, String> {
             )
             .map_err(|e| e.to_string())?;
             report.merge(engine.lint_design(&design, &device, &obs));
-            finish(&report, &args)
+            finish(&mut report, &args)
         }
         other => Err(format!("unknown command {other}\n{USAGE}")),
     }

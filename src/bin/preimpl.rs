@@ -22,8 +22,11 @@
 //! component cache: checkpoints keyed by signature + device +
 //! implementation knobs are reused across runs instead of
 //! re-implemented; with it, `compose` and `floorplan` need no positional
-//! `<db-dir>` and build misses on demand) and `--db-budget-bytes N`
-//! (LRU-evict the cache beyond N bytes).
+//! `<db-dir>` and build misses on demand), `--db-budget-bytes N`
+//! (LRU-evict the cache beyond N bytes) and `--fifo-autosize on|off`
+//! (size each stitched link FIFO from the `pi-lint` dataflow analysis
+//! instead of the fixed default — makes skew-heavy join topologies that
+//! would trip `PL0400`/`PL0401` under `--lint` flow to completion).
 //!
 //! Every archdef-taking command also accepts `--model FILE` instead of
 //! the positional `<archdef>`: FILE is a model descriptor (`.json` op
@@ -53,7 +56,7 @@ const USAGE: &str = "usage: preimpl <stats|build-db|compose|baseline|floorplan|d
                      [--block] [--lint] [--deny-warnings] [--trace PATH] [--report PATH] \
                      [--db-dir PATH] [--db-budget-bytes N] [--remote ADDR] \
                      [--router-steiner on|off] [--router-slack-order on|off] \
-                     [--router-max-iters N]";
+                     [--router-max-iters N] [--fifo-autosize on|off]";
 
 const FLAGS: &[Flag] = &[
     Flag::switch("--block"),
@@ -71,6 +74,7 @@ const FLAGS: &[Flag] = &[
     Flag::value("--router-steiner"),
     Flag::value("--router-slack-order"),
     Flag::value("--router-max-iters"),
+    Flag::value("--fifo-autosize"),
 ];
 
 fn main() -> ExitCode {
@@ -384,6 +388,9 @@ fn wire_config(args: &Cli, granularity: Granularity) -> Result<FlowConfig, Strin
         cfg = cfg.with_lint(
             preimpl_cnn::lint::LintConfig::new().with_deny_warnings(args.switch("--deny-warnings")),
         );
+    }
+    if let Some(v) = args.value("--fifo-autosize") {
+        cfg = cfg.with_fifo_autosize(on_off(v, "--fifo-autosize")?);
     }
     Ok(cfg)
 }

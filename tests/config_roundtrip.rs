@@ -46,11 +46,16 @@ fn opt<S: Strategy>(s: S) -> impl Strategy<Value = Option<S::Value>> {
 fn lint_strategy() -> impl Strategy<Value = Option<LintConfig>> {
     let levels = proptest::collection::vec((0usize..CODES.len(), 0u8..3), 0..4);
     let waivers = proptest::collection::vec((0usize..CODES.len(), 0usize..PREFIXES.len()), 0..3);
-    let cfg = (levels, waivers, 1usize..64, 1u64..1_000_000, pbool()).prop_map(
-        |(levels, waivers, fanout, budget, deny)| {
+    let cfg = (
+        (levels, waivers),
+        (1usize..64, 1u64..1_000_000, 1u64..512),
+        pbool(),
+    )
+        .prop_map(|((levels, waivers), (fanout, budget, fifo), deny)| {
             let mut lint = LintConfig::new()
                 .with_fanout_threshold(fanout)
                 .with_frame_cycle_budget(budget)
+                .with_link_fifo_depth(fifo)
                 .with_deny_warnings(deny);
             for (code, level) in levels {
                 let level = match level {
@@ -69,8 +74,7 @@ fn lint_strategy() -> impl Strategy<Value = Option<LintConfig>> {
                     })
                     .collect(),
             )
-        },
-    );
+        });
     opt(cfg)
 }
 
@@ -89,7 +93,7 @@ fn config_strategy() -> impl Strategy<Value = FlowConfig> {
         0usize..10,                                          // phys-opt passes
         0.5f64..16.0,                                        // baseline effort
     );
-    let synth = (pbool(), 1u64..64, pbool());
+    let synth = (pbool(), 1u64..64, pbool(), pbool());
     let cache = (
         opt(1usize..32),         // threads
         opt(0usize..DIRS.len()), // db dir
@@ -99,7 +103,7 @@ fn config_strategy() -> impl Strategy<Value = FlowConfig> {
         |(
             (block, seeds, target, util, effort),
             (partpins, (max_iters, capacity, steiner, slack_order), placer, passes, baseline),
-            (mono, width, on_chip),
+            (mono, width, on_chip, autosize),
             (threads, db_dir, budget),
             lint,
         )| {
@@ -135,7 +139,8 @@ fn config_strategy() -> impl Strategy<Value = FlowConfig> {
                     max_retries: placer.3,
                 })
                 .with_phys_opt_passes(passes)
-                .with_baseline_effort(baseline);
+                .with_baseline_effort(baseline)
+                .with_fifo_autosize(autosize);
             if let Some(t) = target {
                 cfg = cfg.with_target_fmax(t);
             }
@@ -173,13 +178,14 @@ proptest! {
         prop_assert_eq!(back.db_budget_bytes, cfg.db_budget_bytes);
         prop_assert_eq!(back.phys_opt_passes, cfg.phys_opt_passes);
         prop_assert_eq!(back.baseline_effort, cfg.baseline_effort);
+        prop_assert_eq!(back.fifo_autosize, cfg.fifo_autosize);
         prop_assert_eq!(
             back.lint.as_ref().map(|l| (l.levels.clone(), l.waivers.clone(),
                                         l.fanout_threshold, l.frame_cycle_budget,
-                                        l.deny_warnings)),
+                                        l.link_fifo_depth, l.deny_warnings)),
             cfg.lint.as_ref().map(|l| (l.levels.clone(), l.waivers.clone(),
                                        l.fanout_threshold, l.frame_cycle_budget,
-                                       l.deny_warnings))
+                                       l.link_fifo_depth, l.deny_warnings))
         );
     }
 
